@@ -1,0 +1,114 @@
+//! Criterion benches wrapping each figure's workload at a reduced
+//! size: one bench per figure/table of §6, measuring the real time the
+//! simulation substrate takes to regenerate it. The virtual-time
+//! series themselves come from `cargo run -p det-bench --bin report`.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use det_workloads::blackscholes::{self, BsConfig};
+use det_workloads::dist::{self, DistConfig};
+use det_workloads::fft::{self, FftConfig};
+use det_workloads::lu::{self, Layout, LuConfig};
+use det_workloads::matmult::{self, MatmultConfig};
+use det_workloads::md5::{self, Md5Config};
+use det_workloads::qsort::{self, QsortConfig};
+use det_workloads::Mode;
+
+fn fig7_fig8_benchmarks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8");
+    g.bench_function("md5_det_4t", |b| {
+        b.iter(|| black_box(md5::run(Mode::Determinator, Md5Config::quick(4)).vclock_ns))
+    });
+    g.bench_function("md5_baseline_4t", |b| {
+        b.iter(|| black_box(md5::run(Mode::Baseline, Md5Config::quick(4)).vclock_ns))
+    });
+    g.bench_function("matmult_det_4t", |b| {
+        b.iter(|| {
+            black_box(matmult::run(Mode::Determinator, MatmultConfig { threads: 4, n: 64 }).vclock_ns)
+        })
+    });
+    g.bench_function("qsort_det_4t", |b| {
+        b.iter(|| {
+            black_box(qsort::run(Mode::Determinator, QsortConfig { depth: 2, n: 16_384 }).vclock_ns)
+        })
+    });
+    g.bench_function("blackscholes_dsched_4t", |b| {
+        b.iter(|| black_box(blackscholes::run(Mode::Determinator, BsConfig::quick(4)).vclock_ns))
+    });
+    g.bench_function("fft_det_4t", |b| {
+        b.iter(|| {
+            black_box(fft::run(Mode::Determinator, FftConfig { threads: 4, log2n: 10 }).vclock_ns)
+        })
+    });
+    g.bench_function("lu_cont_det_4t", |b| {
+        b.iter(|| {
+            black_box(
+                lu::run(
+                    Mode::Determinator,
+                    LuConfig {
+                        threads: 4,
+                        n: 64,
+                        layout: Layout::Contiguous,
+                    },
+                )
+                .vclock_ns,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn fig9_fig10_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_fig10");
+    for n in [32usize, 128] {
+        g.bench_function(format!("fig9_matmult_n{n}"), |b| {
+            b.iter(|| {
+                black_box(matmult::run(Mode::Determinator, MatmultConfig { threads: 4, n }).vclock_ns)
+            })
+        });
+    }
+    for n in [4096usize, 65_536] {
+        g.bench_function(format!("fig10_qsort_n{n}"), |b| {
+            b.iter(|| {
+                black_box(qsort::run(Mode::Determinator, QsortConfig { depth: 2, n }).vclock_ns)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig11_fig12_distributed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_fig12");
+    let cfg = DistConfig {
+        nodes: 8,
+        size: 4_000,
+        tcp_like: false,
+    };
+    g.bench_function("md5_circuit_8n", |b| {
+        b.iter(|| black_box(dist::md5_circuit(cfg).vclock_ns))
+    });
+    g.bench_function("md5_tree_8n", |b| {
+        b.iter(|| black_box(dist::md5_tree(cfg).vclock_ns))
+    });
+    g.bench_function("matmult_tree_8n", |b| {
+        b.iter(|| {
+            black_box(
+                dist::matmult_tree(DistConfig {
+                    nodes: 8,
+                    size: 64,
+                    tcp_like: false,
+                })
+                .vclock_ns,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig7_fig8_benchmarks, fig9_fig10_sweeps, fig11_fig12_distributed
+}
+criterion_main!(figures);

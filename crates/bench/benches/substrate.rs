@@ -1,0 +1,128 @@
+//! Criterion benches of the substrate's *real* performance on this
+//! host: the unit costs the virtual-time model parameterizes
+//! (page-table COW work, merge diffing throughput, syscall rendezvous,
+//! VM interpretation rate). Compare these against
+//! `CostModel::calibrated()` to audit the calibration.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use det_kernel::{GetSpec, Kernel, KernelConfig, Program, PutSpec};
+use det_memory::{AddressSpace, ConflictPolicy, Perm, Region};
+use det_vm::{Cpu, VmExit, assemble};
+
+const MB4: Region = Region {
+    start: 0x10000,
+    end: 0x10000 + 4 * 1024 * 1024,
+};
+
+fn bench_cow_copy(c: &mut Criterion) {
+    let mut src = AddressSpace::new();
+    src.map_zero(MB4, Perm::RW).unwrap();
+    for i in 0..1024u64 {
+        src.write_u64(MB4.start + i * 4096, i).unwrap();
+    }
+    c.bench_function("cow_virtual_copy_4MiB", |b| {
+        b.iter(|| {
+            let mut dst = AddressSpace::new();
+            dst.copy_from(black_box(&src), MB4, MB4.start).unwrap();
+            black_box(dst.page_count())
+        })
+    });
+    c.bench_function("snapshot_4MiB", |b| {
+        b.iter(|| black_box(src.snapshot().page_count()))
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // Dirty child: every page touched (worst-case diff volume).
+    let mut parent = AddressSpace::new();
+    parent.map_zero(MB4, Perm::RW).unwrap();
+    let mut child = AddressSpace::new();
+    child.copy_from(&parent, MB4, MB4.start).unwrap();
+    let snap = child.snapshot();
+    for vpn in 0..1024u64 {
+        child.write_u64(MB4.start + vpn * 4096 + 64, vpn + 1).unwrap();
+    }
+    c.bench_function("merge_diff_4MiB_all_pages_dirty", |b| {
+        b.iter(|| {
+            let mut p = parent.clone();
+            black_box(
+                p.merge_from(&child, &snap, MB4, ConflictPolicy::Strict)
+                    .unwrap(),
+            )
+        })
+    });
+    // Clean child: O(1) page skipping.
+    let clean = snap.clone();
+    c.bench_function("merge_unchanged_4MiB", |b| {
+        b.iter(|| {
+            let mut p = parent.clone();
+            black_box(
+                p.merge_from(&clean, &snap, MB4, ConflictPolicy::Strict)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_syscall_rendezvous(c: &mut Criterion) {
+    c.bench_function("put_get_rendezvous_roundtrip", |b| {
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            Kernel::new(KernelConfig::default()).run(move |ctx| {
+                ctx.put(
+                    0,
+                    PutSpec::new()
+                        .program(Program::native(move |cc| {
+                            for _ in 0..iters {
+                                cc.ret(0)?;
+                            }
+                            Ok(0)
+                        }))
+                        .start(),
+                )?;
+                for _ in 0..iters {
+                    ctx.get(0, GetSpec::new())?;
+                    ctx.put(0, PutSpec::new().start())?;
+                }
+                ctx.get(0, GetSpec::new())?;
+                Ok(0)
+            });
+            start.elapsed()
+        })
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let image = assemble(
+        "
+        ldi r1, 0
+    loop:
+        addi r1, r1, 1
+        addi r2, r1, 3
+        xor  r3, r2, r1
+        beq r0, r0, loop
+        ",
+    )
+    .unwrap();
+    c.bench_function("vm_interpreter_mips", |b| {
+        b.iter_custom(|iters| {
+            let mut mem = AddressSpace::new();
+            mem.map_zero(Region::new(0, 0x1000), Perm::RW).unwrap();
+            mem.write(0, &image.bytes).unwrap();
+            let mut cpu = Cpu::new();
+            let start = std::time::Instant::now();
+            let exit = cpu.run(&mut mem, Some(iters));
+            assert_eq!(exit, VmExit::OutOfBudget);
+            start.elapsed()
+        })
+    });
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cow_copy, bench_merge, bench_syscall_rendezvous, bench_vm
+}
+criterion_main!(substrate);

@@ -1,0 +1,64 @@
+//! Regenerates the paper's figures and tables in virtual time.
+//!
+//! ```text
+//! cargo run --release -p det-bench --bin report -- all        # quick scale
+//! cargo run --release -p det-bench --bin report -- all --full # paper scale
+//! cargo run --release -p det-bench --bin report -- fig7 fig11
+//! ```
+
+use det_bench::{Scale, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation, table3};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+
+    println!(
+        "# Determinator reproduction report ({})\n",
+        if scale == Scale::Full {
+            "full scale"
+        } else {
+            "quick scale"
+        }
+    );
+    if want("fig4") {
+        print!("{}", fig4().to_markdown());
+    }
+    if want("fig7") {
+        print!("{}", fig7(scale).to_markdown());
+    }
+    if want("fig8") {
+        print!("{}", fig8(scale).to_markdown());
+    }
+    if want("fig9") {
+        print!("{}", fig9(scale).to_markdown());
+    }
+    if want("fig10") {
+        print!("{}", fig10(scale).to_markdown());
+    }
+    if want("fig11") {
+        print!("{}", fig11(scale).to_markdown());
+    }
+    if want("fig12") {
+        print!("{}", fig12(scale).to_markdown());
+    }
+    if want("quantum") {
+        print!("{}", quantum_ablation(scale).to_markdown());
+    }
+    if want("table3") {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| std::path::PathBuf::from(d).join("../.."))
+            .unwrap_or_else(|_| ".".into());
+        print!("{}", table3(&root).to_markdown());
+    }
+}

@@ -1,0 +1,149 @@
+//! The virtual-time cost model.
+//!
+//! The reproduction host has a single CPU, so the paper's wall-clock
+//! figures are regenerated in *virtual time* (see DESIGN.md): every
+//! space carries a virtual clock, advanced by (a) compute work the
+//! program declares or the VM counts, and (b) kernel operation costs
+//! from this model. Operation *counts* are real — pages copied, bytes
+//! compared and copied by merges, syscalls — only the unit costs are
+//! parameters, calibrated to commodity hardware of the paper's era
+//! (2.2 GHz Opteron, §6.2). `cargo bench` measures the real unit costs
+//! of this substrate so the calibration can be checked.
+//!
+//! All costs are in **picoseconds** to avoid rounding sub-nanosecond
+//! per-byte costs; public clock readings are in nanoseconds.
+
+use serde::{Deserialize, Serialize};
+
+use det_memory::MergeStats;
+
+/// Picoseconds per unit of kernel work.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed cost of entering the kernel (trap + dispatch).
+    pub syscall_ps: u64,
+    /// Cost of creating and dispatching a fresh space execution
+    /// (thread creation analogue; first `Start`).
+    pub spawn_ps: u64,
+    /// Cost of resuming an already-live space (`Start` on a parked
+    /// space; scheduler dispatch analogue).
+    pub resume_ps: u64,
+    /// Per-page cost of copy-on-write mapping (virtual copy, zero-fill,
+    /// snapshot page-table cloning).
+    pub page_map_ps: u64,
+    /// Per-page cost of scanning a page table entry during merge.
+    pub page_scan_ps: u64,
+    /// Per-byte cost of comparing bytes during merge diffing.
+    pub byte_compare_ps: u64,
+    /// Per-byte cost of copying merged bytes into the parent.
+    pub byte_copy_ps: u64,
+    /// Cost of one interpreted VM instruction (1 GIPS default).
+    pub vm_insn_ps: u64,
+}
+
+impl CostModel {
+    /// Calibration resembling the paper's 2.2 GHz Opteron testbed:
+    /// ~0.5 µs syscalls, ~25 µs space creation, ~30 ns/page of
+    /// page-table work for COW mapping and snapshots, and
+    /// memcpy/memcmp-class per-byte costs (~0.25–0.3 ns/byte) for
+    /// merge diffing.
+    pub fn calibrated() -> CostModel {
+        CostModel {
+            syscall_ps: 500_000,
+            spawn_ps: 25_000_000,
+            resume_ps: 2_000_000,
+            page_map_ps: 30_000,
+            page_scan_ps: 20_000,
+            byte_compare_ps: 250,
+            byte_copy_ps: 300,
+            vm_insn_ps: 1_000,
+        }
+    }
+
+    /// All-zero costs: virtual time advances only through explicit
+    /// program charges. Used by the conventional-OS baseline, whose
+    /// threads share memory directly and pay no copy/merge costs.
+    pub fn zero() -> CostModel {
+        CostModel {
+            syscall_ps: 0,
+            spawn_ps: 0,
+            resume_ps: 0,
+            page_map_ps: 0,
+            page_scan_ps: 0,
+            byte_compare_ps: 0,
+            byte_copy_ps: 0,
+            vm_insn_ps: 1_000,
+        }
+    }
+
+    /// Cost of copy-on-write mapping `pages` pages.
+    pub fn map_cost_ps(&self, pages: u64) -> u64 {
+        self.page_map_ps.saturating_mul(pages)
+    }
+
+    /// Cost of a merge with the given statistics.
+    pub fn merge_cost_ps(&self, stats: &MergeStats) -> u64 {
+        self.page_scan_ps
+            .saturating_mul(stats.pages_scanned)
+            .saturating_add(self.byte_compare_ps.saturating_mul(stats.bytes_compared))
+            .saturating_add(self.byte_copy_ps.saturating_mul(stats.bytes_copied))
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::calibrated()
+    }
+}
+
+/// Converts picoseconds to nanoseconds (rounding down).
+pub fn ps_to_ns(ps: u64) -> u64 {
+    ps / 1000
+}
+
+/// Converts nanoseconds to picoseconds (saturating).
+pub fn ns_to_ps(ns: u64) -> u64 {
+    ns.saturating_mul(1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_cost_combines_terms() {
+        let m = CostModel {
+            syscall_ps: 0,
+            spawn_ps: 0,
+            resume_ps: 0,
+            page_map_ps: 0,
+            page_scan_ps: 10,
+            byte_compare_ps: 2,
+            byte_copy_ps: 3,
+            vm_insn_ps: 1,
+        };
+        let stats = MergeStats {
+            pages_scanned: 4,
+            pages_unchanged: 2,
+            pages_diffed: 2,
+            bytes_compared: 100,
+            bytes_copied: 7,
+            pages_mapped: 0,
+        };
+        assert_eq!(m.merge_cost_ps(&stats), 4 * 10 + 100 * 2 + 7 * 3);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = CostModel::zero();
+        assert_eq!(m.map_cost_ps(1000), 0);
+        assert_eq!(m.merge_cost_ps(&MergeStats::default()), 0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(ps_to_ns(1999), 1);
+        assert_eq!(ns_to_ps(3), 3000);
+        assert_eq!(ns_to_ps(u64::MAX), u64::MAX);
+    }
+}

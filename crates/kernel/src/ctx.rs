@@ -1,0 +1,526 @@
+//! The capability handle through which a space's program acts.
+//!
+//! A [`SpaceCtx`] is the *entire* interface between user code and the
+//! world: private registers and memory, the three system calls, a
+//! virtual-time charge meter, and (for the root space only) device
+//! access. This is the enforcement boundary of §3.1 — native programs
+//! hold no other handles, and VM programs cannot even express anything
+//! else.
+
+use std::sync::Arc;
+
+use det_memory::{AddressSpace, Region};
+use det_vm::Regs;
+
+use crate::cost::{ns_to_ps, ps_to_ns};
+use crate::device::DeviceId;
+use crate::error::{KernelError, Result};
+use crate::ids::{ChildNum, SpaceId, child_index, node_field};
+use crate::kernel::{RunState, Shared, Slot, SpaceState};
+use crate::syscall::{GetResult, GetSpec, PutResult, PutSpec, StopReason};
+
+/// Execution context of a running space.
+pub struct SpaceCtx {
+    shared: Arc<Shared>,
+    id: SpaceId,
+    st: Option<Box<SpaceState>>,
+    destroyed: bool,
+}
+
+impl SpaceCtx {
+    pub(crate) fn new(shared: Arc<Shared>, id: SpaceId, st: Box<SpaceState>) -> SpaceCtx {
+        SpaceCtx {
+            shared,
+            id,
+            st: Some(st),
+            destroyed: false,
+        }
+    }
+
+    pub(crate) fn into_state(self) -> Option<Box<SpaceState>> {
+        self.st
+    }
+
+    fn st(&self) -> &SpaceState {
+        self.st
+            .as_deref()
+            .expect("space state absent: the space was destroyed; programs must return after a Destroyed error")
+    }
+
+    fn st_mut(&mut self) -> &mut SpaceState {
+        self.st
+            .as_deref_mut()
+            .expect("space state absent: the space was destroyed; programs must return after a Destroyed error")
+    }
+
+    /// This space's private memory.
+    pub fn mem(&self) -> &AddressSpace {
+        &self.st().mem
+    }
+
+    /// This space's private memory, mutably.
+    pub fn mem_mut(&mut self) -> &mut AddressSpace {
+        &mut self.st_mut().mem
+    }
+
+    /// This space's registers.
+    pub fn regs(&self) -> &Regs {
+        &self.st().regs
+    }
+
+    /// This space's registers, mutably.
+    pub fn regs_mut(&mut self) -> &mut Regs {
+        &mut self.st_mut().regs
+    }
+
+    /// The space's virtual clock, in nanoseconds.
+    pub fn vclock_ns(&self) -> u64 {
+        ps_to_ns(self.st().vclock_ps)
+    }
+
+    /// The node this space currently executes on.
+    pub fn cur_node(&self) -> u16 {
+        self.st().cur_node
+    }
+
+    /// The node this space was created on.
+    pub fn home_node(&self) -> u16 {
+        self.st().home_node
+    }
+
+    /// True if this is the root space (I/O privileges).
+    pub fn is_root(&self) -> bool {
+        self.id == SpaceId::ROOT
+    }
+
+    /// Declares `ns` nanoseconds of compute work on the virtual clock.
+    ///
+    /// Native workloads call this with calibrated per-operation costs;
+    /// VM programs are charged automatically per instruction. If the
+    /// space runs under a work limit and this charge exhausts it, the
+    /// space is preempted here: control returns to the parent, and the
+    /// call completes when the parent restarts the space (the paper's
+    /// instruction-limit preemption, §3.2).
+    pub fn charge(&mut self, ns: u64) -> Result<()> {
+        self.charge_ps(ns_to_ps(ns))
+    }
+
+    pub(crate) fn charge_ps(&mut self, ps: u64) -> Result<()> {
+        if self.destroyed {
+            return Err(KernelError::Destroyed);
+        }
+        if self.id != SpaceId::ROOT
+            && self
+                .shared
+                .shutdown
+                .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            self.destroyed = true;
+            return Err(KernelError::Destroyed);
+        }
+        let st = self.st_mut();
+        st.vclock_ps = st.vclock_ps.saturating_add(ps);
+        if let Some(limit) = st.limit_ps {
+            if ps >= limit {
+                st.limit_ps = None;
+                return self.park(StopReason::LimitReached);
+            }
+            st.limit_ps = Some(limit - ps);
+        }
+        Ok(())
+    }
+
+    /// Parks this space with `reason` and blocks until the parent
+    /// restarts it.
+    fn park(&mut self, reason: StopReason) -> Result<()> {
+        let st = self.st.take().expect("parking requires live state");
+        match self.shared.park(self.id, st, reason) {
+            Ok(st) => {
+                self.st = Some(st);
+                Ok(())
+            }
+            Err(e) => {
+                self.destroyed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Invokes the cluster rendezvous hook on a stopped child,
+    /// charging demand-paging costs to this caller.
+    fn rendezvous_hook(
+        &mut self,
+        g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
+        child_id: SpaceId,
+    ) {
+        if let Some(hooks) = self.shared.cluster.as_ref() {
+            let parent_node = self.st().cur_node;
+            let child_st = g.slots[child_id.0 as usize]
+                .state
+                .as_mut()
+                .expect("idle child has state");
+            let ps = hooks.on_rendezvous(
+                child_id,
+                child_st.cur_node,
+                parent_node,
+                &mut child_st.mem,
+            );
+            let st = self.st_mut();
+            st.vclock_ps = st.vclock_ps.saturating_add(ps);
+        }
+    }
+
+    /// Resolves the node a child number addresses and migrates there.
+    fn route(&mut self, child: ChildNum) -> Result<()> {
+        let field = node_field(child);
+        let target = if field == 0 {
+            self.st().home_node
+        } else {
+            field - 1
+        };
+        if target != self.st().cur_node {
+            let id = self.id;
+            let shared = Arc::clone(&self.shared);
+            shared.migrate(id, self.st_mut(), target)?;
+        }
+        Ok(())
+    }
+
+    /// The `Put` system call: copy state into a child (creating it on
+    /// first reference) and optionally start it (§3.2, Tables 1–2).
+    ///
+    /// Blocks while the child is running — spaces synchronize only at
+    /// well-defined rendezvous points.
+    pub fn put(&mut self, child: ChildNum, spec: PutSpec) -> Result<PutResult> {
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        self.route(child)?;
+        let shared = Arc::clone(&self.shared);
+        let mut g = shared.state.lock();
+        g.stats.puts += 1;
+        let child_id = ensure_child(&mut g, self.id, child, self.st().cur_node);
+        let was = shared.wait_idle(&mut g, child_id)?;
+
+        // Rendezvous clock rule: the caller observes the child's stop.
+        let child_v = g.slots[child_id.0 as usize]
+            .state
+            .as_ref()
+            .expect("idle child has state")
+            .vclock_ps;
+        {
+            let st = self.st_mut();
+            st.vclock_ps = st.vclock_ps.max(child_v);
+        }
+        self.rendezvous_hook(&mut g, child_id);
+
+        if let Some(r) = spec.regs {
+            g.slots[child_id.0 as usize]
+                .state
+                .as_mut()
+                .expect("idle")
+                .regs = r;
+        }
+        let installed_program = spec.program.is_some();
+        if let Some(p) = spec.program {
+            let slot = &mut g.slots[child_id.0 as usize];
+            match was {
+                StopReason::Unstarted => {}
+                StopReason::Halted | StopReason::Trap(_) if slot.thread.is_some() => {
+                    // The old program finished; reap its thread so a
+                    // fresh one can be spawned (child-slot reuse).
+                    let h = slot.thread.take().expect("checked");
+                    let _ = h.join();
+                }
+                StopReason::Halted | StopReason::Trap(_) => {}
+                _ => return Err(KernelError::ChildActive),
+            }
+            slot.pending = Some(p);
+            slot.run = RunState::Idle(StopReason::Unstarted);
+        }
+        let mut charge_after = 0u64;
+        if let Some(c) = spec.copy {
+            let src_mem = &self.st().mem;
+            let child_slot = &mut g.slots[child_id.0 as usize];
+            let child_st = child_slot.state.as_mut().expect("idle");
+            let installed = child_st.mem.copy_from(src_mem, c.src, c.dst)?;
+            // COW copy walks only mapped source entries.
+            let pages = installed as u64;
+            g.stats.pages_copied += pages;
+            charge_after += self.shared.costs.map_cost_ps(pages);
+            if let Some(hooks) = self.shared.cluster.as_ref() {
+                hooks.on_copy(self.id, child_id, c.src.start >> 12, c.dst >> 12, pages);
+            }
+        }
+        if let Some(r) = spec.zero {
+            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            child_st.mem.map_zero(r, det_memory::Perm::RW)?;
+            let pages = r.page_count();
+            g.stats.pages_copied += pages;
+            charge_after += self.shared.costs.map_cost_ps(pages);
+        }
+        if let Some((r, p)) = spec.perm {
+            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            child_st.mem.set_perm(r, p)?;
+        }
+        if let Some(src_child) = spec.tree_from {
+            copy_tree(&mut g, self.id, src_child, child_id)?;
+        }
+        if spec.snap {
+            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            child_st.snap = Some(child_st.mem.snapshot());
+            let pages = child_st.mem.page_count() as u64;
+            g.stats.pages_snapped += pages;
+            charge_after += self.shared.costs.map_cost_ps(pages);
+        }
+        // Kernel work is charged to the caller; limits may preempt
+        // only at the *next* kernel entry (we hold the child idle now).
+        {
+            let st = self.st_mut();
+            st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
+        }
+        if let Some(start) = spec.start {
+            // Fresh program dispatch is a spawn (thread creation);
+            // waking a parked space is a cheap resume.
+            let fresh = installed_program || was == StopReason::Unstarted;
+            let start_ps = if fresh {
+                self.shared.costs.spawn_ps
+            } else {
+                self.shared.costs.resume_ps
+            };
+            let st_v = {
+                let st = self.st_mut();
+                st.vclock_ps = st.vclock_ps.saturating_add(start_ps);
+                st.vclock_ps
+            };
+            shared.start_child(&mut g, child_id, start.limit_ns, st_v, was)?;
+        }
+        Ok(PutResult { child_was: was })
+    }
+
+    /// The `Get` system call: synchronize with a child and copy or
+    /// merge state out of it (§3.2, Tables 1–2).
+    ///
+    /// With `merge`, bytes the child changed since its snapshot are
+    /// folded into this space; concurrent changes to the same byte
+    /// raise [`KernelError::Conflict`] and leave this space untouched.
+    pub fn get(&mut self, child: ChildNum, spec: GetSpec) -> Result<GetResult> {
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        self.route(child)?;
+        let shared = Arc::clone(&self.shared);
+        let mut g = shared.state.lock();
+        g.stats.gets += 1;
+        let child_id = ensure_child(&mut g, self.id, child, self.st().cur_node);
+        let stop = shared.wait_idle(&mut g, child_id)?;
+
+        let (child_v, code) = {
+            let st = g.slots[child_id.0 as usize].state.as_ref().expect("idle");
+            (st.vclock_ps, st.regs.gpr[1])
+        };
+        {
+            let st = self.st_mut();
+            st.vclock_ps = st.vclock_ps.max(child_v);
+        }
+        self.rendezvous_hook(&mut g, child_id);
+
+        let regs = if spec.regs {
+            Some(g.slots[child_id.0 as usize].state.as_ref().expect("idle").regs)
+        } else {
+            None
+        };
+        let mut charge_after = 0u64;
+        if let Some(c) = spec.copy {
+            // Copy child → parent: take the child's state out briefly
+            // so both sides can be borrowed.
+            let child_st = g.slots[child_id.0 as usize]
+                .state
+                .take()
+                .expect("idle child has state");
+            let res = self.st_mut().mem.copy_from(&child_st.mem, c.src, c.dst);
+            g.slots[child_id.0 as usize].state = Some(child_st);
+            let installed = res?;
+            let pages = installed as u64;
+            g.stats.pages_copied += pages;
+            charge_after += self.shared.costs.map_cost_ps(pages);
+            if let Some(hooks) = self.shared.cluster.as_ref() {
+                hooks.on_copy(child_id, self.id, c.src.start >> 12, c.dst >> 12, pages);
+            }
+        }
+        let mut merge_stats = None;
+        if let Some(region) = spec.merge {
+            let child_st = g.slots[child_id.0 as usize]
+                .state
+                .take()
+                .expect("idle child has state");
+            let snap = match child_st.snap.as_ref() {
+                Some(s) => s,
+                None => {
+                    g.slots[child_id.0 as usize].state = Some(child_st);
+                    return Err(KernelError::NoSnapshot);
+                }
+            };
+            let policy = spec.merge_policy.unwrap_or(self.shared.policy);
+            let merged = self
+                .st_mut()
+                .mem
+                .try_merge_from(&child_st.mem, snap, region, policy);
+            g.slots[child_id.0 as usize].state = Some(child_st);
+            let (stats, conflict) = merged?;
+            charge_after += self.shared.costs.merge_cost_ps(&stats);
+            g.stats.record_merge(&stats);
+            if let Some(c) = conflict {
+                g.stats.conflicts += 1;
+                let st = self.st_mut();
+                st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
+                return Err(KernelError::Conflict(c));
+            }
+            merge_stats = Some(stats);
+        }
+        if let Some(r) = spec.zero {
+            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            child_st.mem.map_zero(r, det_memory::Perm::RW)?;
+            charge_after += self.shared.costs.map_cost_ps(r.page_count());
+        }
+        if let Some((r, p)) = spec.perm {
+            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            child_st.mem.set_perm(r, p)?;
+        }
+        {
+            let st = self.st_mut();
+            st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
+        }
+        Ok(GetResult {
+            stop,
+            code,
+            regs,
+            merge: merge_stats,
+            child_vclock_ns: ps_to_ns(child_v),
+        })
+    }
+
+    /// The `Ret` system call: stop and wait for the parent (§3.2).
+    ///
+    /// `code` is placed in `r1` (the exit-status convention read by
+    /// `Get`). Returns when the parent restarts this space. Before
+    /// stopping, the space migrates back to its home node (§3.3).
+    pub fn ret(&mut self, code: u64) -> Result<()> {
+        if self.id == SpaceId::ROOT {
+            return Err(KernelError::InvalidSpec("root space cannot ret"));
+        }
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        self.st_mut().regs.gpr[1] = code;
+        let home = self.st().home_node;
+        if self.st().cur_node != home {
+            let id = self.id;
+            let shared = Arc::clone(&self.shared);
+            shared.migrate(id, self.st_mut(), home)?;
+        }
+        self.park(StopReason::Ret)
+    }
+
+    /// Reads the next input event from a device (root only; §3.1).
+    ///
+    /// `None` means the device has no input available. In record mode
+    /// the consumed event is logged; in replay mode it comes from the
+    /// log.
+    pub fn dev_read(&mut self, dev: DeviceId) -> Result<Option<Vec<u8>>> {
+        if self.id != SpaceId::ROOT {
+            return Err(KernelError::NotRoot);
+        }
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        let shared = Arc::clone(&self.shared);
+        let mut g = shared.state.lock();
+        g.stats.device_reads += 1;
+        g.devices.read(dev)
+    }
+
+    /// Writes output bytes to a device (root only).
+    pub fn dev_write(&mut self, dev: DeviceId, data: &[u8]) -> Result<()> {
+        if self.id != SpaceId::ROOT {
+            return Err(KernelError::NotRoot);
+        }
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        let shared = Arc::clone(&self.shared);
+        let mut g = shared.state.lock();
+        g.stats.device_write_bytes += data.len() as u64;
+        g.devices.write(dev, data);
+        Ok(())
+    }
+}
+
+/// Finds or creates the slot for `child` under `parent`.
+fn ensure_child(
+    g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
+    parent: SpaceId,
+    child: ChildNum,
+    node: u16,
+) -> SpaceId {
+    let key = child_index(child) | ((node_field(child) as u64) << crate::ids::NODE_SHIFT);
+    if let Some(&id) = g.slots[parent.0 as usize].children.get(&key) {
+        return id;
+    }
+    let id = SpaceId(g.slots.len() as u32);
+    g.slots.push(Slot::new_child(node));
+    g.slots[parent.0 as usize].children.insert(key, id);
+    g.stats.spaces_created += 1;
+    id
+}
+
+/// Deep-copies the state of `src_child` (and recursively its
+/// descendants) into `dst` — the `Tree` option.
+fn copy_tree(
+    g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
+    parent: SpaceId,
+    src_child: ChildNum,
+    dst: SpaceId,
+) -> Result<()> {
+    let &src_id = g.slots[parent.0 as usize]
+        .children
+        .get(&src_child)
+        .ok_or(KernelError::InvalidSpec("tree source child does not exist"))?;
+    if src_id == dst {
+        return Err(KernelError::InvalidSpec("tree source equals destination"));
+    }
+    clone_into(g, src_id, dst)
+}
+
+fn clone_into(
+    g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
+    src: SpaceId,
+    dst: SpaceId,
+) -> Result<()> {
+    let (img, kids) = {
+        let slot = &g.slots[src.0 as usize];
+        let st = slot
+            .state
+            .as_ref()
+            .ok_or(KernelError::ChildActive)?;
+        (st.clone_image(), slot.children.clone())
+    };
+    {
+        let slot = &mut g.slots[dst.0 as usize];
+        slot.state = Some(Box::new(img));
+        slot.run = RunState::Idle(StopReason::Unstarted);
+    }
+    for (num, kid_src) in kids {
+        // Create a matching child under dst and recurse.
+        let kid_dst = {
+            let id = SpaceId(g.slots.len() as u32);
+            let node = g.slots[kid_src.0 as usize]
+                .state
+                .as_ref()
+                .map(|s| s.home_node)
+                .unwrap_or(0);
+            g.slots.push(Slot::new_child(node));
+            g.slots[dst.0 as usize].children.insert(num, id);
+            g.stats.spaces_created += 1;
+            id
+        };
+        clone_into(g, kid_src, kid_dst)?;
+    }
+    Ok(())
+}
+
+/// Region helper: the whole 48-bit user address range, for coarse
+/// whole-space operations in tests and the runtime.
+pub fn full_user_region() -> Region {
+    Region::new(0, 1u64 << 47)
+}

@@ -1,0 +1,78 @@
+//! Space identifiers and the child-number namespace.
+
+/// Kernel-internal identifier of a space slot.
+///
+/// Applications never see these: per the paper's race-free namespace
+/// principle (§2.4), user code names *its own children* with
+/// application-chosen [`ChildNum`]s; `SpaceId` is only an index into
+/// the kernel's space table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SpaceId(pub(crate) u32);
+
+impl SpaceId {
+    /// The root space's id.
+    pub const ROOT: SpaceId = SpaceId(0);
+
+    /// Returns the raw index (for diagnostics).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// An application-chosen child number, private to each space.
+///
+/// The high 16 bits form the *node number* field used for cluster
+/// distribution (§3.3): node field `0` means the calling space's home
+/// node, and `k ≥ 1` means cluster node `k - 1`. The low 48 bits are
+/// the per-node child index.
+pub type ChildNum = u64;
+
+/// Bit position of the node-number field inside a [`ChildNum`].
+pub const NODE_SHIFT: u32 = 48;
+
+/// Builds a child number addressing child `idx` on absolute cluster
+/// node `node`.
+///
+/// # Examples
+///
+/// ```
+/// use det_kernel::{child_on_node, node_field, child_index};
+/// let c = child_on_node(3, 7);
+/// assert_eq!(node_field(c), 4); // Absolute node 3 = field value 4.
+/// assert_eq!(child_index(c), 7);
+/// ```
+pub fn child_on_node(node: u16, idx: u64) -> ChildNum {
+    debug_assert!(idx < (1 << NODE_SHIFT));
+    (((node as u64) + 1) << NODE_SHIFT) | idx
+}
+
+/// Extracts the raw node field (0 = home node, `k` = node `k - 1`).
+pub fn node_field(child: ChildNum) -> u16 {
+    (child >> NODE_SHIFT) as u16
+}
+
+/// Extracts the per-node child index.
+pub fn child_index(child: ChildNum) -> u64 {
+    child & ((1u64 << NODE_SHIFT) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_field_roundtrip() {
+        let c = child_on_node(0, 42);
+        assert_eq!(node_field(c), 1);
+        assert_eq!(child_index(c), 42);
+        let c = child_on_node(31, 5);
+        assert_eq!(node_field(c), 32);
+        assert_eq!(child_index(c), 5);
+    }
+
+    #[test]
+    fn plain_children_have_zero_node_field() {
+        assert_eq!(node_field(7), 0);
+        assert_eq!(child_index(7), 7);
+    }
+}

@@ -1,0 +1,581 @@
+//! The kernel proper: space table, rendezvous, execution vehicles.
+//!
+//! Spaces interact *only* through `Put`/`Get`/`Ret` (§3.2). The
+//! implementation keeps every stopped space's state (registers +
+//! private address space) in the kernel's space table; when a space
+//! runs, its state is checked out to a host thread, making it
+//! physically inaccessible to every other space. `Put`/`Get` on a
+//! running child blocks until the child checks its state back in via
+//! `Ret`, a trap, or a limit preemption — the "rendezvous" semantics
+//! that make the space hierarchy a deterministic Kahn network.
+//!
+//! Host threads are *execution vehicles only*: all cross-space
+//! communication is kernel-mediated, so results are independent of how
+//! the host schedules the threads (tests assert this empirically).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::panic::{AssertUnwindSafe, catch_unwind};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use det_memory::{AddressSpace, ConflictPolicy};
+use det_vm::{Cpu, Regs, VmExit};
+
+use crate::cost::{CostModel, ps_to_ns};
+use crate::ctx::SpaceCtx;
+use crate::device::{DeviceHub, DeviceId, IoLog, IoMode};
+use crate::error::{KernelError, Result, TrapKind};
+use crate::ids::SpaceId;
+use crate::program::{NativeEntry, NativeResult, Program};
+use crate::stats::KernelStats;
+use crate::syscall::StopReason;
+
+/// Cross-node migration callbacks, implemented by `det-cluster`.
+///
+/// The kernel core knows only that a space has a *current node* and a
+/// *home node*; when a syscall names a child on another node, the
+/// caller migrates there first (§3.3). The hook owns per-node page
+/// residency and the network cost model, and returns the virtual
+/// picoseconds the leg costs.
+pub trait ClusterHooks: Send + Sync {
+    /// Number of nodes; node fields must be below this.
+    fn node_count(&self) -> u16;
+
+    /// Called when `space` moves from node `from` to node `to` with
+    /// its memory image `mem`. Returns picoseconds to charge.
+    fn on_migrate(&self, space: SpaceId, from: u16, to: u16, mem: &mut AddressSpace) -> u64;
+
+    /// Called at every parent↔child rendezvous (`Put`/`Get` after the
+    /// child stops): the hook may harvest the stopped child's page
+    /// accesses for demand-paging accounting. `parent_node` is where
+    /// the caller currently executes. Returns picoseconds to charge to
+    /// the caller.
+    fn on_rendezvous(
+        &self,
+        child: SpaceId,
+        child_node: u16,
+        parent_node: u16,
+        child_mem: &mut AddressSpace,
+    ) -> u64 {
+        let _ = (child, child_node, parent_node, child_mem);
+        0
+    }
+
+    /// Called when pages are virtually copied between spaces (both
+    /// `Put`+Copy and `Get`+Copy): destination pages share the
+    /// sources' frames, so they inherit the sources' node residency.
+    /// `src_start_vpn`/`dst_start_vpn` describe the aligned window.
+    fn on_copy(&self, src: SpaceId, dst: SpaceId, src_start_vpn: u64, dst_start_vpn: u64, pages: u64) {
+        let _ = (src, dst, src_start_vpn, dst_start_vpn, pages);
+    }
+}
+
+/// Kernel construction parameters.
+#[derive(Debug, Default)]
+pub struct KernelConfig {
+    /// Virtual-time cost model.
+    pub costs: CostModel,
+    /// Merge conflict policy (paper default: strict).
+    pub policy: ConflictPolicy,
+    /// Record or replay nondeterministic inputs.
+    pub io: IoMode,
+}
+
+/// Execution state of a space slot.
+pub(crate) enum RunState {
+    /// Stopped; `state` present in the slot.
+    Idle(StopReason),
+    /// Checked out to its thread (or handoff pending).
+    Running,
+    /// Gone; threads observing this unwind.
+    Destroyed,
+}
+
+/// The movable per-space state, checked in/out around execution.
+pub(crate) struct SpaceState {
+    pub regs: Regs,
+    pub mem: AddressSpace,
+    pub snap: Option<AddressSpace>,
+    /// Virtual clock in picoseconds.
+    pub vclock_ps: u64,
+    /// Remaining work budget in picoseconds, if limited.
+    pub limit_ps: Option<u64>,
+    /// VM instructions retired by this space.
+    pub insn_count: u64,
+    pub home_node: u16,
+    pub cur_node: u16,
+}
+
+impl SpaceState {
+    fn new(node: u16) -> SpaceState {
+        SpaceState {
+            regs: Regs::default(),
+            mem: AddressSpace::new(),
+            snap: None,
+            vclock_ps: 0,
+            limit_ps: None,
+            insn_count: 0,
+            home_node: node,
+            cur_node: node,
+        }
+    }
+
+    pub(crate) fn clone_image(&self) -> SpaceState {
+        SpaceState {
+            regs: self.regs,
+            mem: self.mem.clone(),
+            snap: self.snap.clone(),
+            vclock_ps: self.vclock_ps,
+            limit_ps: self.limit_ps,
+            insn_count: self.insn_count,
+            home_node: self.home_node,
+            cur_node: self.cur_node,
+        }
+    }
+}
+
+pub(crate) struct Slot {
+    pub children: BTreeMap<u64, SpaceId>,
+    pub run: RunState,
+    pub state: Option<Box<SpaceState>>,
+    pub pending: Option<Program>,
+    pub thread: Option<JoinHandle<()>>,
+}
+
+impl Slot {
+    pub(crate) fn new_child(node: u16) -> Slot {
+        Slot {
+            children: BTreeMap::new(),
+            run: RunState::Idle(StopReason::Unstarted),
+            state: Some(Box::new(SpaceState::new(node))),
+            pending: None,
+            thread: None,
+        }
+    }
+}
+
+pub(crate) struct KState {
+    pub slots: Vec<Slot>,
+    pub devices: DeviceHub,
+    pub stats: KernelStats,
+}
+
+pub(crate) struct Shared {
+    pub state: Mutex<KState>,
+    pub cv: Condvar,
+    pub costs: CostModel,
+    pub policy: ConflictPolicy,
+    pub cluster: Option<Arc<dyn ClusterHooks>>,
+    /// Set at kernel shutdown; checked lock-free by hot paths
+    /// (`charge`) so compute-looping programs observe destruction.
+    pub shutdown: std::sync::atomic::AtomicBool,
+}
+
+impl Shared {
+    /// Blocks until `child` is stopped with its state checked in;
+    /// returns its stop reason.
+    pub(crate) fn wait_idle(
+        &self,
+        g: &mut parking_lot::MutexGuard<'_, KState>,
+        child: SpaceId,
+    ) -> Result<StopReason> {
+        loop {
+            let slot = &g.slots[child.0 as usize];
+            match slot.run {
+                RunState::Idle(r) if slot.state.is_some() => return Ok(r),
+                RunState::Destroyed => return Err(KernelError::Destroyed),
+                _ => self.cv.wait(g),
+            }
+        }
+    }
+
+    /// A running space checks its state in with `reason`, waits for
+    /// its parent to restart it, and checks the state back out.
+    pub(crate) fn park(
+        &self,
+        id: SpaceId,
+        st: Box<SpaceState>,
+        reason: StopReason,
+    ) -> Result<Box<SpaceState>> {
+        let mut g = self.state.lock();
+        {
+            match reason {
+                StopReason::Ret => g.stats.rets += 1,
+                StopReason::Trap(_) => g.stats.traps += 1,
+                StopReason::LimitReached => g.stats.limit_preemptions += 1,
+                _ => {}
+            }
+            let slot = &mut g.slots[id.0 as usize];
+            if matches!(slot.run, RunState::Destroyed) {
+                return Err(KernelError::Destroyed);
+            }
+            slot.state = Some(st);
+            slot.run = RunState::Idle(reason);
+        }
+        self.cv.notify_all();
+        loop {
+            let slot = &mut g.slots[id.0 as usize];
+            match slot.run {
+                RunState::Running => {
+                    if let Some(st) = slot.state.take() {
+                        return Ok(st);
+                    }
+                    self.cv.wait(&mut g);
+                }
+                RunState::Destroyed => return Err(KernelError::Destroyed),
+                RunState::Idle(_) => self.cv.wait(&mut g),
+            }
+        }
+    }
+
+    /// Final check-in of a space whose program finished or trapped
+    /// terminally; its thread exits after this.
+    pub(crate) fn final_check_in(
+        &self,
+        id: SpaceId,
+        st: Option<Box<SpaceState>>,
+        reason: StopReason,
+    ) {
+        let mut g = self.state.lock();
+        if matches!(reason, StopReason::Trap(_)) {
+            g.stats.traps += 1;
+        }
+        let slot = &mut g.slots[id.0 as usize];
+        if !matches!(slot.run, RunState::Destroyed) {
+            if let Some(st) = st {
+                slot.state = Some(st);
+                slot.run = RunState::Idle(reason);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Starts or resumes an idle child whose state is checked in.
+    ///
+    /// The caller has already applied the rendezvous clock rules;
+    /// `parent_vclock_ps` stamps the child's resume time.
+    pub(crate) fn start_child(
+        self: &Arc<Self>,
+        g: &mut parking_lot::MutexGuard<'_, KState>,
+        child: SpaceId,
+        limit_ns: Option<u64>,
+        parent_vclock_ps: u64,
+        prior: StopReason,
+    ) -> Result<()> {
+        let slot = &mut g.slots[child.0 as usize];
+        {
+            let st = slot
+                .state
+                .as_mut()
+                .expect("start_child requires checked-in state");
+            st.vclock_ps = st.vclock_ps.max(parent_vclock_ps);
+            st.limit_ps = limit_ns.map(crate::cost::ns_to_ps);
+        }
+        if slot.thread.is_none() {
+            let program = slot.pending.take().ok_or(KernelError::NoProgram)?;
+            let st = slot.state.take().expect("checked above");
+            slot.run = RunState::Running;
+            g.stats.threads_spawned += 1;
+            let shared = Arc::clone(self);
+            let handle = std::thread::Builder::new()
+                .name(format!("space-{}", child.0))
+                .spawn(move || match program {
+                    Program::Native(entry) => native_thread(shared, child, entry, st),
+                    Program::Vm => vm_thread(shared, child, st),
+                })
+                .expect("spawn space thread");
+            g.slots[child.0 as usize].thread = Some(handle);
+        } else {
+            if !prior.resumable() {
+                return Err(KernelError::NoProgram);
+            }
+            slot.run = RunState::Running;
+            self.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Migrates `st` to `target` node if needed, charging the hook's
+    /// cost. `Err(NodeUnreachable)` without cluster hooks.
+    pub(crate) fn migrate(
+        &self,
+        id: SpaceId,
+        st: &mut SpaceState,
+        target: u16,
+    ) -> Result<()> {
+        if st.cur_node == target {
+            return Ok(());
+        }
+        let hooks = self
+            .cluster
+            .as_ref()
+            .ok_or(KernelError::NodeUnreachable(target))?;
+        if target >= hooks.node_count() {
+            return Err(KernelError::NodeUnreachable(target));
+        }
+        let cost = hooks.on_migrate(id, st.cur_node, target, &mut st.mem);
+        st.vclock_ps = st.vclock_ps.saturating_add(cost);
+        st.cur_node = target;
+        self.state.lock().stats.migrations += 1;
+        Ok(())
+    }
+}
+
+/// Outcome of a full kernel run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The root program's exit status, or the trap that ended it.
+    pub exit: std::result::Result<i32, TrapKind>,
+    /// The root space's final virtual clock (nanoseconds): the
+    /// virtual-time makespan of the whole computation.
+    pub vclock_ns: u64,
+    /// Kernel operation counters.
+    pub stats: KernelStats,
+    /// Device output buffers (console, etc.).
+    pub outputs: HashMap<DeviceId, Vec<u8>>,
+    /// The recorded nondeterministic-input log (for replay).
+    pub io_log: IoLog,
+}
+
+impl RunOutcome {
+    /// The console output bytes.
+    pub fn console(&self) -> &[u8] {
+        self.outputs
+            .get(&DeviceId::ConsoleOut)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The console output as UTF-8 (lossy).
+    pub fn console_string(&self) -> String {
+        String::from_utf8_lossy(self.console()).into_owned()
+    }
+}
+
+/// The Determinator kernel.
+///
+/// Construct one, optionally push device inputs, then [`Kernel::run`]
+/// a root program. The root space is the only space with device
+/// access; everything else lives in its subtree.
+///
+/// # Examples
+///
+/// ```
+/// use det_kernel::{Kernel, KernelConfig};
+///
+/// let outcome = Kernel::new(KernelConfig::default()).run(|ctx| {
+///     ctx.charge(1_000)?;
+///     Ok(7)
+/// });
+/// assert_eq!(outcome.exit, Ok(7));
+/// assert!(outcome.vclock_ns >= 1_000);
+/// ```
+pub struct Kernel {
+    shared: Arc<Shared>,
+}
+
+impl Kernel {
+    /// Creates a kernel with the given configuration.
+    pub fn new(config: KernelConfig) -> Kernel {
+        Kernel::build(config, None)
+    }
+
+    /// Creates a kernel wired to cluster migration hooks.
+    pub fn with_cluster(config: KernelConfig, hooks: Arc<dyn ClusterHooks>) -> Kernel {
+        Kernel::build(config, Some(hooks))
+    }
+
+    fn build(config: KernelConfig, cluster: Option<Arc<dyn ClusterHooks>>) -> Kernel {
+        let root = Slot {
+            children: BTreeMap::new(),
+            run: RunState::Idle(StopReason::Unstarted),
+            state: Some(Box::new(SpaceState::new(0))),
+            pending: None,
+            thread: None,
+        };
+        Kernel {
+            shared: Arc::new(Shared {
+                state: Mutex::new(KState {
+                    slots: vec![root],
+                    devices: DeviceHub::new(config.io),
+                    stats: KernelStats::default(),
+                }),
+                cv: Condvar::new(),
+                costs: config.costs,
+                policy: config.policy,
+                cluster,
+                shutdown: std::sync::atomic::AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Queues input bytes on a device (host side).
+    pub fn push_input(&self, dev: DeviceId, data: impl Into<Vec<u8>>) {
+        self.shared.state.lock().devices.push_input(dev, data.into());
+    }
+
+    /// Returns a handle that can push device input while the kernel
+    /// runs (e.g., from a host timer thread).
+    pub fn input_handle(&self) -> InputHandle {
+        InputHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs `root` as the root space on the current thread, then shuts
+    /// the space hierarchy down and reports the outcome.
+    pub fn run<F>(self, root: F) -> RunOutcome
+    where
+        F: FnOnce(&mut SpaceCtx) -> NativeResult,
+    {
+        let st = {
+            let mut g = self.shared.state.lock();
+            let slot = &mut g.slots[SpaceId::ROOT.0 as usize];
+            slot.run = RunState::Running;
+            slot.state.take().expect("fresh root state")
+        };
+        let mut ctx = SpaceCtx::new(Arc::clone(&self.shared), SpaceId::ROOT, st);
+        let out = catch_unwind(AssertUnwindSafe(|| root(&mut ctx)));
+        let root_st = ctx.into_state();
+        let exit = match out {
+            Ok(Ok(code)) => Ok(code),
+            Ok(Err(e)) => Err(e.as_trap()),
+            Err(_) => Err(TrapKind::Panic),
+        };
+        let vclock_ns = root_st.as_ref().map(|s| ps_to_ns(s.vclock_ps)).unwrap_or(0);
+
+        // Shutdown: destroy every space, wake parked threads, join.
+        self.shared
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let (handles, stats, outputs, io_log) = {
+            let mut g = self.shared.state.lock();
+            let mut handles = Vec::new();
+            for slot in &mut g.slots {
+                slot.run = RunState::Destroyed;
+                slot.state = None;
+                slot.pending = None;
+                if let Some(h) = slot.thread.take() {
+                    handles.push(h);
+                }
+            }
+            self.shared.cv.notify_all();
+            let stats = g.stats.clone();
+            let devices = std::mem::replace(&mut g.devices, DeviceHub::new(IoMode::Record));
+            let (outputs, io_log) = devices.into_parts();
+            (handles, stats, outputs, io_log)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        RunOutcome {
+            exit,
+            vclock_ns,
+            stats,
+            outputs,
+            io_log,
+        }
+    }
+}
+
+/// Host-side handle for pushing device input during a run.
+#[derive(Clone)]
+pub struct InputHandle {
+    shared: Arc<Shared>,
+}
+
+impl InputHandle {
+    /// Queues input bytes on a device.
+    pub fn push(&self, dev: DeviceId, data: impl Into<Vec<u8>>) {
+        self.shared.state.lock().devices.push_input(dev, data.into());
+    }
+}
+
+fn native_thread(shared: Arc<Shared>, id: SpaceId, entry: NativeEntry, st: Box<SpaceState>) {
+    let mut ctx = SpaceCtx::new(Arc::clone(&shared), id, st);
+    let out = catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
+    let mut st = ctx.into_state();
+    let reason = match out {
+        Ok(Ok(code)) => {
+            if let Some(s) = st.as_mut() {
+                s.regs.gpr[1] = code as u64;
+            }
+            StopReason::Halted
+        }
+        Ok(Err(KernelError::Destroyed)) => return,
+        Ok(Err(e)) => StopReason::Trap(e.as_trap()),
+        Err(_) => StopReason::Trap(TrapKind::Panic),
+    };
+    if st.is_none() {
+        // The program lost its state to a destroy but returned anyway.
+        return;
+    }
+    shared.final_check_in(id, st, reason);
+}
+
+fn vm_thread(shared: Arc<Shared>, id: SpaceId, mut st: Box<SpaceState>) {
+    let insn_ps = shared.costs.vm_insn_ps.max(1);
+    // Interpret in bounded chunks so unlimited programs still observe
+    // kernel shutdown between chunks.
+    const CHUNK: u64 = 4_000_000;
+    loop {
+        let mut cpu = Cpu {
+            regs: st.regs,
+            insn_count: 0,
+        };
+        let limit_insns = st.limit_ps.map(|ps| ps / insn_ps);
+        let this_budget = limit_insns.map_or(CHUNK, |b| b.min(CHUNK));
+        let exit = cpu.run(&mut st.mem, Some(this_budget));
+        let executed = cpu.insn_count;
+        st.regs = cpu.regs;
+        st.insn_count += executed;
+        st.vclock_ps = st.vclock_ps.saturating_add(executed.saturating_mul(insn_ps));
+        if let Some(l) = st.limit_ps.as_mut() {
+            *l = l.saturating_sub(executed.saturating_mul(insn_ps));
+        }
+        shared.state.lock().stats.vm_instructions += executed;
+        let reason = match exit {
+            VmExit::Halt => {
+                // Home-node return before the final stop (§3.3).
+                let home = st.home_node;
+                let _ = shared.migrate(id, &mut st, home);
+                shared.final_check_in(id, Some(st), StopReason::Halted);
+                return;
+            }
+            VmExit::Sys(0) => StopReason::Ret,
+            VmExit::Sys(_) => StopReason::Trap(TrapKind::Fault("undefined syscall")),
+            VmExit::Trap(t) => StopReason::Trap(t.into()),
+            VmExit::OutOfBudget => {
+                if shared.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+                    return;
+                }
+                match st.limit_ps {
+                    // Chunk boundary only: keep interpreting.
+                    None => continue,
+                    Some(rem) if rem >= insn_ps => continue,
+                    // The real work limit is exhausted.
+                    Some(_) => StopReason::LimitReached,
+                }
+            }
+        };
+        if matches!(reason, StopReason::Ret | StopReason::Trap(_)) {
+            let home = st.home_node;
+            if shared.migrate(id, &mut st, home).is_err() && st.cur_node != home {
+                // Unreachable home node: treat as fault.
+                shared.final_check_in(
+                    id,
+                    Some(st),
+                    StopReason::Trap(TrapKind::Fault("home node unreachable")),
+                );
+                return;
+            }
+        }
+        st = match shared.park(id, st, reason) {
+            Ok(st) => st,
+            Err(_) => return,
+        };
+    }
+}

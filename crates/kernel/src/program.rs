@@ -1,0 +1,54 @@
+//! Programs: what a space executes.
+
+use crate::ctx::SpaceCtx;
+use crate::error::KernelError;
+
+/// Result of a native program: an exit status, or an error that the
+/// kernel reports as a trap.
+pub type NativeResult = std::result::Result<i32, KernelError>;
+
+/// Entry point of a native program.
+pub type NativeEntry = Box<dyn FnOnce(&mut SpaceCtx) -> NativeResult + Send + 'static>;
+
+/// A program installable into a space via `Put`.
+pub enum Program {
+    /// A host closure driven through [`SpaceCtx`]: realistic workloads
+    /// that compute real results, declaring their compute cost via
+    /// [`SpaceCtx::charge`]. Preemptible at kernel entry points.
+    Native(NativeEntry),
+    /// Interpreted det-vm code executing from the space's own memory
+    /// at `regs.pc` — fully contained, preemptible mid-stream with
+    /// exact instruction counting. This is the mode in which the
+    /// kernel can enforce determinism on *arbitrary* code.
+    Vm,
+}
+
+impl Program {
+    /// Wraps a closure as a native program.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det_kernel::Program;
+    /// let p = Program::native(|ctx| {
+    ///     ctx.charge(100)?;
+    ///     Ok(0)
+    /// });
+    /// assert!(matches!(p, Program::Native(_)));
+    /// ```
+    pub fn native<F>(f: F) -> Program
+    where
+        F: FnOnce(&mut SpaceCtx) -> NativeResult + Send + 'static,
+    {
+        Program::Native(Box::new(f))
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Program::Native(_) => write!(f, "Program::Native"),
+            Program::Vm => write!(f, "Program::Vm"),
+        }
+    }
+}

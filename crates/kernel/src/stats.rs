@@ -1,0 +1,81 @@
+//! Kernel operation counters.
+
+use det_memory::MergeStats;
+use serde::{Deserialize, Serialize};
+
+/// Counts of kernel operations over a run.
+///
+/// These are *host-side observability*: they are returned in
+/// [`crate::RunOutcome`], not exposed to unprivileged spaces (their
+/// instantaneous values depend on host scheduling, which spaces must
+/// not observe). The benchmark harness uses them to report the real
+/// operation counts behind every virtual-time figure.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// `Put` calls.
+    pub puts: u64,
+    /// `Get` calls.
+    pub gets: u64,
+    /// `Ret` calls (explicit).
+    pub rets: u64,
+    /// Traps (implicit rets).
+    pub traps: u64,
+    /// Limit preemptions.
+    pub limit_preemptions: u64,
+    /// Spaces created.
+    pub spaces_created: u64,
+    /// Host threads spawned as execution vehicles.
+    pub threads_spawned: u64,
+    /// Pages virtually copied (COW) by `Copy`/`Zero` options.
+    pub pages_copied: u64,
+    /// Pages cloned into snapshots by `Snap`.
+    pub pages_snapped: u64,
+    /// Merge operations performed.
+    pub merges: u64,
+    /// Accumulated merge statistics.
+    #[serde(skip)]
+    pub merge_totals: MergeStatsSerde,
+    /// Merge conflicts detected.
+    pub conflicts: u64,
+    /// Cross-node space migrations.
+    pub migrations: u64,
+    /// Device input events consumed.
+    pub device_reads: u64,
+    /// Device output bytes written.
+    pub device_write_bytes: u64,
+    /// VM instructions retired across all spaces.
+    pub vm_instructions: u64,
+}
+
+/// Wrapper keeping [`MergeStats`] (an external type) inside the
+/// serializable stats without requiring serde on `det-memory`.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MergeStatsSerde(pub MergeStats);
+
+impl KernelStats {
+    /// Adds one merge's statistics.
+    pub fn record_merge(&mut self, s: &MergeStats) {
+        self.merges += 1;
+        self.merge_totals.0.accumulate(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulation() {
+        let mut k = KernelStats::default();
+        let s = MergeStats {
+            pages_scanned: 2,
+            bytes_copied: 10,
+            ..Default::default()
+        };
+        k.record_merge(&s);
+        k.record_merge(&s);
+        assert_eq!(k.merges, 2);
+        assert_eq!(k.merge_totals.0.pages_scanned, 4);
+        assert_eq!(k.merge_totals.0.bytes_copied, 20);
+    }
+}

@@ -1,0 +1,765 @@
+//! Kernel lifecycle, rendezvous, and determinism tests.
+
+use det_kernel::{
+    ConflictPolicy, CopySpec, DeviceId, GetSpec, IoMode, Kernel, KernelConfig, KernelError,
+    MemError, Perm, Program, PutSpec, Region, Regs, SpaceCtx, StopReason, TrapKind,
+};
+
+fn kernel() -> Kernel {
+    Kernel::new(KernelConfig::default())
+}
+
+const R: Region = Region {
+    start: 0x1000,
+    end: 0x3000,
+};
+
+/// Sets up a two-page RW region in the root with a few markers.
+fn setup_root(ctx: &mut SpaceCtx) -> det_kernel::Result<()> {
+    ctx.mem_mut().map_zero(R, Perm::RW)?;
+    ctx.mem_mut().write_u64(0x1000, 0xAAAA)?;
+    Ok(())
+}
+
+#[test]
+fn child_halts_with_exit_code() {
+    let out = kernel().run(|ctx| {
+        ctx.put(0, PutSpec::new().program(Program::native(|_| Ok(42))).start())?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!(r.stop, StopReason::Halted);
+        assert_eq!(r.code, 42);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.spaces_created, 1);
+    assert_eq!(out.stats.threads_spawned, 1);
+}
+
+#[test]
+fn get_on_unstarted_child_sees_zero_state() {
+    let out = kernel().run(|ctx| {
+        let r = ctx.get(5, GetSpec::new().regs())?;
+        assert_eq!(r.stop, StopReason::Unstarted);
+        assert_eq!(r.regs.unwrap(), Regs::default());
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.spaces_created, 1);
+}
+
+#[test]
+fn start_without_program_fails() {
+    let out = kernel().run(|ctx| {
+        let e = ctx.put(0, PutSpec::new().start()).unwrap_err();
+        assert_eq!(e, KernelError::NoProgram);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn copy_into_child_and_back() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    let v = c.mem().read_u64(0x1000)?;
+                    c.mem_mut().write_u64(0x1008, v + 1)?;
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(R))
+                .start(),
+        )?;
+        ctx.get(
+            0,
+            GetSpec::new().copy(CopySpec {
+                src: Region::new(0x1000, 0x2000),
+                dst: 0x8000,
+            }),
+        )?;
+        assert_eq!(ctx.mem().read_u64(0x8008)?, 0xAAAB);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert!(out.stats.pages_copied >= 3);
+}
+
+#[test]
+fn ret_rendezvous_roundtrips() {
+    let out = kernel().run(|ctx| {
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    c.ret(1)?; // First checkpoint.
+                    c.ret(2)?; // Second.
+                    Ok(3)
+                }))
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Ret, 1));
+        // Resume; child rets again.
+        ctx.put(0, PutSpec::new().start())?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Ret, 2));
+        // Resume to completion.
+        ctx.put(0, PutSpec::new().start())?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Halted, 3));
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.rets, 2);
+}
+
+#[test]
+fn snapshot_merge_joins_disjoint_writes() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        for i in 0..4u64 {
+            ctx.put(
+                i,
+                PutSpec::new()
+                    .program(Program::native(move |c| {
+                        c.mem_mut().write_u64(0x2000 + i * 8, 100 + i)?;
+                        Ok(0)
+                    }))
+                    .copy(CopySpec::mirror(R))
+                    .snap()
+                    .start(),
+            )?;
+        }
+        for i in 0..4u64 {
+            let r = ctx.get(i, GetSpec::new().merge(R))?;
+            assert!(r.merge.is_some());
+        }
+        for i in 0..4u64 {
+            assert_eq!(ctx.mem().read_u64(0x2000 + i * 8)?, 100 + i);
+        }
+        // Root's own marker survived.
+        assert_eq!(ctx.mem().read_u64(0x1000)?, 0xAAAA);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.merges, 4);
+    assert_eq!(out.stats.conflicts, 0);
+}
+
+#[test]
+fn write_write_conflict_detected_at_second_join() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        for i in 0..2u64 {
+            ctx.put(
+                i,
+                PutSpec::new()
+                    .program(Program::native(move |c| {
+                        c.mem_mut().write_u64(0x2000, 100 + i)?; // Same address!
+                        Ok(0)
+                    }))
+                    .copy(CopySpec::mirror(R))
+                    .snap()
+                    .start(),
+            )?;
+        }
+        ctx.get(0, GetSpec::new().merge(R))?;
+        let e = ctx.get(1, GetSpec::new().merge(R)).unwrap_err();
+        match e {
+            KernelError::Conflict(c) => assert_eq!(c.addr, 0x2000),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.conflicts, 1);
+}
+
+#[test]
+fn merge_without_snapshot_is_rejected() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|_| Ok(0)))
+                .copy(CopySpec::mirror(R))
+                .start(),
+        )?;
+        let e = ctx.get(0, GetSpec::new().merge(R)).unwrap_err();
+        assert_eq!(e, KernelError::NoSnapshot);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn child_trap_reported_to_parent() {
+    let out = kernel().run(|ctx| {
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    // Unmapped access faults.
+                    c.mem().read_u8(0xdead_0000)?;
+                    Ok(0)
+                }))
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new())?;
+        match r.stop {
+            StopReason::Trap(TrapKind::Mem(MemError::Unmapped { .. })) => {}
+            other => panic!("expected unmapped trap, got {other:?}"),
+        }
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.traps, 1);
+}
+
+#[test]
+fn child_panic_reported_as_trap() {
+    let out = kernel().run(|ctx| {
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|_| panic!("boom")))
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!(r.stop, StopReason::Trap(TrapKind::Panic));
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn grandchildren_compose() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    // The child forks its own children.
+                    for i in 0..2u64 {
+                        c.put(
+                            i,
+                            PutSpec::new()
+                                .program(Program::native(move |cc| {
+                                    cc.mem_mut().write_u64(0x2100 + i * 8, 7 + i)?;
+                                    Ok(0)
+                                }))
+                                .copy(CopySpec::mirror(R))
+                                .snap()
+                                .start(),
+                        )?;
+                    }
+                    for i in 0..2u64 {
+                        c.get(i, GetSpec::new().merge(R))?;
+                    }
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(R))
+                .snap()
+                .start(),
+        )?;
+        ctx.get(0, GetSpec::new().merge(R))?;
+        assert_eq!(ctx.mem().read_u64(0x2100)?, 7);
+        assert_eq!(ctx.mem().read_u64(0x2108)?, 8);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.spaces_created, 3);
+}
+
+#[test]
+fn vclock_rendezvous_takes_max() {
+    let out = kernel().run(|ctx| {
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    c.charge(1_000_000)?; // 1 ms of work.
+                    Ok(0)
+                }))
+                .start(),
+        )?;
+        let before = ctx.vclock_ns();
+        ctx.get(0, GetSpec::new())?;
+        let after = ctx.vclock_ns();
+        assert!(after >= 1_000_000, "parent absorbed child's clock: {after}");
+        assert!(after >= before);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert!(out.vclock_ns >= 1_000_000);
+}
+
+#[test]
+fn parallel_children_overlap_in_virtual_time() {
+    // Two children, 1ms each: makespan ~1ms (parallel), not 2ms.
+    let out = kernel().run(|ctx| {
+        for i in 0..2u64 {
+            ctx.put(
+                i,
+                PutSpec::new()
+                    .program(Program::native(|c| {
+                        c.charge(1_000_000)?;
+                        Ok(0)
+                    }))
+                    .start(),
+            )?;
+        }
+        for i in 0..2u64 {
+            ctx.get(i, GetSpec::new())?;
+        }
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert!(out.vclock_ns >= 1_000_000);
+    assert!(
+        out.vclock_ns < 1_200_000,
+        "children should overlap: {}",
+        out.vclock_ns
+    );
+}
+
+#[test]
+fn sequential_children_accumulate_virtual_time() {
+    // Fork-join one at a time: makespan ~2ms.
+    let out = kernel().run(|ctx| {
+        for i in 0..2u64 {
+            ctx.put(
+                i,
+                PutSpec::new()
+                    .program(Program::native(|c| {
+                        c.charge(1_000_000)?;
+                        Ok(0)
+                    }))
+                    .start(),
+            )?;
+            ctx.get(i, GetSpec::new())?;
+        }
+        Ok(0)
+    });
+    assert!(out.vclock_ns >= 2_000_000);
+}
+
+#[test]
+fn native_limit_preempts_at_charge_points() {
+    let out = kernel().run(|ctx| {
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    for _ in 0..10 {
+                        c.charge(1_000)?; // 10 µs total.
+                    }
+                    Ok(0)
+                }))
+                .start_limited(3_500),
+        )?;
+        let mut preemptions = 0;
+        loop {
+            let r = ctx.get(0, GetSpec::new())?;
+            match r.stop {
+                StopReason::LimitReached => {
+                    preemptions += 1;
+                    ctx.put(0, PutSpec::new().start_limited(3_500))?;
+                }
+                StopReason::Halted => break,
+                other => panic!("unexpected stop {other:?}"),
+            }
+        }
+        assert!(preemptions >= 2, "got {preemptions}");
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert!(out.stats.limit_preemptions >= 2);
+}
+
+#[test]
+fn vm_child_runs_and_halts() {
+    let image = det_vm::assemble(
+        "
+        ldi r2, 21
+        add r2, r2, r2
+        li  r5, 0x2000
+        std r2, [r5+0]
+        ldi r1, 9
+        halt
+        ",
+    )
+    .unwrap();
+    let out = kernel().run(move |ctx| {
+        ctx.mem_mut().map_zero(Region::new(0, 0x3000), Perm::RW)?;
+        ctx.mem_mut().write(0, &image.bytes)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::Vm)
+                .copy(CopySpec::mirror(Region::new(0, 0x3000)))
+                .regs(Regs::at_entry(0))
+                .snap()
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new().merge(Region::new(0, 0x3000)))?;
+        assert_eq!(r.stop, StopReason::Halted);
+        assert_eq!(r.code, 9);
+        assert_eq!(ctx.mem().read_u64(0x2000)?, 42);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.vm_instructions, 7); // li = 2 insns here.
+}
+
+#[test]
+fn vm_sys_ret_and_resume() {
+    let image = det_vm::assemble(
+        "
+        ldi r1, 5
+        sys 0
+        addi r1, r1, 1
+        halt
+        ",
+    )
+    .unwrap();
+    let out = kernel().run(move |ctx| {
+        ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+        ctx.mem_mut().write(0, &image.bytes)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::Vm)
+                .copy(CopySpec::mirror(Region::new(0, 0x1000)))
+                .regs(Regs::at_entry(0))
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Ret, 5));
+        ctx.put(0, PutSpec::new().start())?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Halted, 6));
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn vm_instruction_limit_is_exact() {
+    // A counting loop; 1 ns per instruction in the default model, so a
+    // limit of N ns runs exactly N instructions.
+    let image = det_vm::assemble(
+        "
+        ldi r2, 0
+    loop:
+        addi r2, r2, 1
+        beq r0, r0, loop
+        ",
+    )
+    .unwrap();
+    let out = kernel().run(move |ctx| {
+        ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+        ctx.mem_mut().write(0, &image.bytes)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::Vm)
+                .copy(CopySpec::mirror(Region::new(0, 0x1000)))
+                .regs(Regs::at_entry(0))
+                .start_limited(101),
+        )?;
+        let r = ctx.get(0, GetSpec::new().regs())?;
+        assert_eq!(r.stop, StopReason::LimitReached);
+        // 101 instructions: ldi + 50 × (addi, beq) = 101.
+        assert_eq!(r.regs.unwrap().gpr[2], 50);
+        // Resume for 10 more instructions: 5 more increments.
+        ctx.put(0, PutSpec::new().start_limited(10))?;
+        let r = ctx.get(0, GetSpec::new().regs())?;
+        assert_eq!(r.regs.unwrap().gpr[2], 55);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.vm_instructions, 111);
+}
+
+#[test]
+fn vm_trap_is_implicit_ret() {
+    let image = det_vm::assemble(
+        "
+        ldi r1, 1
+        ldi r2, 0
+        div r3, r1, r2
+        halt
+        ",
+    )
+    .unwrap();
+    let out = kernel().run(move |ctx| {
+        ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+        ctx.mem_mut().write(0, &image.bytes)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::Vm)
+                .copy(CopySpec::mirror(Region::new(0, 0x1000)))
+                .regs(Regs::at_entry(0))
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!(r.stop, StopReason::Trap(TrapKind::DivideByZero));
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn tree_copy_clones_child_subtree() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        // Build child 0 with some state and a grandchild.
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    c.mem_mut().write_u64(0x1100, 77)?;
+                    c.put(9, PutSpec::new().zero(Region::new(0x4000, 0x5000)))?;
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(R))
+                .start(),
+        )?;
+        ctx.get(0, GetSpec::new())?;
+        // Clone child 0's subtree into child 1.
+        ctx.put(1, PutSpec::new().tree_from(0))?;
+        let r = ctx.get(
+            1,
+            GetSpec::new().copy(CopySpec {
+                src: Region::new(0x1000, 0x2000),
+                dst: 0x9000,
+            }),
+        )?;
+        assert_eq!(r.stop, StopReason::Unstarted);
+        assert_eq!(ctx.mem().read_u64(0x9100)?, 77);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    // Root + child0 + grandchild + clone + cloned grandchild.
+    assert_eq!(out.stats.spaces_created, 4);
+}
+
+#[test]
+fn device_access_is_root_only() {
+    let out = kernel().run(|ctx| {
+        assert!(ctx.is_root());
+        ctx.dev_write(DeviceId::ConsoleOut, b"root writes\n")?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    assert!(!c.is_root());
+                    match c.dev_write(DeviceId::ConsoleOut, b"child writes") {
+                        Err(KernelError::NotRoot) => Ok(0),
+                        other => panic!("expected NotRoot, got {other:?}"),
+                    }
+                }))
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!(r.stop, StopReason::Halted);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.console(), b"root writes\n");
+}
+
+#[test]
+fn console_input_and_record_replay() {
+    let run = |io: IoMode, push: bool| {
+        let k = Kernel::new(KernelConfig {
+            io,
+            ..Default::default()
+        });
+        if push {
+            k.push_input(DeviceId::ConsoleIn, b"hello".to_vec());
+        }
+        k.run(|ctx| {
+            let input = ctx.dev_read(DeviceId::ConsoleIn)?.unwrap_or_default();
+            let clock = ctx.dev_read(DeviceId::Clock)?.unwrap();
+            let rand = ctx.dev_read(DeviceId::Random)?.unwrap();
+            ctx.dev_write(DeviceId::ConsoleOut, &input)?;
+            ctx.dev_write(DeviceId::ConsoleOut, &clock)?;
+            ctx.dev_write(DeviceId::ConsoleOut, &rand)?;
+            Ok(0)
+        })
+    };
+    let first = run(IoMode::Record, true);
+    assert_eq!(first.io_log.events.len(), 3);
+    // Replay without pushing input: identical output.
+    let second = run(IoMode::Replay(first.io_log.clone()), false);
+    assert_eq!(first.console(), second.console());
+}
+
+#[test]
+fn replay_divergence_detected() {
+    let first = kernel().run(|ctx| {
+        ctx.dev_read(DeviceId::Clock)?;
+        Ok(0)
+    });
+    let replayed = Kernel::new(KernelConfig {
+        io: IoMode::Replay(first.io_log),
+        ..Default::default()
+    })
+    .run(|ctx| {
+        // Ask for a different device than the log has.
+        match ctx.dev_read(DeviceId::Random) {
+            Err(KernelError::ReplayDivergence(_)) => Ok(0),
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    });
+    assert_eq!(replayed.exit, Ok(0));
+}
+
+#[test]
+fn conflict_policy_benign_same_value() {
+    let k = Kernel::new(KernelConfig {
+        policy: ConflictPolicy::BenignSameValue,
+        ..Default::default()
+    });
+    let out = k.run(|ctx| {
+        setup_root(ctx)?;
+        for i in 0..2u64 {
+            ctx.put(
+                i,
+                PutSpec::new()
+                    .program(Program::native(|c| {
+                        c.mem_mut().write_u64(0x2000, 555)?; // Same value.
+                        Ok(0)
+                    }))
+                    .copy(CopySpec::mirror(R))
+                    .snap()
+                    .start(),
+            )?;
+        }
+        for i in 0..2u64 {
+            ctx.get(i, GetSpec::new().merge(R))?;
+        }
+        assert_eq!(ctx.mem().read_u64(0x2000)?, 555);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.conflicts, 0);
+}
+
+#[test]
+fn results_identical_across_host_schedules() {
+    // Race-prone structure: many children writing disjoint slots with
+    // varying compute times. The final memory digest and virtual time
+    // must be identical across runs regardless of host scheduling.
+    let run = |spin: bool| {
+        kernel().run(move |ctx| {
+            setup_root(ctx)?;
+            for i in 0..8u64 {
+                ctx.put(
+                    i,
+                    PutSpec::new()
+                        .program(Program::native(move |c| {
+                            if spin && i % 2 == 0 {
+                                // Perturb host timing without touching
+                                // virtual state.
+                                std::thread::sleep(std::time::Duration::from_millis(2));
+                            }
+                            c.charge(1_000 * (i + 1))?;
+                            c.mem_mut().write_u64(0x2000 + i * 8, i * i)?;
+                            Ok(0)
+                        }))
+                        .copy(CopySpec::mirror(R))
+                        .snap()
+                        .start(),
+                )?;
+            }
+            for i in 0..8u64 {
+                ctx.get(i, GetSpec::new().merge(R))?;
+            }
+            Ok(ctx.mem().content_digest().value() as i32)
+        })
+    };
+    let a = run(false);
+    let b = run(true);
+    assert_eq!(a.exit, b.exit);
+    assert_eq!(a.vclock_ns, b.vclock_ns);
+}
+
+#[test]
+fn many_sequential_spaces_no_leak() {
+    // Exercise slot reuse: 100 forks into the same child number.
+    let out = kernel().run(|ctx| {
+        for i in 0..100 {
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::native(move |_| Ok(i)))
+                    .start(),
+            )?;
+            let r = ctx.get(0, GetSpec::new())?;
+            assert_eq!(r.code, i as u64);
+        }
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.spaces_created, 1);
+    assert_eq!(out.stats.threads_spawned, 100);
+}
+
+#[test]
+fn unjoined_running_child_is_cleaned_up() {
+    // The root exits while a child still computes; shutdown must not
+    // hang (the child hits a charge() and observes destruction).
+    let out = kernel().run(|ctx| {
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    loop {
+                        c.charge(1)?;
+                        std::thread::yield_now();
+                    }
+                }))
+                .start(),
+        )?;
+        Ok(0) // Exit immediately without joining.
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn node_field_without_cluster_is_unreachable() {
+    let out = kernel().run(|ctx| {
+        let c = det_kernel::child_on_node(3, 1);
+        match ctx.put(c, PutSpec::new()) {
+            Err(KernelError::NodeUnreachable(3)) => Ok(0),
+            other => panic!("expected NodeUnreachable, got {other:?}"),
+        }
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn root_cannot_ret() {
+    let out = kernel().run(|ctx| match ctx.ret(0) {
+        Err(KernelError::InvalidSpec(_)) => Ok(0),
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn root_trap_reported_in_outcome() {
+    let out = kernel().run(|ctx| {
+        ctx.mem().read_u8(0x1)?;
+        Ok(0)
+    });
+    assert!(matches!(out.exit, Err(TrapKind::Mem(_))));
+}

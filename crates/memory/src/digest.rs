@@ -1,0 +1,81 @@
+//! Deterministic content digests for cross-run equality assertions.
+
+/// A 64-bit FNV-1a digest of memory contents.
+///
+/// Not cryptographic — used only by determinism tests to assert that
+/// two executions produced byte-identical state without holding both
+/// images in memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ContentDigest(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl ContentDigest {
+    /// Returns a fresh digest in its initial state.
+    pub fn new() -> ContentDigest {
+        ContentDigest(FNV_OFFSET)
+    }
+
+    /// Absorbs a byte slice.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Returns the digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for ContentDigest {
+    fn default() -> Self {
+        ContentDigest::new()
+    }
+}
+
+impl std::fmt::Display for ContentDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = ContentDigest::new();
+        a.update(b"hello");
+        let mut b = ContentDigest::new();
+        b.update(b"hello");
+        assert_eq!(a, b);
+        let mut c = ContentDigest::new();
+        c.update(b"olleh");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut d = ContentDigest::new();
+        d.update(b"a");
+        assert_eq!(d.value(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(ContentDigest::new().to_string(), format!("{FNV_OFFSET:016x}"));
+    }
+}

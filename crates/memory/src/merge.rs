@@ -1,0 +1,465 @@
+//! Three-way, byte-granularity merge with conflict detection — the
+//! kernel's `Merge` option on `Get` (§3.2).
+
+use std::sync::Arc;
+
+use crate::page::{PAGE_SIZE, zero_frame};
+use crate::{AddressSpace, MemError, Perm, Region, Result};
+
+/// How the merge treats a byte changed on *both* sides since the
+/// snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ConflictPolicy {
+    /// The paper's semantics: any byte changed in both the child and
+    /// the parent since the snapshot is a conflict, even if both sides
+    /// wrote the same value. Conflicts are programming errors, like
+    /// divide-by-zero.
+    #[default]
+    Strict,
+    /// A relaxed ablation: both sides writing the *same* value is
+    /// benign; only divergent double-writes conflict.
+    BenignSameValue,
+    /// No conflicts: the child's changed bytes always overwrite the
+    /// parent's. This is *not* the private-workspace model — it is the
+    /// last-writer-wins semantics the deterministic scheduler (§4.5)
+    /// uses to emulate a conventional memory model, where races
+    /// resolve arbitrarily-but-repeatably instead of being reported.
+    ChildWins,
+}
+
+/// Detailed description of a detected write/write conflict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MergeConflict {
+    /// Lowest conflicting virtual address.
+    pub addr: u64,
+    /// Value of the byte in the reference snapshot.
+    pub base: u8,
+    /// Value the child wrote.
+    pub child: u8,
+    /// Value the parent wrote.
+    pub parent: u8,
+}
+
+/// Operation counts from a merge, consumed by the kernel's cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MergeStats {
+    /// Pages examined in the merge range.
+    pub pages_scanned: u64,
+    /// Pages skipped in O(1) because child and snapshot share the frame.
+    pub pages_unchanged: u64,
+    /// Pages that required a byte-level diff.
+    pub pages_diffed: u64,
+    /// Bytes compared during diffing.
+    pub bytes_compared: u64,
+    /// Bytes copied into the parent.
+    pub bytes_copied: u64,
+    /// Pages newly mapped into the parent by the merge.
+    pub pages_mapped: u64,
+}
+
+impl MergeStats {
+    /// Accumulates another stats record into `self`.
+    pub fn accumulate(&mut self, other: &MergeStats) {
+        self.pages_scanned += other.pages_scanned;
+        self.pages_unchanged += other.pages_unchanged;
+        self.pages_diffed += other.pages_diffed;
+        self.bytes_compared += other.bytes_compared;
+        self.bytes_copied += other.bytes_copied;
+        self.pages_mapped += other.pages_mapped;
+    }
+}
+
+impl AddressSpace {
+    /// Merges the child's changes since `snap` into `self` over the
+    /// page-aligned `region`.
+    ///
+    /// For every byte in the region, with `base` the snapshot value,
+    /// `c` the child's current value and `p` the parent's (self's)
+    /// current value:
+    ///
+    /// * `c == base`: the child did not touch the byte — the parent's
+    ///   value stands (the child never sees a torn mix, §2.2);
+    /// * `c != base && p == base`: the child's write propagates;
+    /// * `c != base && p != base`: a write/write conflict, reported as
+    ///   [`MemError::Conflict`] (under
+    ///   [`ConflictPolicy::BenignSameValue`], `c == p` is allowed).
+    ///
+    /// Pages whose child frame is pointer-identical to the snapshot
+    /// frame are skipped without touching their bytes. Pages present in
+    /// the child but absent from both snapshot and parent are mapped
+    /// into the parent (the child extended the shared region). Pages
+    /// the merge does not mention are left untouched in the parent.
+    ///
+    /// On conflict the parent is left unmodified (the merge validates
+    /// before it writes), so a failed join can be reported and
+    /// re-examined — the kernel treats it as a child exception.
+    pub fn merge_from(
+        &mut self,
+        child: &AddressSpace,
+        snap: &AddressSpace,
+        region: Region,
+        policy: ConflictPolicy,
+    ) -> Result<MergeStats> {
+        match self.try_merge_from(child, snap, region, policy) {
+            Ok((stats, None)) => Ok(stats),
+            Ok((_, Some(conflict))) => Err(MemError::Conflict { addr: conflict.addr }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`merge_from`](AddressSpace::merge_from) but returns the
+    /// full [`MergeConflict`] detail instead of collapsing it into an
+    /// error, and never applies a conflicting merge.
+    pub fn try_merge_from(
+        &mut self,
+        child: &AddressSpace,
+        snap: &AddressSpace,
+        region: Region,
+        policy: ConflictPolicy,
+    ) -> Result<(MergeStats, Option<MergeConflict>)> {
+        region.check_page_aligned()?;
+        let mut stats = MergeStats::default();
+
+        // Pass 1: find changed pages and detect conflicts without
+        // mutating the parent.
+        let mut dirty: Vec<u64> = Vec::new();
+        let mut vpns = child.vpns_in(region);
+        // Pages the child unmapped are not propagated (documented
+        // limitation; the runtime never unmaps inside shared regions).
+        vpns.dedup();
+        let zero = zero_frame();
+        let mut first_conflict: Option<MergeConflict> = None;
+        for vpn in vpns {
+            stats.pages_scanned += 1;
+            let (child_frame, _) = child.entry_frame(vpn).expect("vpn from child map");
+            let snap_frame = snap.entry_frame(vpn).map(|(f, _)| f);
+            // O(1) unchanged test via frame identity.
+            if let Some(sf) = snap_frame {
+                if Arc::ptr_eq(child_frame, sf) {
+                    stats.pages_unchanged += 1;
+                    continue;
+                }
+            } else if Arc::ptr_eq(child_frame, &zero) {
+                // Newly mapped but still the shared zero frame: treat a
+                // zero page against a missing snapshot page as
+                // unchanged (both read as zeroes).
+                stats.pages_unchanged += 1;
+                continue;
+            }
+            stats.pages_diffed += 1;
+            stats.bytes_compared += PAGE_SIZE as u64;
+            let base_bytes = snap_frame.map(|f| f.bytes());
+            let child_bytes = child_frame.bytes();
+            let parent_frame = self.entry_frame(vpn).map(|(f, _)| f.clone());
+            let parent_bytes = parent_frame.as_ref().map(|f| f.bytes());
+            let mut page_dirty = false;
+            for i in 0..PAGE_SIZE {
+                let base = base_bytes.map_or(0, |b| b[i]);
+                let c = child_bytes[i];
+                if c == base {
+                    continue;
+                }
+                page_dirty = true;
+                if policy == ConflictPolicy::ChildWins {
+                    continue;
+                }
+                let p = parent_bytes.map_or(base, |b| b[i]);
+                if p != base {
+                    let benign = policy == ConflictPolicy::BenignSameValue && p == c;
+                    if !benign && first_conflict.is_none() {
+                        first_conflict = Some(MergeConflict {
+                            addr: (vpn << crate::PAGE_SHIFT) + i as u64,
+                            base,
+                            child: c,
+                            parent: p,
+                        });
+                    }
+                }
+            }
+            if page_dirty {
+                dirty.push(vpn);
+            }
+        }
+        if let Some(conflict) = first_conflict {
+            return Ok((stats, Some(conflict)));
+        }
+
+        // Pass 2: apply child bytes that differ from the snapshot.
+        for vpn in dirty {
+            let (child_frame, child_perm) = child.entry_frame(vpn).expect("still mapped");
+            let child_frame = child_frame.clone();
+            let snap_frame = snap.entry_frame(vpn).map(|(f, _)| f.clone());
+            if self.entry_frame(vpn).is_none() {
+                // The child created this page: adopt its frame
+                // wholesale (copy-on-write share).
+                stats.pages_mapped += 1;
+                stats.bytes_copied += PAGE_SIZE as u64;
+                self.install_frame(vpn, child_frame, child_perm.union(Perm::RW));
+                continue;
+            }
+            let frame = self.frame_mut(vpn).expect("checked above");
+            let dst = frame.bytes_mut();
+            let child_bytes = child_frame.bytes();
+            match snap_frame {
+                Some(sf) => {
+                    let base = sf.bytes();
+                    for i in 0..PAGE_SIZE {
+                        if child_bytes[i] != base[i] {
+                            dst[i] = child_bytes[i];
+                            stats.bytes_copied += 1;
+                        }
+                    }
+                }
+                None => {
+                    for i in 0..PAGE_SIZE {
+                        if child_bytes[i] != 0 {
+                            dst[i] = child_bytes[i];
+                            stats.bytes_copied += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok((stats, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AddressSpace, AddressSpace, AddressSpace) {
+        // Parent with a 4-page RW region; child forked from it; snapshot.
+        let mut parent = AddressSpace::new();
+        parent
+            .map_zero(Region::new(0x1000, 0x5000), Perm::RW)
+            .unwrap();
+        parent.write(0x1000, b"base").unwrap();
+        let mut child = AddressSpace::new();
+        child
+            .copy_from(&parent, Region::new(0x1000, 0x5000), 0x1000)
+            .unwrap();
+        let snap = child.snapshot();
+        (parent, child, snap)
+    }
+
+    const R: Region = Region {
+        start: 0x1000,
+        end: 0x5000,
+    };
+
+    #[test]
+    fn disjoint_writes_union() {
+        let (mut parent, mut child, snap) = setup();
+        child.write(0x2000, b"from-child").unwrap();
+        parent.write(0x3000, b"from-parent").unwrap();
+        let stats = parent
+            .merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(parent.read_vec(0x2000, 10).unwrap(), b"from-child");
+        assert_eq!(parent.read_vec(0x3000, 11).unwrap(), b"from-parent");
+        assert_eq!(stats.bytes_copied, 10);
+        // Pages 1 (untouched), 3 (parent-only) and 4 unchanged in child.
+        assert_eq!(stats.pages_unchanged, 3);
+        assert_eq!(stats.pages_diffed, 1);
+    }
+
+    #[test]
+    fn same_page_disjoint_bytes_union() {
+        let (mut parent, mut child, snap) = setup();
+        child.write_u8(0x2000, 11).unwrap();
+        parent.write_u8(0x2001, 22).unwrap();
+        parent
+            .merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(parent.read_u8(0x2000).unwrap(), 11);
+        assert_eq!(parent.read_u8(0x2001).unwrap(), 22);
+    }
+
+    #[test]
+    fn child_untouched_byte_never_overwrites_parent() {
+        let (mut parent, mut child, snap) = setup();
+        // Child dirties its page (so it is diffed) but not this byte.
+        child.write_u8(0x1800, 5).unwrap();
+        parent.write(0x1000, b"newp").unwrap();
+        parent
+            .merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(parent.read_vec(0x1000, 4).unwrap(), b"newp");
+        assert_eq!(parent.read_u8(0x1800).unwrap(), 5);
+    }
+
+    #[test]
+    fn strict_conflict_detected_and_parent_untouched() {
+        let (mut parent, mut child, snap) = setup();
+        child.write_u8(0x2004, 1).unwrap();
+        parent.write_u8(0x2004, 2).unwrap();
+        child.write_u8(0x4000, 9).unwrap(); // Non-conflicting change.
+        let err = parent
+            .merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap_err();
+        assert_eq!(err, MemError::Conflict { addr: 0x2004 });
+        // Merge validates before writing: nothing propagated.
+        assert_eq!(parent.read_u8(0x2004).unwrap(), 2);
+        assert_eq!(parent.read_u8(0x4000).unwrap(), 0);
+    }
+
+    #[test]
+    fn conflict_detail_reported() {
+        let (mut parent, mut child, snap) = setup();
+        child.write_u8(0x2004, 1).unwrap();
+        parent.write_u8(0x2004, 2).unwrap();
+        let (_, conflict) = parent
+            .try_merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap();
+        let c = conflict.expect("conflict expected");
+        assert_eq!(c.addr, 0x2004);
+        assert_eq!(c.base, 0);
+        assert_eq!(c.child, 1);
+        assert_eq!(c.parent, 2);
+    }
+
+    #[test]
+    fn same_value_conflicts_under_strict_but_not_benign() {
+        let (parent, mut child, snap) = setup();
+        child.write_u8(0x2004, 7).unwrap();
+        let mut p1 = parent.clone();
+        p1.write_u8(0x2004, 7).unwrap();
+        let mut p2 = p1.clone();
+        assert!(matches!(
+            p1.merge_from(&child, &snap, R, ConflictPolicy::Strict),
+            Err(MemError::Conflict { addr: 0x2004 })
+        ));
+        p2.merge_from(&child, &snap, R, ConflictPolicy::BenignSameValue)
+            .unwrap();
+        assert_eq!(p2.read_u8(0x2004).unwrap(), 7);
+    }
+
+    #[test]
+    fn unchanged_pages_skipped_in_o1() {
+        let (mut parent, child, snap) = setup();
+        let stats = parent
+            .merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(stats.pages_scanned, 4);
+        assert_eq!(stats.pages_unchanged, 4);
+        assert_eq!(stats.bytes_compared, 0);
+        assert_eq!(stats.bytes_copied, 0);
+    }
+
+    #[test]
+    fn child_created_page_adopted() {
+        let (mut parent, mut child, _) = setup();
+        // Child maps and fills a page the parent and snapshot lack.
+        child
+            .map_zero(Region::new(0x6000, 0x7000), Perm::RW)
+            .unwrap();
+        child.write(0x6000, b"grown").unwrap();
+        let snap2 = AddressSpace::new(); // Empty snapshot for that range.
+        let stats = parent
+            .merge_from(&child, &snap2, Region::new(0x6000, 0x7000), ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(stats.pages_mapped, 1);
+        assert_eq!(parent.read_vec(0x6000, 5).unwrap(), b"grown");
+    }
+
+    #[test]
+    fn merge_respects_region_bounds() {
+        let (mut parent, mut child, snap) = setup();
+        child.write_u8(0x1000, 1).unwrap();
+        child.write_u8(0x4000, 2).unwrap();
+        // Merge only the first page.
+        parent
+            .merge_from(&child, &snap, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(parent.read_u8(0x1000).unwrap(), 1);
+        assert_eq!(parent.read_u8(0x4000).unwrap(), 0);
+    }
+
+    #[test]
+    fn sequential_merges_of_two_children() {
+        // The fork/join pattern: two children fork from the same state,
+        // write disjoint slots, parent merges both.
+        let mut parent = AddressSpace::new();
+        parent
+            .map_zero(Region::new(0x1000, 0x2000), Perm::RW)
+            .unwrap();
+        let fork = |p: &AddressSpace| {
+            let mut c = AddressSpace::new();
+            c.copy_from(p, Region::new(0x1000, 0x2000), 0x1000).unwrap();
+            let s = c.snapshot();
+            (c, s)
+        };
+        let (mut c1, s1) = fork(&parent);
+        let (mut c2, s2) = fork(&parent);
+        c1.write_u64(0x1000, 111).unwrap();
+        c2.write_u64(0x1008, 222).unwrap();
+        parent
+            .merge_from(&c1, &s1, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .unwrap();
+        parent
+            .merge_from(&c2, &s2, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(parent.read_u64(0x1000).unwrap(), 111);
+        assert_eq!(parent.read_u64(0x1008).unwrap(), 222);
+    }
+
+    #[test]
+    fn two_children_same_byte_conflict_at_second_join() {
+        let mut parent = AddressSpace::new();
+        parent
+            .map_zero(Region::new(0x1000, 0x2000), Perm::RW)
+            .unwrap();
+        let fork = |p: &AddressSpace| {
+            let mut c = AddressSpace::new();
+            c.copy_from(p, Region::new(0x1000, 0x2000), 0x1000).unwrap();
+            let s = c.snapshot();
+            (c, s)
+        };
+        let (mut c1, s1) = fork(&parent);
+        let (mut c2, s2) = fork(&parent);
+        c1.write_u64(0x1000, 111).unwrap();
+        c2.write_u64(0x1000, 222).unwrap();
+        parent
+            .merge_from(&c1, &s1, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .unwrap();
+        // Second join sees the conflict — exactly the paper's actor
+        // array example (§2.2).
+        assert!(matches!(
+            parent.merge_from(&c2, &s2, Region::new(0x1000, 0x2000), ConflictPolicy::Strict),
+            Err(MemError::Conflict { addr: 0x1000 })
+        ));
+    }
+
+    #[test]
+    fn swap_example_is_race_free() {
+        // The paper's `x = y || y = x` example (§2.2): both children
+        // read their private snapshots, so the merge swaps the values.
+        let mut parent = AddressSpace::new();
+        parent
+            .map_zero(Region::new(0x1000, 0x2000), Perm::RW)
+            .unwrap();
+        let x = 0x1000u64;
+        let y = 0x1008u64;
+        parent.write_u64(x, 1).unwrap();
+        parent.write_u64(y, 2).unwrap();
+        let fork = |p: &AddressSpace| {
+            let mut c = AddressSpace::new();
+            c.copy_from(p, Region::new(0x1000, 0x2000), 0x1000).unwrap();
+            let s = c.snapshot();
+            (c, s)
+        };
+        let (mut c1, s1) = fork(&parent);
+        let (mut c2, s2) = fork(&parent);
+        // Child 1: x = y. Child 2: y = x.
+        let v = c1.read_u64(y).unwrap();
+        c1.write_u64(x, v).unwrap();
+        let v = c2.read_u64(x).unwrap();
+        c2.write_u64(y, v).unwrap();
+        let r = Region::new(0x1000, 0x2000);
+        parent.merge_from(&c1, &s1, r, ConflictPolicy::Strict).unwrap();
+        parent.merge_from(&c2, &s2, r, ConflictPolicy::Strict).unwrap();
+        assert_eq!(parent.read_u64(x).unwrap(), 2);
+        assert_eq!(parent.read_u64(y).unwrap(), 1);
+    }
+}

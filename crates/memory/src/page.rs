@@ -1,0 +1,113 @@
+//! Page frames: fixed-size, reference-counted, clone-on-write byte blocks.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Log2 of the page size, matching the x86 pages the paper's kernel uses.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A physical page frame's contents.
+///
+/// Frames are immutable while shared; [`crate::AddressSpace`] clones a
+/// frame before the first write when its reference count exceeds one
+/// (copy-on-write). `Frame` is deliberately opaque so all mutation goes
+/// through the address space, where permissions are checked.
+#[derive(Clone)]
+pub struct Frame {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Frame {
+    /// Returns a new zero-filled frame.
+    pub fn zeroed() -> Self {
+        Frame {
+            bytes: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+
+    /// Returns the frame's bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    /// Returns the frame's bytes mutably.
+    ///
+    /// Only the address space calls this, after ensuring exclusivity.
+    #[inline]
+    pub(crate) fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.bytes
+    }
+
+    /// Returns true if every byte of the frame is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
+        write!(f, "Frame {{ nonzero_bytes: {nonzero} }}")
+    }
+}
+
+/// Returns the globally shared all-zero frame.
+///
+/// Zero-fill mappings install this frame so that large zeroed regions
+/// cost one pointer per page; the first write to such a page triggers
+/// copy-on-write like any other shared frame.
+pub(crate) fn zero_frame() -> Arc<Frame> {
+    static ZERO: OnceLock<Arc<Frame>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new(Frame::zeroed())).clone()
+}
+
+/// Returns the virtual page number containing `addr`.
+#[inline]
+pub(crate) fn vpn_of(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+/// Returns the byte offset of `addr` within its page.
+#[inline]
+pub(crate) fn offset_of(addr: u64) -> usize {
+    (addr & (PAGE_SIZE as u64 - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_frame_is_zero() {
+        assert!(Frame::zeroed().is_zero());
+    }
+
+    #[test]
+    fn zero_frame_is_shared() {
+        let a = zero_frame();
+        let b = zero_frame();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Frame::zeroed();
+        a.bytes_mut()[0] = 7;
+        let mut b = a.clone();
+        b.bytes_mut()[0] = 9;
+        assert_eq!(a.bytes()[0], 7);
+        assert_eq!(b.bytes()[0], 9);
+    }
+
+    #[test]
+    fn vpn_and_offset() {
+        assert_eq!(vpn_of(0), 0);
+        assert_eq!(vpn_of(PAGE_SIZE as u64), 1);
+        assert_eq!(vpn_of(PAGE_SIZE as u64 - 1), 0);
+        assert_eq!(offset_of(PAGE_SIZE as u64 + 5), 5);
+    }
+}

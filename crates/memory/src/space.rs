@@ -1,0 +1,611 @@
+//! Sparse paged address spaces with copy-on-write sharing.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::digest::ContentDigest;
+use crate::page::{Frame, PAGE_SIZE, offset_of, vpn_of, zero_frame};
+use crate::tracker::AccessTracker;
+use crate::{MemError, Perm, Region, Result};
+
+/// One page-table entry: a shared frame plus its permissions.
+#[derive(Clone, Debug)]
+struct PageEntry {
+    frame: Arc<Frame>,
+    perm: Perm,
+}
+
+/// Public, read-only view of one mapped page (for inspection tools and
+/// the cluster's residency accounting).
+#[derive(Clone, Debug)]
+pub struct PageInfo {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// Page permissions.
+    pub perm: Perm,
+    /// Number of address spaces (and snapshots) sharing the frame.
+    pub frame_refs: usize,
+    /// True if the page still aliases the global zero frame.
+    pub is_zero_frame: bool,
+}
+
+/// A private virtual address space: the memory half of a Determinator
+/// *space* (§3.1).
+///
+/// The map is sparse: untouched addresses are unmapped and fault.
+/// Cloning an `AddressSpace` (or taking a [`snapshot`]) copies only the
+/// page table; frames are shared and cloned lazily on first write
+/// (copy-on-write), which is what makes the paper's fork/snapshot/merge
+/// cycle affordable.
+///
+/// [`snapshot`]: AddressSpace::snapshot
+#[derive(Clone, Default)]
+pub struct AddressSpace {
+    pages: BTreeMap<u64, PageEntry>,
+    tracker: Option<AccessTracker>,
+}
+
+impl AddressSpace {
+    /// Returns an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace::default()
+    }
+
+    /// Installs an access tracker that records every page touched by
+    /// reads and writes (used by the cluster layer to account demand
+    /// paging). Returns any previous tracker.
+    pub fn set_tracker(&mut self, tracker: Option<AccessTracker>) -> Option<AccessTracker> {
+        std::mem::replace(&mut self.tracker, tracker)
+    }
+
+    /// Returns a reference to the installed access tracker, if any.
+    pub fn tracker(&self) -> Option<&AccessTracker> {
+        self.tracker.as_ref()
+    }
+
+    /// Returns the number of mapped pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns the total mapped size in bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        (self.pages.len() as u64) << crate::PAGE_SHIFT
+    }
+
+    /// Iterates information about every mapped page, in address order.
+    pub fn iter_pages(&self) -> impl Iterator<Item = PageInfo> + '_ {
+        let zero = zero_frame();
+        self.pages.iter().map(move |(&vpn, e)| PageInfo {
+            vpn,
+            perm: e.perm,
+            frame_refs: Arc::strong_count(&e.frame),
+            is_zero_frame: Arc::ptr_eq(&e.frame, &zero),
+        })
+    }
+
+    /// Maps `region` as zero-filled pages with permissions `perm`.
+    ///
+    /// Already-mapped pages in the range are replaced by zero pages.
+    /// The zero frame is shared, so this is O(pages) regardless of size.
+    /// The region must be page-aligned.
+    pub fn map_zero(&mut self, region: Region, perm: Perm) -> Result<()> {
+        region.check_page_aligned()?;
+        let zero = zero_frame();
+        for vpn in region.vpns() {
+            self.pages.insert(
+                vpn,
+                PageEntry {
+                    frame: zero.clone(),
+                    perm,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Removes all mappings in the page-aligned `region`.
+    pub fn unmap(&mut self, region: Region) -> Result<()> {
+        region.check_page_aligned()?;
+        for vpn in region.vpns() {
+            self.pages.remove(&vpn);
+        }
+        Ok(())
+    }
+
+    /// Sets permissions on every mapped page in the page-aligned
+    /// `region`; unmapped pages in the range are skipped.
+    pub fn set_perm(&mut self, region: Region, perm: Perm) -> Result<()> {
+        region.check_page_aligned()?;
+        for vpn in region.vpns() {
+            if let Some(e) = self.pages.get_mut(&vpn) {
+                e.perm = perm;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the permissions of the page containing `addr`, if mapped.
+    pub fn perm_at(&self, addr: u64) -> Option<Perm> {
+        self.pages.get(&vpn_of(addr)).map(|e| e.perm)
+    }
+
+    /// Virtually copies `src_region` (page-aligned) of `src` to
+    /// `dst_start` (page-aligned) in `self`.
+    ///
+    /// Frames are shared copy-on-write: no bytes move until one side
+    /// writes. Pages unmapped in the source become unmapped in the
+    /// destination, making the copy an exact replica of the range.
+    /// Returns the number of pages installed.
+    pub fn copy_from(&mut self, src: &AddressSpace, src_region: Region, dst_start: u64) -> Result<usize> {
+        src_region.check_page_aligned()?;
+        if dst_start & (PAGE_SIZE as u64 - 1) != 0 {
+            return Err(MemError::Misaligned { addr: dst_start });
+        }
+        let delta = (dst_start >> crate::PAGE_SHIFT) as i128 - vpn_of(src_region.start) as i128;
+        let mut installed = 0;
+        for vpn in src_region.vpns() {
+            let dst_vpn = (vpn as i128 + delta) as u64;
+            match src.pages.get(&vpn) {
+                Some(e) => {
+                    self.pages.insert(dst_vpn, e.clone());
+                    installed += 1;
+                }
+                None => {
+                    self.pages.remove(&dst_vpn);
+                }
+            }
+        }
+        Ok(installed)
+    }
+
+    /// Takes a snapshot: a cheap page-table copy whose frames are
+    /// shared with `self` until either side writes.
+    ///
+    /// The snapshot is the *reference state* against which
+    /// [`merge_from`](AddressSpace::merge_from) computes changes, as
+    /// the kernel's `Snap` option does (§3.2). Trackers are not
+    /// inherited by snapshots.
+    pub fn snapshot(&self) -> AddressSpace {
+        AddressSpace {
+            pages: self.pages.clone(),
+            tracker: None,
+        }
+    }
+
+    /// Returns true if the page frames backing `vpn` are the identical
+    /// physical frame in `self` and `other` (O(1) unchanged-page test).
+    pub fn same_frame(&self, other: &AddressSpace, vpn: u64) -> bool {
+        match (self.pages.get(&vpn), other.pages.get(&vpn)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(&a.frame, &b.frame),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Byte access
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// Fails with [`MemError::Unmapped`] or [`MemError::PermDenied`] at
+    /// the first inaccessible byte; earlier bytes may already have been
+    /// copied into `buf` (the kernel aborts the faulting space anyway).
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        self.access(addr, buf.len(), Perm::R, |off, frame_bytes, chunk| {
+            buf[off..off + chunk.len()].copy_from_slice(chunk);
+            let _ = frame_bytes;
+        })
+    }
+
+    /// Writes `data` starting at `addr`, cloning shared frames first
+    /// (copy-on-write).
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = addr
+            .checked_add(data.len() as u64)
+            .ok_or(MemError::AddressOverflow)?;
+        // Validate permissions over the whole range first so that a
+        // failed write is all-or-nothing.
+        for vpn in Region::new(addr, end).vpns() {
+            match self.pages.get(&vpn) {
+                None => {
+                    return Err(MemError::Unmapped {
+                        addr: vpn << crate::PAGE_SHIFT,
+                    });
+                }
+                Some(e) if !e.perm.allows(Perm::W) => {
+                    return Err(MemError::PermDenied {
+                        addr: vpn << crate::PAGE_SHIFT,
+                        need: Perm::W,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(t) = &self.tracker {
+            t.record_write_range(addr, data.len() as u64);
+        }
+        let mut cursor = addr;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let off = offset_of(cursor);
+            let chunk = remaining.len().min(PAGE_SIZE - off);
+            let entry = self
+                .pages
+                .get_mut(&vpn_of(cursor))
+                .expect("validated above");
+            // Copy-on-write: clone the frame if it is shared.
+            let frame = Arc::make_mut(&mut entry.frame);
+            frame.bytes_mut()[off..off + chunk].copy_from_slice(&remaining[..chunk]);
+            cursor += chunk as u64;
+            remaining = &remaining[chunk..];
+        }
+        Ok(())
+    }
+
+    /// Shared read walk used by `read`; calls `sink(buf_offset, frame, chunk)`
+    /// per page-sized chunk.
+    fn access(
+        &self,
+        addr: u64,
+        len: usize,
+        need: Perm,
+        mut sink: impl FnMut(usize, &Frame, &[u8]),
+    ) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let _end = addr
+            .checked_add(len as u64)
+            .ok_or(MemError::AddressOverflow)?;
+        if let Some(t) = &self.tracker {
+            t.record_read_range(addr, len as u64);
+        }
+        let mut cursor = addr;
+        let mut done = 0usize;
+        while done < len {
+            let off = offset_of(cursor);
+            let chunk = (len - done).min(PAGE_SIZE - off);
+            let entry = self.pages.get(&vpn_of(cursor)).ok_or(MemError::Unmapped {
+                addr: vpn_of(cursor) << crate::PAGE_SHIFT,
+            })?;
+            if !entry.perm.allows(need) {
+                return Err(MemError::PermDenied {
+                    addr: vpn_of(cursor) << crate::PAGE_SHIFT,
+                    need,
+                });
+            }
+            sink(done, &entry.frame, &entry.frame.bytes()[off..off + chunk]);
+            cursor += chunk as u64;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Result<Vec<u8>> {
+        let mut v = vec![0u8; len];
+        self.read(addr, &mut v)?;
+        Ok(v)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn read_f64(&self, addr: u64) -> Result<f64> {
+        Ok(f64::from_bits(self.read_u64(addr)?))
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<()> {
+        self.write(addr, &[v])
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<()> {
+        self.write_u64(addr, v.to_bits())
+    }
+
+    /// Reads `n` little-endian `u64`s starting at `addr`.
+    pub fn read_u64s(&self, addr: u64, n: usize) -> Result<Vec<u64>> {
+        let raw = self.read_vec(addr, n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    /// Writes a slice of `u64`s little-endian starting at `addr`.
+    pub fn write_u64s(&mut self, addr: u64, vals: &[u64]) -> Result<()> {
+        let mut raw = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(addr, &raw)
+    }
+
+    /// Reads `n` little-endian `f64`s starting at `addr`.
+    pub fn read_f64s(&self, addr: u64, n: usize) -> Result<Vec<f64>> {
+        let raw = self.read_vec(addr, n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    /// Writes a slice of `f64`s little-endian starting at `addr`.
+    pub fn write_f64s(&mut self, addr: u64, vals: &[f64]) -> Result<()> {
+        let mut raw = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(addr, &raw)
+    }
+
+    /// Returns a deterministic digest of the mapped contents
+    /// (vpn, perm, bytes), used by determinism tests to compare whole
+    /// memory images across runs.
+    pub fn content_digest(&self) -> ContentDigest {
+        let mut d = ContentDigest::new();
+        for (&vpn, e) in &self.pages {
+            d.update_u64(vpn);
+            d.update_u64(if e.perm.allows(Perm::R) { 1 } else { 0 });
+            d.update_u64(if e.perm.allows(Perm::W) { 1 } else { 0 });
+            d.update(e.frame.bytes());
+        }
+        d
+    }
+
+    /// Grants `merge_from` access to entries (crate-internal).
+    pub(crate) fn entry_frame(&self, vpn: u64) -> Option<(&Arc<Frame>, Perm)> {
+        self.pages.get(&vpn).map(|e| (&e.frame, e.perm))
+    }
+
+    /// Installs `frame` at `vpn` with `perm` (crate-internal, used by merge).
+    pub(crate) fn install_frame(&mut self, vpn: u64, frame: Arc<Frame>, perm: Perm) {
+        self.pages.insert(vpn, PageEntry { frame, perm });
+    }
+
+    /// Returns a mutable reference to the frame at `vpn`, cloning it
+    /// first if shared (crate-internal, used by merge).
+    pub(crate) fn frame_mut(&mut self, vpn: u64) -> Option<&mut Frame> {
+        self.pages.get_mut(&vpn).map(|e| Arc::make_mut(&mut e.frame))
+    }
+
+    /// Returns the sorted list of mapped vpns intersecting `region`.
+    pub(crate) fn vpns_in(&self, region: Region) -> Vec<u64> {
+        let first = vpn_of(region.start);
+        let last = if region.is_empty() {
+            return Vec::new();
+        } else {
+            vpn_of(region.end - 1)
+        };
+        self.pages.range(first..=last).map(|(&v, _)| v).collect()
+    }
+}
+
+impl std::fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AddressSpace {{ pages: {}, bytes: {} }}",
+            self.pages.len(),
+            self.mapped_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw_space(start: u64, len: u64) -> AddressSpace {
+        let mut s = AddressSpace::new();
+        s.map_zero(Region::sized(start, len), Perm::RW).unwrap();
+        s
+    }
+
+    #[test]
+    fn zero_mapped_reads_zero() {
+        let s = rw_space(0x1000, 0x3000);
+        assert_eq!(s.read_vec(0x1000, 16).unwrap(), vec![0u8; 16]);
+        assert_eq!(s.read_u64(0x2ff8).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let s = rw_space(0x1000, 0x1000);
+        assert_eq!(
+            s.read_u8(0x3000),
+            Err(MemError::Unmapped { addr: 0x3000 })
+        );
+        let mut s = s;
+        assert!(matches!(
+            s.write_u8(0x0, 1),
+            Err(MemError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn perm_enforced() {
+        let mut s = AddressSpace::new();
+        s.map_zero(Region::new(0x1000, 0x2000), Perm::R).unwrap();
+        assert!(s.read_u8(0x1000).is_ok());
+        assert_eq!(
+            s.write_u8(0x1000, 1),
+            Err(MemError::PermDenied {
+                addr: 0x1000,
+                need: Perm::W
+            })
+        );
+        s.set_perm(Region::new(0x1000, 0x2000), Perm::RW).unwrap();
+        assert!(s.write_u8(0x1000, 1).is_ok());
+        s.set_perm(Region::new(0x1000, 0x2000), Perm::NONE).unwrap();
+        assert!(matches!(s.read_u8(0x1000), Err(MemError::PermDenied { .. })));
+    }
+
+    #[test]
+    fn write_spanning_pages() {
+        let mut s = rw_space(0x1000, 0x2000);
+        let data: Vec<u8> = (0..100).collect();
+        s.write(0x1fd0, &data).unwrap();
+        assert_eq!(s.read_vec(0x1fd0, 100).unwrap(), data);
+    }
+
+    #[test]
+    fn failed_write_is_all_or_nothing() {
+        let mut s = rw_space(0x1000, 0x1000);
+        // Spans into unmapped page 0x2000.
+        let before = s.read_vec(0x1ff0, 16).unwrap();
+        assert!(s.write(0x1ff0, &[1u8; 32]).is_err());
+        assert_eq!(s.read_vec(0x1ff0, 16).unwrap(), before);
+    }
+
+    #[test]
+    fn cow_copy_isolates_writes() {
+        let mut parent = rw_space(0x1000, 0x2000);
+        parent.write_u64(0x1000, 42).unwrap();
+        let mut child = AddressSpace::new();
+        child
+            .copy_from(&parent, Region::new(0x1000, 0x3000), 0x1000)
+            .unwrap();
+        // Shared frame until a write.
+        assert!(child.same_frame(&parent, 1));
+        child.write_u64(0x1000, 7).unwrap();
+        assert!(!child.same_frame(&parent, 1));
+        assert_eq!(parent.read_u64(0x1000).unwrap(), 42);
+        assert_eq!(child.read_u64(0x1000).unwrap(), 7);
+        // Untouched page still shared.
+        assert!(child.same_frame(&parent, 2));
+    }
+
+    #[test]
+    fn copy_to_different_destination() {
+        let mut src = rw_space(0x1000, 0x1000);
+        src.write(0x1100, b"hello").unwrap();
+        let mut dst = AddressSpace::new();
+        dst.copy_from(&src, Region::new(0x1000, 0x2000), 0x8000)
+            .unwrap();
+        assert_eq!(dst.read_vec(0x8100, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn copy_propagates_holes() {
+        let mut src = AddressSpace::new();
+        src.map_zero(Region::new(0x1000, 0x2000), Perm::RW).unwrap();
+        // dst has a page at 0x5000 that the source range lacks.
+        let mut dst = rw_space(0x4000, 0x3000);
+        dst.copy_from(&src, Region::new(0x0000, 0x3000), 0x4000)
+            .unwrap();
+        // 0x4000 (from unmapped 0x0000) must now be unmapped.
+        assert!(matches!(
+            dst.read_u8(0x4000),
+            Err(MemError::Unmapped { .. })
+        ));
+        assert!(dst.read_u8(0x5000).is_ok());
+        assert!(matches!(
+            dst.read_u8(0x6000),
+            Err(MemError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_immutable_reference() {
+        let mut s = rw_space(0x1000, 0x1000);
+        s.write_u64(0x1000, 1).unwrap();
+        let snap = s.snapshot();
+        s.write_u64(0x1000, 2).unwrap();
+        assert_eq!(snap.read_u64(0x1000).unwrap(), 1);
+        assert_eq!(s.read_u64(0x1000).unwrap(), 2);
+    }
+
+    #[test]
+    fn digest_detects_content_and_perm_changes() {
+        let mut a = rw_space(0x1000, 0x2000);
+        let d0 = a.content_digest();
+        a.write_u8(0x1800, 1).unwrap();
+        let d1 = a.content_digest();
+        assert_ne!(d0, d1);
+        a.write_u8(0x1800, 0).unwrap();
+        // Content equality matters, not sharing structure.
+        assert_eq!(a.content_digest(), d0);
+        a.set_perm(Region::new(0x1000, 0x2000), Perm::R).unwrap();
+        assert_ne!(a.content_digest(), d0);
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let mut s = rw_space(0, 0x2000);
+        s.write_u32(0x10, 0xdead_beef).unwrap();
+        assert_eq!(s.read_u32(0x10).unwrap(), 0xdead_beef);
+        s.write_f64(0x20, -1.5e300).unwrap();
+        assert_eq!(s.read_f64(0x20).unwrap(), -1.5e300);
+        s.write_u64s(0x100, &[1, 2, 3]).unwrap();
+        assert_eq!(s.read_u64s(0x100, 3).unwrap(), vec![1, 2, 3]);
+        s.write_f64s(0x200, &[0.5, -0.25]).unwrap();
+        assert_eq!(s.read_f64s(0x200, 2).unwrap(), vec![0.5, -0.25]);
+    }
+
+    #[test]
+    fn unmap_removes_pages() {
+        let mut s = rw_space(0x1000, 0x3000);
+        s.unmap(Region::new(0x2000, 0x3000)).unwrap();
+        assert!(s.read_u8(0x1000).is_ok());
+        assert!(matches!(s.read_u8(0x2000), Err(MemError::Unmapped { .. })));
+        assert!(s.read_u8(0x3000).is_ok());
+        assert_eq!(s.page_count(), 2);
+    }
+
+    #[test]
+    fn misaligned_kernel_ops_rejected() {
+        let mut s = AddressSpace::new();
+        assert!(matches!(
+            s.map_zero(Region::new(0x100, 0x2000), Perm::RW),
+            Err(MemError::Misaligned { .. })
+        ));
+        let src = AddressSpace::new();
+        assert!(matches!(
+            s.copy_from(&src, Region::new(0x1000, 0x2000), 0x80),
+            Err(MemError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_fill_shares_global_frame() {
+        let s = rw_space(0x1000, 0x100000);
+        assert!(s.iter_pages().all(|p| p.is_zero_frame));
+    }
+}

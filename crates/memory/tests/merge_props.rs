@@ -1,0 +1,197 @@
+//! Property-based tests of the private-workspace merge invariants.
+//!
+//! These check the paper's §2.2 semantics on randomly generated write
+//! sets: reads see only causally prior writes, disjoint writes always
+//! union, and write/write overlap is detected as a conflict
+//! independently of any schedule.
+
+use det_memory::{AddressSpace, ConflictPolicy, MemError, Perm, Region};
+use proptest::prelude::*;
+
+const BASE: u64 = 0x1000;
+const LEN: u64 = 4 * 4096;
+const REGION: Region = Region {
+    start: BASE,
+    end: BASE + LEN,
+};
+
+/// A single byte write at a region-relative offset.
+#[derive(Clone, Debug)]
+struct W {
+    off: u64,
+    val: u8,
+}
+
+fn writes(max: usize) -> impl Strategy<Value = Vec<W>> {
+    proptest::collection::vec(
+        (0..LEN, any::<u8>()).prop_map(|(off, val)| W { off, val }),
+        0..max,
+    )
+}
+
+fn fresh_parent(init: &[W]) -> AddressSpace {
+    let mut p = AddressSpace::new();
+    p.map_zero(REGION, Perm::RW).unwrap();
+    for w in init {
+        p.write_u8(BASE + w.off, w.val).unwrap();
+    }
+    p
+}
+
+fn fork(p: &AddressSpace) -> (AddressSpace, AddressSpace) {
+    let mut c = AddressSpace::new();
+    c.copy_from(p, REGION, BASE).unwrap();
+    let s = c.snapshot();
+    (c, s)
+}
+
+/// Final value a sequence of writes leaves at `off`, if any.
+fn last_write(ws: &[W], off: u64) -> Option<u8> {
+    ws.iter().rev().find(|w| w.off == off).map(|w| w.val)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Disjoint parent/child writes always merge to their union,
+    /// regardless of the order and number of writes.
+    #[test]
+    fn disjoint_writes_union(init in writes(16), child_ws in writes(32), parent_ws in writes(32)) {
+        // Make the write sets disjoint by offsetting parent writes into
+        // bytes the child never touched.
+        let child_offs: std::collections::HashSet<u64> =
+            child_ws.iter().map(|w| w.off).collect();
+        let parent_ws: Vec<W> = parent_ws
+            .into_iter()
+            .filter(|w| !child_offs.contains(&w.off))
+            .collect();
+
+        let mut parent = fresh_parent(&init);
+        let baseline = parent.clone();
+        let (mut child, snap) = fork(&parent);
+        for w in &child_ws {
+            child.write_u8(BASE + w.off, w.val).unwrap();
+        }
+        for w in &parent_ws {
+            parent.write_u8(BASE + w.off, w.val).unwrap();
+        }
+        parent.merge_from(&child, &snap, REGION, ConflictPolicy::Strict).unwrap();
+
+        for off in 0..LEN {
+            let expect = last_write(&child_ws, off)
+                .or_else(|| last_write(&parent_ws, off))
+                .unwrap_or_else(|| baseline.read_u8(BASE + off).unwrap());
+            prop_assert_eq!(parent.read_u8(BASE + off).unwrap(), expect);
+        }
+    }
+
+    /// Strict policy: the merge errors iff some byte was changed (to a
+    /// different final value than the snapshot) on both sides.
+    #[test]
+    fn conflict_iff_overlapping_change(init in writes(8), child_ws in writes(24), parent_ws in writes(24)) {
+        let mut parent = fresh_parent(&init);
+        let (mut child, snap) = fork(&parent);
+        for w in &child_ws {
+            child.write_u8(BASE + w.off, w.val).unwrap();
+        }
+        for w in &parent_ws {
+            parent.write_u8(BASE + w.off, w.val).unwrap();
+        }
+        // Expected conflict: some offset where both sides' final value
+        // differs from the snapshot value.
+        let mut expect_conflict = false;
+        for off in 0..LEN {
+            let base = snap.read_u8(BASE + off).unwrap();
+            let c = last_write(&child_ws, off).unwrap_or(base);
+            let p = last_write(&parent_ws, off).unwrap_or(
+                // Parent's pre-merge value = its own baseline (same as snap here).
+                base,
+            );
+            if c != base && p != base {
+                expect_conflict = true;
+                break;
+            }
+        }
+        let got = parent.merge_from(&child, &snap, REGION, ConflictPolicy::Strict);
+        prop_assert_eq!(got.is_err(), expect_conflict);
+        if let Err(e) = got {
+            let is_conflict = matches!(e, MemError::Conflict { .. });
+            prop_assert!(is_conflict);
+        }
+    }
+
+    /// Benign policy accepts identical double-writes but still rejects
+    /// divergent ones.
+    #[test]
+    fn benign_same_value(off in 0..LEN, v in any::<u8>(), w in any::<u8>()) {
+        prop_assume!(v != 0 && w != 0);
+        let mut parent = fresh_parent(&[]);
+        let (mut child, snap) = fork(&parent);
+        child.write_u8(BASE + off, v).unwrap();
+        parent.write_u8(BASE + off, w).unwrap();
+        let r = parent.merge_from(&child, &snap, REGION, ConflictPolicy::BenignSameValue);
+        if v == w {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    /// Merging a child that wrote nothing is always a no-op with zero
+    /// byte traffic (O(1) page skipping).
+    #[test]
+    fn null_merge_is_free(init in writes(16)) {
+        let mut parent = fresh_parent(&init);
+        let before = parent.content_digest();
+        let (child, snap) = fork(&parent);
+        let stats = parent.merge_from(&child, &snap, REGION, ConflictPolicy::Strict).unwrap();
+        prop_assert_eq!(stats.bytes_compared, 0);
+        prop_assert_eq!(stats.bytes_copied, 0);
+        prop_assert_eq!(parent.content_digest(), before);
+    }
+
+    /// Join order of children with disjoint writes does not affect the
+    /// final state (schedule independence).
+    #[test]
+    fn join_order_irrelevant_for_disjoint(child1 in writes(16), child2 in writes(16)) {
+        let offs1: std::collections::HashSet<u64> = child1.iter().map(|w| w.off).collect();
+        let child2: Vec<W> = child2.into_iter().filter(|w| !offs1.contains(&w.off)).collect();
+
+        let parent0 = fresh_parent(&[]);
+        let run = |order: [&[W]; 2]| {
+            let mut parent = parent0.clone();
+            let mut kids = Vec::new();
+            for ws in order {
+                let (mut c, s) = fork(&parent0);
+                for w in ws {
+                    c.write_u8(BASE + w.off, w.val).unwrap();
+                }
+                kids.push((c, s));
+            }
+            for (c, s) in &kids {
+                parent.merge_from(c, s, REGION, ConflictPolicy::Strict).unwrap();
+            }
+            parent.content_digest()
+        };
+        prop_assert_eq!(run([&child1, &child2]), run([&child2, &child1]));
+    }
+
+    /// COW virtual copy is semantically a deep copy.
+    #[test]
+    fn cow_copy_equals_deep_copy(init in writes(32), post in writes(32)) {
+        let parent = fresh_parent(&init);
+        let (mut child, _) = fork(&parent);
+        let reference = parent.clone();
+        for w in &post {
+            child.write_u8(BASE + w.off, w.val).unwrap();
+        }
+        // Parent unchanged by child writes.
+        prop_assert_eq!(parent.content_digest(), reference.content_digest());
+        // Child equals parent overwritten with post.
+        for off in 0..LEN {
+            let expect = last_write(&post, off)
+                .unwrap_or_else(|| parent.read_u8(BASE + off).unwrap());
+            prop_assert_eq!(child.read_u8(BASE + off).unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Deterministic scheduling of nondeterministic legacy thread APIs
+//! (§4.5).
+//!
+//! For code written against mutexes and condition variables, the
+//! runtime emulates a conventional shared-memory multiprocessor on an
+//! *artificial, deterministic time base*: the master space never runs
+//! application code; it quantizes each thread's execution with the
+//! kernel's work limits, merges each thread's shared-memory writes at
+//! quantum boundaries (**last-writer-wins**, so data races resolve
+//! repeatably-but-arbitrarily as on real hardware — not as conflicts),
+//! and totally orders all synchronization operations.
+//!
+//! Mutexes follow the paper's *ownership* protocol: a mutex is always
+//! owned by some thread; the owner locks and unlocks it without
+//! scheduler interaction by flipping its word in the shared *mailbox*
+//! page; any other thread must invoke the scheduler (`Ret` with a
+//! request code), which **steals** the mutex at a quantum boundary if
+//! it is unlocked, or enqueues the thread if it is not.
+//!
+//! Writes propagate only at quantum ends, so the memory model is weak
+//! consistency with synchronization operations totally ordered
+//! (DMP-B-style), and the whole schedule is a deterministic function
+//! of the program and the quantum size.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use det_kernel::{
+    ChildNum, ConflictPolicy, CopySpec, GetSpec, KernelError, Program, PutSpec, Region, Regs,
+    SpaceCtx, StopReason,
+};
+
+use crate::error::{Result, RtError};
+use crate::layout;
+
+/// `Ret` code: thread requests a mutex it does not own.
+pub const REQ_LOCK: u64 = 0xD001;
+/// `Ret` code: thread waits on a condition variable (r3 = mutex,
+/// r4 = condvar); the mutex is released atomically.
+pub const REQ_WAIT: u64 = 0xD002;
+/// `Ret` code: signal one waiter of condvar r4.
+pub const REQ_SIGNAL: u64 = 0xD003;
+/// `Ret` code: wake all waiters of condvar r4.
+pub const REQ_BROADCAST: u64 = 0xD004;
+/// `Ret` code: voluntary yield to the scheduler.
+pub const REQ_YIELD: u64 = 0xD005;
+
+/// Maximum mutex id (one u64 word each in the mailbox page).
+pub const MAX_MUTEXES: u64 = layout::DSCHED_MAILBOX_SIZE / 8;
+
+#[derive(Clone, Debug)]
+struct MutexRec {
+    owner: u64,
+    locked: bool,
+    waiters: VecDeque<u64>,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum TState {
+    Runnable,
+    /// Parked in the scheduler waiting for a mutex.
+    BlockedOnMutex(u64),
+    /// Parked on a condition variable.
+    BlockedOnCond(u64, u64),
+    Finished(i32),
+}
+
+/// The master-side deterministic scheduler.
+pub struct DSched<'c> {
+    ctx: &'c mut SpaceCtx,
+    shared: Region,
+    quantum_ns: u64,
+    base_child: ChildNum,
+    threads: BTreeMap<u64, TState>,
+    mutexes: BTreeMap<u64, MutexRec>,
+    cond_waiters: BTreeMap<u64, VecDeque<u64>>,
+}
+
+impl<'c> DSched<'c> {
+    /// Creates a scheduler whose threads share `region`; quanta are
+    /// `quantum_ns` of virtual work (the paper's default corresponds
+    /// to 10 M instructions ≈ 10 ms at 1 GIPS).
+    ///
+    /// Maps the mailbox page into the master if absent.
+    pub fn new(
+        ctx: &'c mut SpaceCtx,
+        region: Region,
+        quantum_ns: u64,
+        base_child: ChildNum,
+    ) -> Result<DSched<'c>> {
+        if ctx.mem().perm_at(layout::DSCHED_MAILBOX_BASE).is_none() {
+            ctx.mem_mut()
+                .map_zero(layout::dsched_mailbox_region(), det_memory::Perm::RW)?;
+        }
+        Ok(DSched {
+            ctx,
+            shared: region,
+            quantum_ns,
+            base_child,
+            threads: BTreeMap::new(),
+            mutexes: BTreeMap::new(),
+            cond_waiters: BTreeMap::new(),
+        })
+    }
+
+    /// Registers thread `t` with body `f` (pthread_create analogue).
+    pub fn spawn<F>(&mut self, t: u64, f: F) -> Result<()>
+    where
+        F: FnOnce(&mut SpaceCtx) -> std::result::Result<i32, KernelError> + Send + 'static,
+    {
+        let mut regs = Regs::default();
+        regs.gpr[2] = t;
+        self.ctx.put(
+            self.base_child + t,
+            PutSpec::new().program(Program::native(f)).regs(regs),
+        )?;
+        self.threads.insert(t, TState::Runnable);
+        Ok(())
+    }
+
+    /// Runs all registered threads to completion under deterministic
+    /// scheduling; returns `(thread, exit_code)` pairs (pthread_join
+    /// analogue). Errors with a deadlock diagnosis if every live
+    /// thread is blocked.
+    pub fn run(&mut self) -> Result<Vec<(u64, i32)>> {
+        loop {
+            let runnable: Vec<u64> = self
+                .threads
+                .iter()
+                .filter(|(_, s)| matches!(s, TState::Runnable))
+                .map(|(&t, _)| t)
+                .collect();
+            if runnable.is_empty() {
+                let live_blocked = self
+                    .threads
+                    .values()
+                    .any(|s| matches!(s, TState::BlockedOnMutex(_) | TState::BlockedOnCond(..)));
+                if live_blocked {
+                    return Err(RtError::Invalid("deterministic scheduler deadlock"));
+                }
+                return Ok(self
+                    .threads
+                    .iter()
+                    .map(|(&t, s)| match s {
+                        TState::Finished(c) => (t, *c),
+                        _ => unreachable!("all threads finished"),
+                    })
+                    .collect());
+            }
+            // Dispatch every runnable thread for one quantum; they run
+            // concurrently (real threads), synchronized only at the
+            // collection rendezvous below.
+            for &t in &runnable {
+                let child = self.base_child + t;
+                // Install the master's current shared image + mailbox,
+                // snapshot, and hand out one quantum.
+                self.ctx
+                    .put(child, PutSpec::new().copy(CopySpec::mirror(self.shared)))?;
+                self.ctx.put(
+                    child,
+                    PutSpec::new()
+                        .copy(CopySpec::mirror(layout::dsched_mailbox_region()))
+                        .snap()
+                        .start_limited(self.quantum_ns),
+                )?;
+            }
+            // Collect in deterministic (sorted) order.
+            for &t in &runnable {
+                self.collect_quantum(t)?;
+            }
+            // Quantum-boundary mutex stealing and handoff.
+            self.process_transfers();
+        }
+    }
+
+    fn collect_quantum(&mut self, t: u64) -> Result<()> {
+        let child = self.base_child + t;
+        let r = self.ctx.get(
+            child,
+            GetSpec::new()
+                .regs()
+                .merge(self.shared)
+                .merge_policy(ConflictPolicy::ChildWins),
+        )?;
+        // Also fold in the mailbox page (owner lock/unlock bits).
+        self.ctx.get(
+            child,
+            GetSpec::new()
+                .merge(layout::dsched_mailbox_region())
+                .merge_policy(ConflictPolicy::ChildWins),
+        )?;
+        // Refresh master's view of mutexes this thread owns.
+        let owned: Vec<u64> = self
+            .mutexes
+            .iter()
+            .filter(|(_, m)| m.owner == t)
+            .map(|(&id, _)| id)
+            .collect();
+        for m in owned {
+            let word = self
+                .ctx
+                .mem()
+                .read_u64(layout::DSCHED_MAILBOX_BASE + m * 8)?;
+            if word >> 1 == t + 1 {
+                self.mutexes.get_mut(&m).expect("owned").locked = word & 1 == 1;
+            }
+        }
+        let regs = r.regs.expect("requested");
+        match r.stop {
+            StopReason::LimitReached => { /* Still runnable. */ }
+            StopReason::Halted => {
+                self.threads.insert(t, TState::Finished(r.code as i32));
+            }
+            StopReason::Trap(k) => return Err(RtError::ChildTrapped(k)),
+            StopReason::Ret => self.handle_request(t, r.code, regs)?,
+            StopReason::Unstarted => return Err(RtError::Invalid("unstarted thread collected")),
+        }
+        Ok(())
+    }
+
+    fn handle_request(&mut self, t: u64, code: u64, regs: Regs) -> Result<()> {
+        match code {
+            REQ_LOCK => {
+                let m = regs.gpr[3];
+                self.request_lock(t, m)?;
+            }
+            REQ_WAIT => {
+                let m = regs.gpr[3];
+                let cv = regs.gpr[4];
+                // Atomically release the mutex and sleep on cv.
+                if let Some(rec) = self.mutexes.get_mut(&m) {
+                    if rec.owner == t {
+                        rec.locked = false;
+                    }
+                }
+                self.cond_waiters.entry(cv).or_default().push_back(t);
+                self.threads.insert(t, TState::BlockedOnCond(m, cv));
+            }
+            REQ_SIGNAL => {
+                let cv = regs.gpr[4];
+                self.wake_waiters(cv, 1)?;
+                self.threads.insert(t, TState::Runnable);
+            }
+            REQ_BROADCAST => {
+                let cv = regs.gpr[4];
+                self.wake_waiters(cv, usize::MAX)?;
+                self.threads.insert(t, TState::Runnable);
+            }
+            REQ_YIELD => {
+                self.threads.insert(t, TState::Runnable);
+            }
+            other => {
+                return Err(RtError::Invalid(match other {
+                    0 => "thread ret without request code",
+                    _ => "unknown scheduler request",
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    fn request_lock(&mut self, t: u64, m: u64) -> Result<()> {
+        if m >= MAX_MUTEXES {
+            return Err(RtError::Invalid("mutex id out of range"));
+        }
+        let rec = self.mutexes.entry(m).or_insert(MutexRec {
+            owner: t,
+            locked: false,
+            waiters: VecDeque::new(),
+        });
+        if rec.owner == t || !rec.locked {
+            // Grant (possibly stealing an unlocked mutex).
+            rec.owner = t;
+            rec.locked = true;
+            self.write_mailbox(m)?;
+            self.threads.insert(t, TState::Runnable);
+        } else {
+            rec.waiters.push_back(t);
+            self.threads.insert(t, TState::BlockedOnMutex(m));
+        }
+        Ok(())
+    }
+
+    fn wake_waiters(&mut self, cv: u64, n: usize) -> Result<()> {
+        let woken: Vec<u64> = match self.cond_waiters.get_mut(&cv) {
+            None => return Ok(()),
+            Some(q) => {
+                let count = n.min(q.len());
+                q.drain(..count).collect()
+            }
+        };
+        for w in woken {
+            // The woken thread must re-acquire its mutex before
+            // returning from wait(): route it through the lock queue.
+            let m = match self.threads.get(&w) {
+                Some(TState::BlockedOnCond(m, _)) => *m,
+                _ => continue,
+            };
+            self.request_lock(w, m)?;
+        }
+        Ok(())
+    }
+
+    /// Transfers unlocked mutexes with queued waiters at a quantum
+    /// boundary (the paper's stealing point).
+    fn process_transfers(&mut self) {
+        let ids: Vec<u64> = self.mutexes.keys().copied().collect();
+        for m in ids {
+            loop {
+                let rec = self.mutexes.get_mut(&m).expect("exists");
+                if rec.locked || rec.waiters.is_empty() {
+                    break;
+                }
+                let w = rec.waiters.pop_front().expect("nonempty");
+                rec.owner = w;
+                rec.locked = true;
+                let _ = self.write_mailbox(m);
+                self.threads.insert(w, TState::Runnable);
+                break;
+            }
+        }
+    }
+
+    fn write_mailbox(&mut self, m: u64) -> Result<()> {
+        let rec = &self.mutexes[&m];
+        let word = ((rec.owner + 1) << 1) | rec.locked as u64;
+        self.ctx
+            .mem_mut()
+            .write_u64(layout::DSCHED_MAILBOX_BASE + m * 8, word)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-side API (inside dsched-managed threads).
+// ---------------------------------------------------------------------
+
+/// Thread side: this thread's id.
+pub fn self_id(ctx: &SpaceCtx) -> u64 {
+    ctx.regs().gpr[2]
+}
+
+/// Thread side: lock mutex `m` (pthread_mutex_lock analogue).
+///
+/// Owner fast path: flips the mailbox bit with no scheduler
+/// interaction. Otherwise invokes the scheduler and blocks until
+/// ownership is granted.
+pub fn mutex_lock(ctx: &mut SpaceCtx, m: u64) -> std::result::Result<(), KernelError> {
+    let me = self_id(ctx);
+    let addr = layout::DSCHED_MAILBOX_BASE + m * 8;
+    let word = ctx.mem().read_u64(addr)?;
+    if word >> 1 == me + 1 && word & 1 == 0 {
+        return ctx.mem_mut().write_u64(addr, word | 1).map_err(Into::into);
+    }
+    ctx.regs_mut().gpr[3] = m;
+    ctx.ret(REQ_LOCK)
+}
+
+/// Thread side: unlock mutex `m`. Only the owner may unlock; the
+/// mutex *stays owned* by this thread until another thread steals it
+/// at a quantum boundary (§4.5).
+pub fn mutex_unlock(ctx: &mut SpaceCtx, m: u64) -> std::result::Result<(), KernelError> {
+    let me = self_id(ctx);
+    let addr = layout::DSCHED_MAILBOX_BASE + m * 8;
+    let word = ctx.mem().read_u64(addr)?;
+    if word >> 1 != me + 1 {
+        return Err(KernelError::InvalidSpec("unlock of unowned mutex"));
+    }
+    ctx.mem_mut().write_u64(addr, word & !1).map_err(Into::into)
+}
+
+/// Thread side: wait on condvar `cv`, releasing mutex `m` atomically;
+/// on return the mutex is re-acquired.
+pub fn cond_wait(ctx: &mut SpaceCtx, m: u64, cv: u64) -> std::result::Result<(), KernelError> {
+    // Clear our local lock bit first (the master releases ownership).
+    let me = self_id(ctx);
+    let addr = layout::DSCHED_MAILBOX_BASE + m * 8;
+    let word = ctx.mem().read_u64(addr)?;
+    if word >> 1 == me + 1 {
+        ctx.mem_mut().write_u64(addr, word & !1)?;
+    }
+    ctx.regs_mut().gpr[3] = m;
+    ctx.regs_mut().gpr[4] = cv;
+    ctx.ret(REQ_WAIT)
+}
+
+/// Thread side: wake one waiter of `cv`.
+pub fn cond_signal(ctx: &mut SpaceCtx, cv: u64) -> std::result::Result<(), KernelError> {
+    ctx.regs_mut().gpr[4] = cv;
+    ctx.ret(REQ_SIGNAL)
+}
+
+/// Thread side: wake all waiters of `cv`.
+pub fn cond_broadcast(ctx: &mut SpaceCtx, cv: u64) -> std::result::Result<(), KernelError> {
+    ctx.regs_mut().gpr[4] = cv;
+    ctx.ret(REQ_BROADCAST)
+}
+
+/// Thread side: yield the rest of this quantum.
+pub fn sched_yield(ctx: &mut SpaceCtx) -> std::result::Result<(), KernelError> {
+    ctx.ret(REQ_YIELD)
+}

@@ -1,0 +1,124 @@
+//! Runtime (user-level) errors.
+
+use det_kernel::{KernelError, TrapKind};
+
+/// Errors surfaced by the Unix-emulation runtime.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RtError {
+    /// Underlying kernel error.
+    Kernel(KernelError),
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists (exclusive create).
+    Exists(String),
+    /// The file carries a conflict flag from an unsynchronized
+    /// concurrent write (§4.2); it must be removed and regenerated.
+    Conflicted(String),
+    /// Bad file descriptor.
+    BadFd(usize),
+    /// Descriptor opened without the needed mode.
+    BadMode(&'static str),
+    /// No such process.
+    NoChild(u32),
+    /// A child process stopped with a trap.
+    ChildTrapped(TrapKind),
+    /// The serialized file system outgrew its address-space region
+    /// (the paper's §4.2 size limitation).
+    FsImageOverflow {
+        /// Bytes required.
+        need: u64,
+        /// Bytes available.
+        cap: u64,
+    },
+    /// Malformed file-system image bytes.
+    FsImageCorrupt(&'static str),
+    /// `exec` of an unregistered program.
+    NoSuchProgram(String),
+    /// Invalid argument.
+    Invalid(&'static str),
+}
+
+impl From<KernelError> for RtError {
+    fn from(e: KernelError) -> RtError {
+        RtError::Kernel(e)
+    }
+}
+
+impl From<det_memory::MemError> for RtError {
+    fn from(e: det_memory::MemError) -> RtError {
+        RtError::Kernel(KernelError::Mem(e))
+    }
+}
+
+impl RtError {
+    /// Converts to the kernel error a native program returns, so traps
+    /// propagate with their original cause where possible.
+    pub fn into_kernel(self) -> KernelError {
+        match self {
+            RtError::Kernel(e) => e,
+            RtError::NotFound(_) => KernelError::InvalidSpec("file not found"),
+            RtError::Exists(_) => KernelError::InvalidSpec("file exists"),
+            RtError::Conflicted(_) => KernelError::InvalidSpec("file conflicted"),
+            RtError::BadFd(_) => KernelError::InvalidSpec("bad file descriptor"),
+            RtError::BadMode(m) => KernelError::InvalidSpec(m),
+            RtError::NoChild(_) => KernelError::InvalidSpec("no such child"),
+            RtError::ChildTrapped(_) => KernelError::InvalidSpec("child trapped"),
+            RtError::FsImageOverflow { .. } => KernelError::InvalidSpec("fs image overflow"),
+            RtError::FsImageCorrupt(m) => KernelError::InvalidSpec(m),
+            RtError::NoSuchProgram(_) => KernelError::InvalidSpec("no such program"),
+            RtError::Invalid(m) => KernelError::InvalidSpec(m),
+        }
+    }
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::Kernel(e) => write!(f, "kernel: {e}"),
+            RtError::NotFound(p) => write!(f, "not found: {p}"),
+            RtError::Exists(p) => write!(f, "already exists: {p}"),
+            RtError::Conflicted(p) => write!(f, "conflicted file: {p}"),
+            RtError::BadFd(fd) => write!(f, "bad fd {fd}"),
+            RtError::BadMode(m) => write!(f, "bad mode: {m}"),
+            RtError::NoChild(pid) => write!(f, "no child with pid {pid}"),
+            RtError::ChildTrapped(t) => write!(f, "child trapped: {t}"),
+            RtError::FsImageOverflow { need, cap } => {
+                write!(f, "fs image needs {need} bytes, region holds {cap}")
+            }
+            RtError::FsImageCorrupt(m) => write!(f, "corrupt fs image: {m}"),
+            RtError::NoSuchProgram(p) => write!(f, "no such program: {p}"),
+            RtError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let k: RtError = KernelError::NoSnapshot.into();
+        assert_eq!(k, RtError::Kernel(KernelError::NoSnapshot));
+        assert_eq!(k.into_kernel(), KernelError::NoSnapshot);
+        let m: RtError = det_memory::MemError::Unmapped { addr: 4 }.into();
+        assert!(matches!(m, RtError::Kernel(KernelError::Mem(_))));
+    }
+
+    #[test]
+    fn display() {
+        assert!(
+            RtError::NotFound("a/b".into()).to_string().contains("a/b")
+        );
+        assert!(
+            RtError::FsImageOverflow { need: 10, cap: 5 }
+                .to_string()
+                .contains("10")
+        );
+    }
+}

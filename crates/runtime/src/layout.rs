@@ -1,0 +1,75 @@
+//! Address-space layout conventions used by the user-level runtime.
+//!
+//! The kernel imposes no layout; these constants are the runtime's own
+//! conventions (§4), chosen so that process images, file-system
+//! replicas, and thread-shared heaps never collide.
+
+use det_memory::Region;
+
+/// Start of the thread-shared data region (heap shared by
+/// [`crate::threads::ThreadGroup`] members).
+pub const SHARED_BASE: u64 = 0x1000_0000;
+/// Default size of the thread-shared region (256 MiB of *address
+/// space*; pages materialize copy-on-write as touched).
+pub const SHARED_SIZE: u64 = 0x1000_0000;
+
+/// Region where a process's file-system replica image is serialized.
+pub const FS_IMAGE_BASE: u64 = 0x4000_0000;
+/// Maximum serialized file-system image (64 MiB), the paper's
+/// "file system size limited by address space" constraint (§4.2),
+/// faithfully reproduced at a smaller scale.
+pub const FS_IMAGE_SIZE: u64 = 0x0400_0000;
+
+/// Scratch region a parent uses to stage a child's file-system image
+/// during reconciliation (§4.2: "copies the child's file system image
+/// into a scratch area in the parent space").
+pub const FS_SCRATCH_BASE: u64 = 0x5000_0000;
+
+/// Mailbox page used by deterministic-scheduler threads to publish
+/// mutex ownership state (§4.5).
+pub const DSCHED_MAILBOX_BASE: u64 = 0x6000_0000;
+/// Size of the mailbox region.
+pub const DSCHED_MAILBOX_SIZE: u64 = 0x1000;
+
+/// Returns the default thread-shared region.
+pub fn shared_region() -> Region {
+    Region::sized(SHARED_BASE, SHARED_SIZE)
+}
+
+/// Returns the process file-system image region.
+pub fn fs_image_region() -> Region {
+    Region::sized(FS_IMAGE_BASE, FS_IMAGE_SIZE)
+}
+
+/// Returns the parent-side scratch region for a child's image.
+pub fn fs_scratch_region() -> Region {
+    Region::sized(FS_SCRATCH_BASE, FS_IMAGE_SIZE)
+}
+
+/// Returns the dsched mailbox region.
+pub fn dsched_mailbox_region() -> Region {
+    Region::sized(DSCHED_MAILBOX_BASE, DSCHED_MAILBOX_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let regions = [
+            shared_region(),
+            fs_image_region(),
+            fs_scratch_region(),
+            dsched_mailbox_region(),
+        ];
+        for r in &regions {
+            r.check_page_aligned().expect("aligned");
+        }
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! A scripted Unix-style shell (§5: "a Unix-style shell supporting
+//! redirection and both scripted and interactive use").
+//!
+//! Supports: argument words, `>` / `>>` / `<` redirection, `|`
+//! pipelines (staged deterministically through temporary files — the
+//! kernel's queues are one-to-one, §2.3), `;` sequencing, comments,
+//! and the builtins `echo`, `cat`, `wc`, `cp`, `ls`, `rm`, `true`,
+//! `false`. Unknown commands resolve through the
+//! [`ProgramRegistry`](crate::proc::ProgramRegistry) and run as child
+//! processes via `fork`/`wait` — each in its own file-system replica,
+//! reconciled at collection.
+//!
+//! `ps` is deliberately *not* spawnable: PIDs are process-local
+//! (§4.1), so like `cd` in Unix it could only ever be a builtin.
+
+use crate::error::{Result, RtError};
+use crate::proc::Proc;
+
+/// One parsed simple command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimpleCmd {
+    /// Program name.
+    pub prog: String,
+    /// Arguments.
+    pub args: Vec<String>,
+    /// Input redirection path.
+    pub stdin: Option<String>,
+    /// Output redirection path and whether to append.
+    pub stdout: Option<(String, bool)>,
+}
+
+/// Parses one line into a pipeline of simple commands.
+///
+/// # Examples
+///
+/// ```
+/// let p = det_runtime::shell::parse_line("cat in.txt | wc > out.txt").unwrap();
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p[0].prog, "cat");
+/// assert_eq!(p[1].stdout.as_ref().unwrap().0, "out.txt");
+/// ```
+pub fn parse_line(line: &str) -> Result<Vec<SimpleCmd>> {
+    let line = match line.find('#') {
+        Some(p) => &line[..p],
+        None => line,
+    };
+    let mut pipeline = Vec::new();
+    for seg in line.split('|') {
+        let mut words = seg.split_whitespace().peekable();
+        let Some(prog) = words.next() else {
+            if line.trim().is_empty() {
+                return Ok(Vec::new());
+            }
+            return Err(RtError::Invalid("empty pipeline stage"));
+        };
+        if matches!(prog, ">" | ">>" | "<") {
+            return Err(RtError::Invalid("redirection without a command"));
+        }
+        let mut cmd = SimpleCmd {
+            prog: prog.to_string(),
+            args: Vec::new(),
+            stdin: None,
+            stdout: None,
+        };
+        while let Some(w) = words.next() {
+            match w {
+                ">" | ">>" => {
+                    let path = words.next().ok_or(RtError::Invalid("missing > target"))?;
+                    cmd.stdout = Some((path.to_string(), w == ">>"));
+                }
+                "<" => {
+                    let path = words.next().ok_or(RtError::Invalid("missing < source"))?;
+                    cmd.stdin = Some(path.to_string());
+                }
+                _ => cmd.args.push(w.to_string()),
+            }
+        }
+        pipeline.push(cmd);
+    }
+    Ok(pipeline)
+}
+
+/// Executes a whole script (newline/`;` separated) in `proc`.
+/// Returns the exit code of the last command.
+pub fn run_script(proc: &mut Proc<'_>, script: &str) -> Result<i32> {
+    let mut last = 0;
+    for raw in script.lines().flat_map(|l| l.split(';')) {
+        let pipeline = parse_line(raw)?;
+        if pipeline.is_empty() {
+            continue;
+        }
+        last = run_pipeline(proc, &pipeline)?;
+    }
+    Ok(last)
+}
+
+/// Executes one pipeline; stages are connected through deterministic
+/// temporary files and run sequentially in forked children.
+pub fn run_pipeline(proc: &mut Proc<'_>, pipeline: &[SimpleCmd]) -> Result<i32> {
+    let mut last_code = 0;
+    let n = pipeline.len();
+    for (i, cmd) in pipeline.iter().enumerate() {
+        let stdin = if i == 0 {
+            cmd.stdin.clone()
+        } else {
+            Some(pipe_path(i - 1))
+        };
+        let stdout = if i + 1 < n {
+            Some((pipe_path(i), false))
+        } else {
+            cmd.stdout.clone()
+        };
+        last_code = run_one(proc, cmd, stdin.as_deref(), stdout.as_ref())?;
+    }
+    // Clean intermediate pipe files.
+    for i in 0..n.saturating_sub(1) {
+        let _ = proc.fs_mut().unlink(&pipe_path(i));
+    }
+    Ok(last_code)
+}
+
+fn pipe_path(i: usize) -> String {
+    format!(".pipe/{i}")
+}
+
+fn run_one(
+    proc: &mut Proc<'_>,
+    cmd: &SimpleCmd,
+    stdin: Option<&str>,
+    stdout: Option<&(String, bool)>,
+) -> Result<i32> {
+    // Builtins run in-process; everything else forks.
+    let name = cmd.prog.clone();
+    let args = cmd.args.clone();
+    let stdin = stdin.map(str::to_string);
+    let stdout = stdout.cloned();
+    let pid = proc.fork(move |p| {
+        // Wire redirections onto fds 0/1 inside the child.
+        if let Some(path) = &stdin {
+            let fd = p.open_read(path)?;
+            p.dup2(fd, 0)?;
+        }
+        if let Some((path, append)) = &stdout {
+            let fd = p.open(path, false, true, true, !*append, *append)?;
+            p.dup2(fd, 1)?;
+        }
+        match builtin(&name) {
+            Some(f) => f(p, &args),
+            None => p.exec(&name, &args),
+        }
+    })?;
+    match proc.waitpid(pid)? {
+        crate::proc::ExitStatus::Exited(c) => Ok(c),
+        crate::proc::ExitStatus::Trapped(t) => Err(RtError::ChildTrapped(t)),
+    }
+}
+
+type Builtin = fn(&mut Proc<'_>, &[String]) -> Result<i32>;
+
+fn builtin(name: &str) -> Option<Builtin> {
+    Some(match name {
+        "echo" => bi_echo,
+        "cat" => bi_cat,
+        "wc" => bi_wc,
+        "cp" => bi_cp,
+        "ls" => bi_ls,
+        "rm" => bi_rm,
+        "true" => |_, _| Ok(0),
+        "false" => |_, _| Ok(1),
+        _ => return None,
+    })
+}
+
+fn bi_echo(p: &mut Proc<'_>, args: &[String]) -> Result<i32> {
+    let line = args.join(" ");
+    p.write(1, line.as_bytes())?;
+    p.write(1, b"\n")?;
+    Ok(0)
+}
+
+fn bi_cat(p: &mut Proc<'_>, args: &[String]) -> Result<i32> {
+    if args.is_empty() {
+        let data = p.read_to_end(0)?;
+        p.write(1, &data)?;
+        return Ok(0);
+    }
+    for path in args {
+        let fd = p.open_read(path)?;
+        let data = p.read_to_end(fd)?;
+        p.write(1, &data)?;
+        p.close(fd)?;
+    }
+    Ok(0)
+}
+
+fn bi_wc(p: &mut Proc<'_>, args: &[String]) -> Result<i32> {
+    let data = if args.is_empty() {
+        p.read_to_end(0)?
+    } else {
+        let fd = p.open_read(&args[0])?;
+        let d = p.read_to_end(fd)?;
+        p.close(fd)?;
+        d
+    };
+    let lines = data.iter().filter(|&&b| b == b'\n').count();
+    let words = data
+        .split(|b| b.is_ascii_whitespace())
+        .filter(|w| !w.is_empty())
+        .count();
+    let out = format!("{lines} {words} {}\n", data.len());
+    p.write(1, out.as_bytes())?;
+    Ok(0)
+}
+
+fn bi_cp(p: &mut Proc<'_>, args: &[String]) -> Result<i32> {
+    if args.len() != 2 {
+        return Err(RtError::Invalid("cp needs src dst"));
+    }
+    let fd = p.open_read(&args[0])?;
+    let data = p.read_to_end(fd)?;
+    p.close(fd)?;
+    let out = p.open_write(&args[1])?;
+    p.write(out, &data)?;
+    p.close(out)?;
+    Ok(0)
+}
+
+fn bi_ls(p: &mut Proc<'_>, args: &[String]) -> Result<i32> {
+    let prefix = args.first().map(String::as_str).unwrap_or("");
+    let listing = p
+        .fs()
+        .list(prefix)
+        .into_iter()
+        .filter(|f| !f.starts_with(".dev/") && !f.starts_with(".pipe/"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    p.write(1, listing.as_bytes())?;
+    if !listing.is_empty() {
+        p.write(1, b"\n")?;
+    }
+    Ok(0)
+}
+
+fn bi_rm(p: &mut Proc<'_>, args: &[String]) -> Result<i32> {
+    for path in args {
+        p.fs_mut().unlink(path)?;
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_words_and_redirections() {
+        let p = parse_line("prog a b < in.txt > out.txt").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].prog, "prog");
+        assert_eq!(p[0].args, vec!["a", "b"]);
+        assert_eq!(p[0].stdin.as_deref(), Some("in.txt"));
+        assert_eq!(p[0].stdout, Some(("out.txt".into(), false)));
+    }
+
+    #[test]
+    fn parses_append_and_pipeline() {
+        let p = parse_line("a | b | c >> log").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[2].stdout, Some(("log".into(), true)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        assert!(parse_line("# nothing").unwrap().is_empty());
+        assert!(parse_line("   ").unwrap().is_empty());
+        let p = parse_line("echo hi # trailing").unwrap();
+        assert_eq!(p[0].args, vec!["hi"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_line("a >").is_err());
+        assert!(parse_line("a | | b").is_err());
+        assert!(parse_line("<").is_err());
+    }
+}

@@ -1,0 +1,650 @@
+//! The interpreter: deterministic execution with exact instruction
+//! accounting and preemption.
+
+use det_memory::{AddressSpace, MemError};
+
+use crate::isa::{Insn, Opcode, decode};
+use crate::regs::Regs;
+
+/// Why the interpreter stopped.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum VmExit {
+    /// `halt` executed; status convention: `r1`.
+    Halt,
+    /// `sys imm` executed: the program requests a kernel service.
+    /// The register file holds the arguments; `pc` already points at
+    /// the next instruction, so resuming continues after the syscall.
+    Sys(u16),
+    /// A trap; the faulting instruction did not commit.
+    Trap(VmTrap),
+    /// The instruction budget was exhausted before the next
+    /// instruction; resuming later continues exactly where it left
+    /// off. This is the kernel's "instruction limit" (§3.2).
+    OutOfBudget,
+}
+
+/// Processor trap causes.
+///
+/// Traps cause an implicit `Ret` to the parent space in the kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmTrap {
+    /// Memory fault (unmapped or permission-denied access).
+    Mem(MemError),
+    /// Undefined opcode byte.
+    IllegalInstruction(u8),
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// The program counter is not 4-byte aligned.
+    PcMisaligned(u64),
+}
+
+impl std::fmt::Display for VmTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmTrap::Mem(e) => write!(f, "memory fault: {e}"),
+            VmTrap::IllegalInstruction(b) => write!(f, "illegal instruction {b:#04x}"),
+            VmTrap::DivideByZero => write!(f, "integer divide by zero"),
+            VmTrap::PcMisaligned(pc) => write!(f, "misaligned pc {pc:#x}"),
+        }
+    }
+}
+
+/// A deterministic CPU: registers plus a lifetime instruction counter.
+///
+/// The memory it executes against is passed to [`Cpu::run`] so the
+/// kernel can check a space's memory in and out around preemptions.
+#[derive(Clone, Debug, Default)]
+pub struct Cpu {
+    /// Architectural register state.
+    pub regs: Regs,
+    /// Total instructions retired over the CPU's lifetime.
+    pub insn_count: u64,
+}
+
+impl Cpu {
+    /// Returns a CPU with zeroed registers at pc 0.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Returns a CPU with the given entry point.
+    pub fn at_entry(pc: u64) -> Cpu {
+        Cpu {
+            regs: Regs::at_entry(pc),
+            insn_count: 0,
+        }
+    }
+
+    /// Executes instructions against `mem` until halt, syscall, trap,
+    /// or budget exhaustion.
+    ///
+    /// `budget` limits the number of instructions retired in this call
+    /// (`None` = unlimited). The count is exact: a budget of `n`
+    /// retires at most `n` instructions, and [`VmExit::OutOfBudget`] is
+    /// returned *between* instructions so a later `run` resumes
+    /// precisely — the property the paper's deterministic scheduler
+    /// depends on.
+    pub fn run(&mut self, mem: &mut AddressSpace, budget: Option<u64>) -> VmExit {
+        let mut remaining = budget;
+        loop {
+            if let Some(0) = remaining {
+                return VmExit::OutOfBudget;
+            }
+            match self.step(mem) {
+                None => {
+                    if let Some(r) = remaining.as_mut() {
+                        *r -= 1;
+                    }
+                }
+                Some(exit) => {
+                    return exit;
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction; returns `Some` on any stop condition.
+    ///
+    /// Retired instructions (including `halt`/`sys`) bump
+    /// [`Cpu::insn_count`]; trapped instructions do not commit.
+    pub fn step(&mut self, mem: &mut AddressSpace) -> Option<VmExit> {
+        let pc = self.regs.pc;
+        if pc % 4 != 0 {
+            return Some(VmExit::Trap(VmTrap::PcMisaligned(pc)));
+        }
+        let word = match mem.read_u32(pc) {
+            Ok(w) => w,
+            Err(e) => return Some(VmExit::Trap(VmTrap::Mem(e))),
+        };
+        let insn = match decode(word) {
+            Ok(i) => i,
+            Err(e) => return Some(VmExit::Trap(VmTrap::IllegalInstruction(e.opcode))),
+        };
+        let next_pc = pc + 4;
+        match self.exec(insn, next_pc, mem) {
+            Ok(flow) => {
+                self.insn_count += 1;
+                match flow {
+                    Flow::Next => {
+                        self.regs.pc = next_pc;
+                        None
+                    }
+                    Flow::Jump(target) => {
+                        self.regs.pc = target;
+                        None
+                    }
+                    Flow::Halt => {
+                        self.regs.pc = next_pc;
+                        Some(VmExit::Halt)
+                    }
+                    Flow::Sys(n) => {
+                        self.regs.pc = next_pc;
+                        Some(VmExit::Sys(n))
+                    }
+                }
+            }
+            Err(trap) => Some(VmExit::Trap(trap)),
+        }
+    }
+
+    fn exec(&mut self, i: Insn, next_pc: u64, mem: &mut AddressSpace) -> Result<Flow, VmTrap> {
+        use Opcode::*;
+        let g = &mut self.regs.gpr;
+        let (rd, rs, rt) = (i.rd as usize, i.rs as usize, i.rt as usize);
+        let imm = i.imm as i64;
+        let branch = |taken: bool| {
+            if taken {
+                Flow::Jump((next_pc as i64 + imm * 4) as u64)
+            } else {
+                Flow::Next
+            }
+        };
+        let flow = match i.op {
+            Nop => Flow::Next,
+            Halt => Flow::Halt,
+            Sys => Flow::Sys(i.imm as u16 & 0xfff),
+
+            Add => {
+                g[rd] = g[rs].wrapping_add(g[rt]);
+                Flow::Next
+            }
+            Sub => {
+                g[rd] = g[rs].wrapping_sub(g[rt]);
+                Flow::Next
+            }
+            Mul => {
+                g[rd] = g[rs].wrapping_mul(g[rt]);
+                Flow::Next
+            }
+            Div => {
+                if g[rt] == 0 {
+                    return Err(VmTrap::DivideByZero);
+                }
+                g[rd] = (g[rs] as i64).wrapping_div(g[rt] as i64) as u64;
+                Flow::Next
+            }
+            Mod => {
+                if g[rt] == 0 {
+                    return Err(VmTrap::DivideByZero);
+                }
+                g[rd] = (g[rs] as i64).wrapping_rem(g[rt] as i64) as u64;
+                Flow::Next
+            }
+            Divu => {
+                if g[rt] == 0 {
+                    return Err(VmTrap::DivideByZero);
+                }
+                g[rd] = g[rs] / g[rt];
+                Flow::Next
+            }
+            Modu => {
+                if g[rt] == 0 {
+                    return Err(VmTrap::DivideByZero);
+                }
+                g[rd] = g[rs] % g[rt];
+                Flow::Next
+            }
+            And => {
+                g[rd] = g[rs] & g[rt];
+                Flow::Next
+            }
+            Or => {
+                g[rd] = g[rs] | g[rt];
+                Flow::Next
+            }
+            Xor => {
+                g[rd] = g[rs] ^ g[rt];
+                Flow::Next
+            }
+            Shl => {
+                g[rd] = g[rs].wrapping_shl(g[rt] as u32);
+                Flow::Next
+            }
+            Shr => {
+                g[rd] = g[rs].wrapping_shr(g[rt] as u32);
+                Flow::Next
+            }
+            Sar => {
+                g[rd] = (g[rs] as i64).wrapping_shr(g[rt] as u32) as u64;
+                Flow::Next
+            }
+            Slt => {
+                g[rd] = ((g[rs] as i64) < (g[rt] as i64)) as u64;
+                Flow::Next
+            }
+            Sltu => {
+                g[rd] = (g[rs] < g[rt]) as u64;
+                Flow::Next
+            }
+
+            Addi => {
+                g[rd] = g[rs].wrapping_add(imm as u64);
+                Flow::Next
+            }
+            Andi => {
+                g[rd] = g[rs] & imm as u64;
+                Flow::Next
+            }
+            Ori => {
+                g[rd] = g[rs] | imm as u64;
+                Flow::Next
+            }
+            Xori => {
+                g[rd] = g[rs] ^ imm as u64;
+                Flow::Next
+            }
+            Shli => {
+                g[rd] = g[rs].wrapping_shl(imm as u32 & 63);
+                Flow::Next
+            }
+            Shri => {
+                g[rd] = g[rs].wrapping_shr(imm as u32 & 63);
+                Flow::Next
+            }
+            Sari => {
+                g[rd] = (g[rs] as i64).wrapping_shr(imm as u32 & 63) as u64;
+                Flow::Next
+            }
+            Slti => {
+                g[rd] = ((g[rs] as i64) < imm) as u64;
+                Flow::Next
+            }
+            Muli => {
+                g[rd] = g[rs].wrapping_mul(imm as u64);
+                Flow::Next
+            }
+            Ldi => {
+                g[rd] = imm as u64;
+                Flow::Next
+            }
+            Ldih => {
+                g[rd] = (g[rd] << 12) | (i.imm as u64 & 0xfff);
+                Flow::Next
+            }
+
+            Ldb => {
+                let a = g[rs].wrapping_add(imm as u64);
+                g[rd] = mem.read_u8(a).map_err(VmTrap::Mem)? as u64;
+                Flow::Next
+            }
+            Ldh => {
+                let a = g[rs].wrapping_add(imm as u64);
+                let mut b = [0u8; 2];
+                mem.read(a, &mut b).map_err(VmTrap::Mem)?;
+                g[rd] = u16::from_le_bytes(b) as u64;
+                Flow::Next
+            }
+            Ldw => {
+                let a = g[rs].wrapping_add(imm as u64);
+                g[rd] = mem.read_u32(a).map_err(VmTrap::Mem)? as u64;
+                Flow::Next
+            }
+            Ldd => {
+                let a = g[rs].wrapping_add(imm as u64);
+                g[rd] = mem.read_u64(a).map_err(VmTrap::Mem)?;
+                Flow::Next
+            }
+            Stb => {
+                let a = g[rs].wrapping_add(imm as u64);
+                mem.write_u8(a, g[rd] as u8).map_err(VmTrap::Mem)?;
+                Flow::Next
+            }
+            Sth => {
+                let a = g[rs].wrapping_add(imm as u64);
+                mem.write(a, &(g[rd] as u16).to_le_bytes())
+                    .map_err(VmTrap::Mem)?;
+                Flow::Next
+            }
+            Stw => {
+                let a = g[rs].wrapping_add(imm as u64);
+                mem.write_u32(a, g[rd] as u32).map_err(VmTrap::Mem)?;
+                Flow::Next
+            }
+            Std => {
+                let a = g[rs].wrapping_add(imm as u64);
+                mem.write_u64(a, g[rd]).map_err(VmTrap::Mem)?;
+                Flow::Next
+            }
+
+            Beq => branch(g[rs] == g[rt]),
+            Bne => branch(g[rs] != g[rt]),
+            Blt => branch((g[rs] as i64) < (g[rt] as i64)),
+            Bge => branch((g[rs] as i64) >= (g[rt] as i64)),
+            Bltu => branch(g[rs] < g[rt]),
+            Bgeu => branch(g[rs] >= g[rt]),
+            Jal => {
+                g[rd] = next_pc;
+                Flow::Jump((next_pc as i64 + imm * 4) as u64)
+            }
+            Jalr => {
+                let target = g[rs].wrapping_add(imm as u64);
+                g[rd] = next_pc;
+                Flow::Jump(target)
+            }
+
+            Fadd => {
+                let v = self.regs.f(rs) + self.regs.f(rt);
+                self.regs.set_f(rd, v);
+                Flow::Next
+            }
+            Fsub => {
+                let v = self.regs.f(rs) - self.regs.f(rt);
+                self.regs.set_f(rd, v);
+                Flow::Next
+            }
+            Fmul => {
+                let v = self.regs.f(rs) * self.regs.f(rt);
+                self.regs.set_f(rd, v);
+                Flow::Next
+            }
+            Fdiv => {
+                let v = self.regs.f(rs) / self.regs.f(rt);
+                self.regs.set_f(rd, v);
+                Flow::Next
+            }
+            Fsqrt => {
+                let v = self.regs.f(rs).sqrt();
+                self.regs.set_f(rd, v);
+                Flow::Next
+            }
+            Cvtif => {
+                let v = self.regs.gpr[rs] as i64 as f64;
+                self.regs.set_f(rd, v);
+                Flow::Next
+            }
+            Cvtfi => {
+                // Rust's saturating float→int cast is deterministic.
+                self.regs.gpr[rd] = self.regs.f(rs) as i64 as u64;
+                Flow::Next
+            }
+            Flt => {
+                self.regs.gpr[rd] = (self.regs.f(rs) < self.regs.f(rt)) as u64;
+                Flow::Next
+            }
+            Feq => {
+                self.regs.gpr[rd] = (self.regs.f(rs) == self.regs.f(rt)) as u64;
+                Flow::Next
+            }
+            Fle => {
+                self.regs.gpr[rd] = (self.regs.f(rs) <= self.regs.f(rt)) as u64;
+                Flow::Next
+            }
+        };
+        Ok(flow)
+    }
+}
+
+enum Flow {
+    Next,
+    Jump(u64),
+    Halt,
+    Sys(u16),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use det_memory::{Perm, Region};
+
+    fn load(src: &str) -> (Cpu, AddressSpace) {
+        let image = assemble(src).expect("assembles");
+        let mut mem = AddressSpace::new();
+        mem.map_zero(Region::new(0, 0x10000), Perm::RW).unwrap();
+        mem.write(0, &image.bytes).unwrap();
+        (Cpu::new(), mem)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 100
+            ldi r2, 42
+            sub r3, r1, r2
+            halt
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+        assert_eq!(cpu.regs.gpr[3], 58);
+        assert_eq!(cpu.insn_count, 4);
+    }
+
+    #[test]
+    fn loop_sum() {
+        // Sum 1..=10 into r3.
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 10
+            ldi r3, 0
+        loop:
+            add r3, r3, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+        assert_eq!(cpu.regs.gpr[3], 55);
+    }
+
+    #[test]
+    fn memory_roundtrip_all_widths() {
+        let (mut cpu, mut mem) = load(
+            "
+            li  r5, 0x8000
+            ldi r1, -1
+            std r1, [r5+0]
+            ldb r2, [r5+0]
+            ldh r3, [r5+0]
+            ldw r4, [r5+0]
+            ldd r6, [r5+0]
+            halt
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+        assert_eq!(cpu.regs.gpr[2], 0xff);
+        assert_eq!(cpu.regs.gpr[3], 0xffff);
+        assert_eq!(cpu.regs.gpr[4], 0xffff_ffff);
+        assert_eq!(cpu.regs.gpr[6], u64::MAX);
+    }
+
+    #[test]
+    fn divide_by_zero_traps_without_commit() {
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 5
+            ldi r2, 0
+            div r3, r1, r2
+            halt
+            ",
+        );
+        let exit = cpu.run(&mut mem, None);
+        assert_eq!(exit, VmExit::Trap(VmTrap::DivideByZero));
+        // Trapped instruction does not retire; pc points at it.
+        assert_eq!(cpu.insn_count, 2);
+        assert_eq!(cpu.regs.pc, 8);
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut mem = AddressSpace::new();
+        mem.map_zero(Region::new(0, 0x1000), Perm::RW).unwrap();
+        mem.write_u32(0, 0xff00_0000).unwrap();
+        let mut cpu = Cpu::new();
+        assert_eq!(
+            cpu.run(&mut mem, None),
+            VmExit::Trap(VmTrap::IllegalInstruction(0xff))
+        );
+    }
+
+    #[test]
+    fn unmapped_fetch_traps() {
+        let mut mem = AddressSpace::new();
+        let mut cpu = Cpu::new();
+        assert!(matches!(
+            cpu.run(&mut mem, None),
+            VmExit::Trap(VmTrap::Mem(MemError::Unmapped { .. }))
+        ));
+    }
+
+    #[test]
+    fn store_to_readonly_traps() {
+        let image = assemble("li r5, 0x8000\nstd r1, [r5+0]\nhalt").unwrap();
+        let mut mem = AddressSpace::new();
+        mem.map_zero(Region::new(0, 0x1000), Perm::RW).unwrap();
+        mem.map_zero(Region::new(0x8000, 0x9000), Perm::R).unwrap();
+        mem.write(0, &image.bytes).unwrap();
+        let mut cpu = Cpu::new();
+        assert!(matches!(
+            cpu.run(&mut mem, None),
+            VmExit::Trap(VmTrap::Mem(MemError::PermDenied { .. }))
+        ));
+    }
+
+    #[test]
+    fn misaligned_pc_traps() {
+        let mut cpu = Cpu::new();
+        cpu.regs.pc = 2;
+        let mut mem = AddressSpace::new();
+        assert_eq!(
+            cpu.step(&mut mem),
+            Some(VmExit::Trap(VmTrap::PcMisaligned(2)))
+        );
+    }
+
+    #[test]
+    fn sys_returns_control_and_resumes() {
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 1
+            sys 7
+            addi r1, r1, 1
+            halt
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Sys(7));
+        assert_eq!(cpu.regs.gpr[1], 1);
+        // Resume after the syscall.
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+        assert_eq!(cpu.regs.gpr[1], 2);
+    }
+
+    #[test]
+    fn budget_is_exact_and_resumable() {
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 0
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            halt
+            ",
+        );
+        // Run exactly 2 instructions.
+        assert_eq!(cpu.run(&mut mem, Some(2)), VmExit::OutOfBudget);
+        assert_eq!(cpu.insn_count, 2);
+        assert_eq!(cpu.regs.gpr[1], 1);
+        // Zero budget runs nothing.
+        assert_eq!(cpu.run(&mut mem, Some(0)), VmExit::OutOfBudget);
+        assert_eq!(cpu.insn_count, 2);
+        // Resume to completion.
+        assert_eq!(cpu.run(&mut mem, Some(100)), VmExit::Halt);
+        assert_eq!(cpu.regs.gpr[1], 3);
+        assert_eq!(cpu.insn_count, 5);
+    }
+
+    #[test]
+    fn preemption_is_transparent() {
+        // Same program, run once without and once with many tiny
+        // quanta: identical final state and instruction count.
+        let src = "
+            ldi r1, 37
+            ldi r3, 0
+        loop:
+            add r3, r3, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li  r5, 0x8000
+            std r3, [r5+0]
+            halt
+        ";
+        let (mut a, mut mem_a) = load(src);
+        assert_eq!(a.run(&mut mem_a, None), VmExit::Halt);
+
+        let (mut b, mut mem_b) = load(src);
+        loop {
+            match b.run(&mut mem_b, Some(3)) {
+                VmExit::OutOfBudget => continue,
+                VmExit::Halt => break,
+                other => panic!("unexpected exit {other:?}"),
+            }
+        }
+        assert_eq!(a.regs, b.regs);
+        assert_eq!(a.insn_count, b.insn_count);
+        assert_eq!(
+            mem_a.content_digest(),
+            mem_b.content_digest()
+        );
+    }
+
+    #[test]
+    fn float_ops() {
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 9
+            cvtif r2, r1
+            fsqrt r3, r2
+            ldi r4, 2
+            cvtif r5, r4
+            fmul r6, r3, r5
+            cvtfi r7, r6
+            fle r8, r2, r6
+            flt r9, r2, r6
+            halt
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+        assert_eq!(cpu.regs.f(3), 3.0);
+        assert_eq!(cpu.regs.gpr[7], 6);
+        assert_eq!(cpu.regs.gpr[8], 0); // 9.0 <= 6.0 is false.
+        assert_eq!(cpu.regs.gpr[9], 0);
+    }
+
+    #[test]
+    fn jal_and_jalr_call_return() {
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 5
+            jal r14, double
+            jal r14, double
+            halt
+        double:
+            add r1, r1, r1
+            jalr r0, r14, 0
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+        assert_eq!(cpu.regs.gpr[1], 20);
+    }
+}

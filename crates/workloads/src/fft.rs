@@ -1,0 +1,184 @@
+//! The fft benchmark: iterative radix-2 FFT with a barrier per stage
+//! (§6.2, SPLASH-2's kernel reduced to one dimension).
+//!
+//! Complex samples live in the shared region (interleaved re/im
+//! doubles). Each stage partitions the N/2 butterflies contiguously
+//! across threads (disjoint writes); the master's barrier cycle merges
+//! all stripes and redistributes the array — the per-stage
+//! synchronization that makes fft markedly finer-grained than md5 yet
+//! still coarse enough to stay near the baseline (Fig. 7).
+
+use det_kernel::{Kernel, Region};
+use det_memory::Perm;
+use det_runtime::threads::{self, ThreadGroup};
+
+use crate::mathx::XorShift64;
+use crate::{Mode, RunResult};
+
+/// Virtual cost per butterfly (10 flops + twiddle lookup).
+pub const NS_PER_BUTTERFLY: u64 = 12;
+
+const BASE: u64 = 0x1000_0000;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FftConfig {
+    /// Threads.
+    pub threads: usize,
+    /// log2 of the transform size.
+    pub log2n: u32,
+}
+
+fn region_for(n: usize) -> Region {
+    let end = (BASE + (n * 16) as u64 + 0xfff) & !0xfff;
+    Region::new(BASE, end)
+}
+
+/// Runs the FFT; validates against a direct DFT at sampled
+/// frequencies. Checksum digests the spectrum bits.
+pub fn run(mode: Mode, cfg: FftConfig) -> RunResult {
+    let n = 1usize << cfg.log2n;
+    let threads = cfg.threads.max(1);
+    let region = region_for(n);
+    let log2n = cfg.log2n;
+    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+        ctx.mem_mut().map_zero(region, Perm::RW)?;
+        // Deterministic input signal.
+        let mut rng = XorShift64::new(0xFF7);
+        let input: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        // Bit-reversal permutation, done sequentially by the master.
+        let mut buf = vec![0f64; 2 * n];
+        for (i, &(re, im)) in input.iter().enumerate() {
+            let j = i.reverse_bits() >> (usize::BITS - log2n);
+            buf[2 * j] = re;
+            buf[2 * j + 1] = im;
+        }
+        ctx.mem_mut().write_f64s(BASE, &buf)?;
+        ctx.charge(n as u64 * 2)?;
+
+        let mut group = ThreadGroup::new(ctx, region, 0);
+        let bf_per = (n / 2).div_ceil(threads);
+        for t in 0..threads {
+            let lo = t * bf_per;
+            let hi = ((t + 1) * bf_per).min(n / 2);
+            group.fork(t as u64, move |c| {
+                for s in 0..log2n {
+                    let half = 1usize << s;
+                    for b in lo..hi {
+                        let g = b / half;
+                        let j = b % half;
+                        let i0 = g * half * 2 + j;
+                        let i1 = i0 + half;
+                        let ang = -std::f64::consts::PI * (j as f64) / (half as f64);
+                        let (wr, wi) = (ang.cos(), ang.sin());
+                        let x0r = c.mem().read_f64(BASE + (2 * i0) as u64 * 8)?;
+                        let x0i = c.mem().read_f64(BASE + (2 * i0 + 1) as u64 * 8)?;
+                        let x1r = c.mem().read_f64(BASE + (2 * i1) as u64 * 8)?;
+                        let x1i = c.mem().read_f64(BASE + (2 * i1 + 1) as u64 * 8)?;
+                        let tr = x1r * wr - x1i * wi;
+                        let ti = x1r * wi + x1i * wr;
+                        c.mem_mut().write_f64(BASE + (2 * i0) as u64 * 8, x0r + tr)?;
+                        c.mem_mut().write_f64(BASE + (2 * i0 + 1) as u64 * 8, x0i + ti)?;
+                        c.mem_mut().write_f64(BASE + (2 * i1) as u64 * 8, x0r - tr)?;
+                        c.mem_mut().write_f64(BASE + (2 * i1 + 1) as u64 * 8, x0i - ti)?;
+                    }
+                    c.charge((hi - lo) as u64 * NS_PER_BUTTERFLY)?;
+                    if s + 1 < log2n {
+                        threads::barrier(c)?;
+                    }
+                }
+                Ok(0)
+            }).map_err(det_runtime::RtError::into_kernel)?;
+        }
+        let ids: Vec<u64> = (0..threads as u64).collect();
+        group
+            .run_to_completion(&ids)
+            .map_err(det_runtime::RtError::into_kernel)?;
+
+        // Validate against a direct DFT at sampled frequencies.
+        let spectrum = ctx.mem().read_f64s(BASE, 2 * n)?;
+        let mut spot = XorShift64::new(3);
+        for _ in 0..6 {
+            let k = spot.below(n as u64) as usize;
+            let (mut sr, mut si) = (0f64, 0f64);
+            for (t, &(re, im)) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / (n as f64);
+                let (c0, s0) = (ang.cos(), ang.sin());
+                sr += re * c0 - im * s0;
+                si += re * s0 + im * c0;
+            }
+            let got_r = spectrum[2 * k];
+            let got_i = spectrum[2 * k + 1];
+            let scale = (n as f64).sqrt().max(1.0);
+            assert!(
+                (got_r - sr).abs() < 1e-6 * scale && (got_i - si).abs() < 1e-6 * scale,
+                "bin {k}: got ({got_r},{got_i}), want ({sr},{si})"
+            );
+        }
+        let mut d = det_memory::ContentDigest::new();
+        for v in &spectrum {
+            d.update_u64(v.to_bits());
+        }
+        Ok((d.value() & 0x7fff_ffff) as i32)
+    });
+    let checksum = outcome.exit.expect("fft trapped") as u64;
+    RunResult {
+        vclock_ns: outcome.vclock_ns,
+        stats: outcome.stats,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_dft_in_both_modes() {
+        let cfg = FftConfig {
+            threads: 4,
+            log2n: 10,
+        };
+        let d = run(Mode::Determinator, cfg);
+        let b = run(Mode::Baseline, cfg);
+        assert_eq!(d.checksum, b.checksum);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let c1 = run(
+            Mode::Determinator,
+            FftConfig {
+                threads: 1,
+                log2n: 9,
+            },
+        )
+        .checksum;
+        let c4 = run(
+            Mode::Determinator,
+            FftConfig {
+                threads: 4,
+                log2n: 9,
+            },
+        )
+        .checksum;
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn per_stage_barriers_cost_more_than_md5_style() {
+        // fft must show a larger det/baseline gap than an
+        // embarrassingly parallel workload of similar compute.
+        let cfg = FftConfig {
+            threads: 4,
+            log2n: 12,
+        };
+        let d = run(Mode::Determinator, cfg).vclock_ns as f64;
+        let b = run(Mode::Baseline, cfg).vclock_ns as f64;
+        let ratio = d / b;
+        assert!(ratio > 1.05, "fft should pay for barriers, got {ratio}");
+        assert!(ratio < 12.0, "but stay usable, got {ratio}");
+    }
+}

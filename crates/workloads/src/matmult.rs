@@ -1,0 +1,184 @@
+//! The matmult benchmark: parallel integer matrix multiply (§6.2,
+//! Figures 7–9).
+//!
+//! C = A × B with row-stripe parallelism: each thread's private
+//! workspace sees fork-time A and B, computes its stripe of C for
+//! real, and writes it in place; joins merge the disjoint stripes.
+
+use det_kernel::{CopySpec, GetSpec, Kernel, Program, PutSpec, Region};
+use det_memory::Perm;
+
+use crate::mathx::XorShift64;
+use crate::{Mode, RunResult};
+
+/// Virtual cost of one multiply-accumulate on the paper's testbed
+/// (integer MAC + memory traffic in a naive triple loop ≈ 1.5 ns).
+pub const PS_PER_MAC: u64 = 1_500;
+
+const BASE: u64 = 0x1000_0000;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MatmultConfig {
+    /// Threads.
+    pub threads: usize,
+    /// Matrix dimension N (N×N matrices).
+    pub n: usize,
+}
+
+fn region_for(n: usize) -> Region {
+    let bytes = 3 * n * n * 8;
+    let end = (BASE + bytes as u64 + 0xfff) & !0xfff;
+    Region::new(BASE, end)
+}
+
+fn addr_a(_n: usize) -> u64 {
+    BASE
+}
+fn addr_b(n: usize) -> u64 {
+    BASE + (n * n * 8) as u64
+}
+fn addr_c(n: usize) -> u64 {
+    BASE + (2 * n * n * 8) as u64
+}
+
+/// Runs C = A×B under `mode`; checksum is an FNV digest of C,
+/// validated against a golden sequential product for small N and by
+/// spot checks for large N.
+pub fn run(mode: Mode, cfg: MatmultConfig) -> RunResult {
+    let n = cfg.n;
+    let threads = cfg.threads.max(1);
+    let shared = region_for(n);
+    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+        ctx.mem_mut().map_zero(shared, Perm::RW)?;
+        // Deterministic inputs.
+        let mut rng = XorShift64::new(0xA11CE);
+        let a: Vec<u64> = (0..n * n).map(|_| rng.below(1000)).collect();
+        let b: Vec<u64> = (0..n * n).map(|_| rng.below(1000)).collect();
+        ctx.mem_mut().write_u64s(addr_a(n), &a)?;
+        ctx.mem_mut().write_u64s(addr_b(n), &b)?;
+
+        let rows_per = n.div_ceil(threads);
+        for t in 0..threads {
+            let lo = t * rows_per;
+            let hi = ((t + 1) * rows_per).min(n);
+            ctx.put(
+                t as u64,
+                PutSpec::new()
+                    .program(Program::native(move |c| {
+                        if lo >= hi {
+                            return Ok(0);
+                        }
+                        // Private replica: bulk-read fork-time A rows
+                        // and all of B, compute for real, write the C
+                        // stripe in place.
+                        let a_rows = c.mem().read_u64s(addr_a(n) + (lo * n * 8) as u64, (hi - lo) * n)?;
+                        let b_all = c.mem().read_u64s(addr_b(n), n * n)?;
+                        let mut c_rows = vec![0u64; (hi - lo) * n];
+                        for i in 0..hi - lo {
+                            for k in 0..n {
+                                let aik = a_rows[i * n + k];
+                                let brow = &b_all[k * n..(k + 1) * n];
+                                let crow = &mut c_rows[i * n..(i + 1) * n];
+                                for (cv, bv) in crow.iter_mut().zip(brow) {
+                                    *cv = cv.wrapping_add(aik.wrapping_mul(*bv));
+                                }
+                            }
+                        }
+                        c.mem_mut()
+                            .write_u64s(addr_c(n) + (lo * n * 8) as u64, &c_rows)?;
+                        let macs = ((hi - lo) * n * n) as u64;
+                        c.charge(macs * PS_PER_MAC / 1000)?;
+                        Ok(0)
+                    }))
+                    .copy(CopySpec::mirror(shared))
+                    .snap()
+                    .start(),
+            )?;
+        }
+        for t in 0..threads {
+            ctx.get(t as u64, GetSpec::new().merge(shared))?;
+        }
+        // Validate: golden product for small N, spot checks otherwise.
+        let c_all = ctx.mem().read_u64s(addr_c(n), n * n)?;
+        if n <= 64 {
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0u64;
+                    for k in 0..n {
+                        acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+                    }
+                    assert_eq!(c_all[i * n + j], acc, "C[{i}][{j}]");
+                }
+            }
+        } else {
+            let mut spot = XorShift64::new(7);
+            for _ in 0..16 {
+                let i = spot.below(n as u64) as usize;
+                let j = spot.below(n as u64) as usize;
+                let mut acc = 0u64;
+                for k in 0..n {
+                    acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+                }
+                assert_eq!(c_all[i * n + j], acc, "C[{i}][{j}]");
+            }
+        }
+        let mut d = det_memory::ContentDigest::new();
+        for v in &c_all {
+            d.update_u64(*v);
+        }
+        Ok((d.value() & 0x7fff_ffff) as i32)
+    });
+    let checksum = outcome.exit.expect("matmult trapped") as u64;
+    RunResult {
+        vclock_ns: outcome.vclock_ns,
+        stats: outcome.stats,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_and_mode_independent() {
+        let cfg = MatmultConfig { threads: 3, n: 32 };
+        let d = run(Mode::Determinator, cfg);
+        let b = run(Mode::Baseline, cfg);
+        assert_eq!(d.checksum, b.checksum);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let c1 = run(Mode::Determinator, MatmultConfig { threads: 1, n: 24 }).checksum;
+        let c4 = run(Mode::Determinator, MatmultConfig { threads: 4, n: 24 }).checksum;
+        let c5 = run(Mode::Determinator, MatmultConfig { threads: 5, n: 24 }).checksum;
+        assert_eq!(c1, c4);
+        assert_eq!(c1, c5);
+    }
+
+    #[test]
+    fn large_n_approaches_baseline_small_n_does_not() {
+        // Figure 9's shape: the det/baseline ratio improves with N.
+        let ratio = |n: usize| {
+            let d = run(Mode::Determinator, MatmultConfig { threads: 4, n }).vclock_ns;
+            let b = run(Mode::Baseline, MatmultConfig { threads: 4, n }).vclock_ns;
+            d as f64 / b as f64
+        };
+        let small = ratio(16);
+        let large = ratio(128);
+        assert!(
+            large < small,
+            "ratio must improve with size: {small} -> {large}"
+        );
+        assert!(large < 1.6, "large-N matmult near parity, got {large}");
+    }
+
+    #[test]
+    fn parallel_speedup() {
+        let t1 = run(Mode::Determinator, MatmultConfig { threads: 1, n: 96 }).vclock_ns;
+        let t4 = run(Mode::Determinator, MatmultConfig { threads: 4, n: 96 }).vclock_ns;
+        assert!(t1 as f64 / t4 as f64 > 2.5);
+    }
+}

@@ -1,0 +1,187 @@
+//! The qsort benchmark: recursive parallel quicksort (§6.2, Fig. 10).
+//!
+//! Each recursion level partitions its subarray in its private
+//! workspace, then forks two child spaces that sort the disjoint
+//! halves in place; joins merge the halves back. Leaves sort natively.
+
+use det_kernel::{CopySpec, GetSpec, Kernel, KernelError, Program, PutSpec, Region, SpaceCtx};
+use det_memory::Perm;
+
+use crate::mathx::XorShift64;
+use crate::{Mode, RunResult};
+
+/// Virtual cost per element per partition pass (compare + swap mix).
+pub const NS_PER_PARTITION_ELEM: u64 = 2;
+/// Virtual cost per element-level of the leaf sort (n·log₂n · this).
+pub const NS_PER_SORT_ELEM_LEVEL: u64 = 5;
+
+const BASE: u64 = 0x1000_0000;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct QsortConfig {
+    /// Fork depth: 2^depth leaf sorters.
+    pub depth: u32,
+    /// Array length.
+    pub n: usize,
+}
+
+fn region_for(n: usize) -> Region {
+    let end = (BASE + (n * 8) as u64 + 0xfff) & !0xfff;
+    Region::new(BASE, end)
+}
+
+/// Recursive sorter running inside a space: sorts `[lo, hi)` of the
+/// shared array.
+fn sort_range(
+    ctx: &mut SpaceCtx,
+    region: Region,
+    lo: usize,
+    hi: usize,
+    depth: u32,
+) -> std::result::Result<(), KernelError> {
+    let n = hi - lo;
+    if n <= 1 {
+        return Ok(());
+    }
+    if depth == 0 || n < 4 {
+        // Leaf: real in-place sort of the private replica.
+        let mut vals = ctx.mem().read_u64s(BASE + (lo * 8) as u64, n)?;
+        vals.sort_unstable();
+        ctx.mem_mut().write_u64s(BASE + (lo * 8) as u64, &vals)?;
+        let levels = (n.max(2) as f64).log2().ceil() as u64;
+        ctx.charge(n as u64 * levels * NS_PER_SORT_ELEM_LEVEL)?;
+        return Ok(());
+    }
+    // Partition for real (median-of-three pivot).
+    let mut vals = ctx.mem().read_u64s(BASE + (lo * 8) as u64, n)?;
+    let pivot = {
+        let a = vals[0];
+        let b = vals[n / 2];
+        let c = vals[n - 1];
+        a.max(b).min(a.min(b).max(c))
+    };
+    let (mut i, mut j) = (0usize, n - 1);
+    loop {
+        while vals[i] < pivot {
+            i += 1;
+        }
+        while vals[j] > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        vals.swap(i, j);
+        i += 1;
+        j = j.saturating_sub(1);
+    }
+    let mid = lo + i.max(1).min(n - 1);
+    ctx.mem_mut().write_u64s(BASE + (lo * 8) as u64, &vals)?;
+    ctx.charge(n as u64 * NS_PER_PARTITION_ELEM)?;
+
+    // Fork two children on the disjoint halves.
+    for (t, (clo, chi)) in [(lo, mid), (mid, hi)].into_iter().enumerate() {
+        ctx.put(
+            t as u64,
+            PutSpec::new()
+                .program(Program::native(move |c| {
+                    sort_range(c, region, clo, chi, depth - 1)?;
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(region))
+                .snap()
+                .start(),
+        )?;
+    }
+    for t in 0..2u64 {
+        ctx.get(t, GetSpec::new().merge(region))?;
+    }
+    Ok(())
+}
+
+/// Runs the parallel quicksort; the checksum digests the sorted array,
+/// and sortedness plus content preservation are asserted.
+pub fn run(mode: Mode, cfg: QsortConfig) -> RunResult {
+    let n = cfg.n;
+    let depth = cfg.depth;
+    let region = region_for(n);
+    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+        ctx.mem_mut().map_zero(region, Perm::RW)?;
+        let mut rng = XorShift64::new(0x5027);
+        let input: Vec<u64> = (0..n).map(|_| rng.below(1 << 40)).collect();
+        let expected_sum: u64 = input.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        ctx.mem_mut().write_u64s(BASE, &input)?;
+        sort_range(ctx, region, 0, n, depth)?;
+        let sorted = ctx.mem().read_u64s(BASE, n)?;
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+        let sum = sorted.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        assert_eq!(sum, expected_sum, "content changed");
+        let mut d = det_memory::ContentDigest::new();
+        for v in &sorted {
+            d.update_u64(*v);
+        }
+        Ok((d.value() & 0x7fff_ffff) as i32)
+    });
+    let checksum = outcome.exit.expect("qsort trapped") as u64;
+    RunResult {
+        vclock_ns: outcome.vclock_ns,
+        stats: outcome.stats,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_correctly_in_both_modes() {
+        let cfg = QsortConfig { depth: 2, n: 4096 };
+        let d = run(Mode::Determinator, cfg);
+        let b = run(Mode::Baseline, cfg);
+        assert_eq!(d.checksum, b.checksum);
+    }
+
+    #[test]
+    fn depth_zero_is_sequential_sort() {
+        let r = run(Mode::Determinator, QsortConfig { depth: 0, n: 1000 });
+        assert!(r.stats.spaces_created == 0);
+    }
+
+    #[test]
+    fn small_arrays_pay_relatively_more() {
+        // Fig. 10's shape: det/baseline ratio shrinks as n grows.
+        let ratio = |n: usize| {
+            let cfg = QsortConfig { depth: 2, n };
+            run(Mode::Determinator, cfg).vclock_ns as f64
+                / run(Mode::Baseline, cfg).vclock_ns as f64
+        };
+        let small = ratio(512);
+        let large = ratio(65_536);
+        assert!(large < small, "ratio must fall with n: {small} -> {large}");
+    }
+
+    #[test]
+    fn adversarial_inputs_still_sort() {
+        // Already-sorted and all-equal arrays exercise pivot edges.
+        for seedless in [true, false] {
+            let n = 2048;
+            let region = region_for(n);
+            let outcome = Kernel::new(Mode::Determinator.config()).run(move |ctx| {
+                ctx.mem_mut().map_zero(region, Perm::RW)?;
+                let input: Vec<u64> = if seedless {
+                    (0..n as u64).collect()
+                } else {
+                    vec![7; n]
+                };
+                ctx.mem_mut().write_u64s(BASE, &input)?;
+                sort_range(ctx, region, 0, n, 2)?;
+                let sorted = ctx.mem().read_u64s(BASE, n)?;
+                assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+                Ok(0)
+            });
+            assert_eq!(outcome.exit, Ok(0));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Record/replay (§2.1): all nondeterministic inputs are explicit
+//! device events at the root, so logging them suffices to reproduce an
+//! entire parallel execution bit-for-bit — no internal event logging.
+//!
+//! ```sh
+//! cargo run --release --example replay
+//! ```
+
+use determinator::kernel::{DeviceId, IoMode, Kernel, KernelConfig};
+use determinator::runtime::proc::{ProgramRegistry, run_process_tree_on};
+
+fn app(p: &mut determinator::runtime::Proc<'_>) -> determinator::runtime::Result<i32> {
+    // A parallel app mixing console input, clock reads, and entropy.
+    let mut line = [0u8; 64];
+    let n = p.read(0, &mut line)?;
+    let who = String::from_utf8_lossy(&line[..n]).trim().to_string();
+
+    let clock = p.ctx().dev_read(DeviceId::Clock)?.unwrap_or_default();
+    let seed = p.ctx().dev_read(DeviceId::Random)?.unwrap_or_default();
+    let t = u64::from_le_bytes(clock.try_into().unwrap_or_default());
+    let s = u64::from_le_bytes(seed.try_into().unwrap_or_default());
+
+    let pid = p.fork(move |c| {
+        c.charge(1_000_000)?;
+        c.print(&format!("child computed token {:x}\n", s.rotate_left(17) ^ 0xD15C))?;
+        Ok(0)
+    })?;
+    p.waitpid(pid)?;
+    p.print(&format!("hello {who}, clock={t}, seed={s:x}\n"))?;
+    Ok(0)
+}
+
+fn main() {
+    // --- Run 1: record. ---------------------------------------------
+    let kernel = Kernel::new(KernelConfig::default());
+    kernel.push_input(DeviceId::ConsoleIn, b"ada\n".to_vec());
+    let rec = run_process_tree_on(kernel, ProgramRegistry::new(), app);
+    assert_eq!(rec.exit, Ok(0));
+    println!("--- recorded run ---");
+    print!("{}", rec.console_string());
+    let log_json = rec.io_log.to_json();
+    println!(
+        "({} input events captured, {} bytes of log)",
+        rec.io_log.events.len(),
+        log_json.len()
+    );
+
+    // --- Run 2: replay from the log alone (no pushed input!). --------
+    let log = determinator::kernel::IoLog::from_json(&log_json).expect("log parses");
+    let kernel = Kernel::new(KernelConfig {
+        io: IoMode::Replay(log),
+        ..Default::default()
+    });
+    let rep = run_process_tree_on(kernel, ProgramRegistry::new(), app);
+    println!("--- replayed run ---");
+    print!("{}", rep.console_string());
+
+    assert_eq!(rec.console(), rep.console(), "replay must be bit-identical");
+    assert_eq!(rec.vclock_ns, rep.vclock_ns, "even virtual time matches");
+    println!("\nreplay identical: output and virtual clock match exactly");
+}

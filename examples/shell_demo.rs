@@ -1,0 +1,55 @@
+//! The scripted Determinator shell (§5): pipelines, redirection, and
+//! byte-identical reruns (§4.3).
+//!
+//! ```sh
+//! cargo run --release --example shell_demo
+//! ```
+
+use determinator::kernel::KernelConfig;
+use determinator::runtime::proc::{ProgramRegistry, run_process_tree};
+use determinator::runtime::shell;
+
+const SCRIPT: &str = "
+# Build a tiny corpus, then query it through a pipeline.
+echo the quick brown fox > corpus.txt
+echo jumps over the lazy dog >> corpus.txt
+cat corpus.txt | wc > stats.txt
+cat stats.txt
+ls
+upper corpus.txt
+";
+
+fn registry() -> ProgramRegistry {
+    let mut reg = ProgramRegistry::new();
+    // A user 'binary' resolved via exec(), like a program on $PATH.
+    reg.register("upper", |p, args| {
+        let path = args.first().cloned().unwrap_or_default();
+        let fd = p.open_read(&path)?;
+        let data = p.read_to_end(fd)?;
+        let upper: Vec<u8> = data.iter().map(|b| b.to_ascii_uppercase()).collect();
+        p.write(1, &upper)?;
+        Ok(0)
+    });
+    reg
+}
+
+fn main() {
+    let run = || {
+        run_process_tree(KernelConfig::default(), registry(), |p| {
+            shell::run_script(p, SCRIPT)
+        })
+    };
+    let first = run();
+    assert_eq!(first.exit, Ok(0));
+    print!("{}", first.console_string());
+
+    let second = run();
+    assert_eq!(
+        first.console(),
+        second.console(),
+        "reruns must be byte-identical"
+    );
+    println!("\n(rerun produced byte-identical console output: {} bytes)",
+        first.console().len()
+    );
+}

@@ -1,0 +1,99 @@
+//! **determinator** — a Rust reproduction of *"Efficient
+//! System-Enforced Deterministic Parallelism"* (Aviram, Weng, Hu,
+//! Ford; OSDI 2010).
+//!
+//! Determinator is an operating system that makes *all* unprivileged
+//! computation deterministic by construction: user code runs in a
+//! hierarchy of single-threaded [`kernel::SpaceCtx`] *spaces* with
+//! private virtual memory, three system calls (Put/Get/Ret), and no
+//! access to any nondeterministic input except explicit, loggable
+//! device events at the root. On top, a user-level runtime rebuilds
+//! processes, a shared file system, shared-memory threads and even
+//! legacy lock-based APIs — all race-free or
+//! deterministically-scheduled.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`memory`] | `det-memory` | paged COW address spaces, snapshots, byte-granularity merge |
+//! | [`vm`] | `det-vm` | deterministic RISC-style VM with exact instruction limits |
+//! | [`kernel`] | `det-kernel` | spaces, Put/Get/Ret, devices, virtual-time cost model |
+//! | [`runtime`] | `det-runtime` | fork/exec/wait, replicated fs, threads, dsched, shell |
+//! | [`cluster`] | `det-cluster` | space migration across simulated nodes |
+//! | [`workloads`] | `det-workloads` | the paper's benchmarks + baselines |
+//!
+//! # Quickstart
+//!
+//! The paper's headline example: two "threads" racing on `x` and `y`
+//! swap them cleanly, because each works in a private workspace and
+//! the kernel merges their writes at join:
+//!
+//! ```
+//! use determinator::kernel::{
+//!     CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec,
+//! };
+//! use determinator::memory::{Perm, Region};
+//!
+//! let shared = Region::new(0x1000, 0x2000);
+//! let (x, y) = (0x1000, 0x1008);
+//! let out = Kernel::new(KernelConfig::default()).run(move |ctx| {
+//!     ctx.mem_mut().map_zero(shared, Perm::RW)?;
+//!     ctx.mem_mut().write_u64(x, 1)?;
+//!     ctx.mem_mut().write_u64(y, 2)?;
+//!     ctx.put(0, PutSpec::new()
+//!         .program(Program::native(move |c| {
+//!             let v = c.mem().read_u64(y)?;
+//!             c.mem_mut().write_u64(x, v)?; // x = y
+//!             Ok(0)
+//!         }))
+//!         .copy(CopySpec::mirror(shared)).snap().start())?;
+//!     ctx.put(1, PutSpec::new()
+//!         .program(Program::native(move |c| {
+//!             let v = c.mem().read_u64(x)?;
+//!             c.mem_mut().write_u64(y, v)?; // y = x
+//!             Ok(0)
+//!         }))
+//!         .copy(CopySpec::mirror(shared)).snap().start())?;
+//!     ctx.get(0, GetSpec::new().merge(shared))?;
+//!     ctx.get(1, GetSpec::new().merge(shared))?;
+//!     assert_eq!(ctx.mem().read_u64(x)?, 2);
+//!     assert_eq!(ctx.mem().read_u64(y)?, 1);
+//!     Ok(0)
+//! });
+//! assert_eq!(out.exit, Ok(0));
+//! ```
+//!
+//! See `examples/` for the actor simulation (Figure 1), the parallel
+//! make scenario (Figure 4), the scripted shell, record/replay, and
+//! cluster distribution.
+
+/// Paged copy-on-write memory: `det-memory`.
+pub mod memory {
+    pub use det_memory::*;
+}
+
+/// Deterministic virtual CPU: `det-vm`.
+pub mod vm {
+    pub use det_vm::*;
+}
+
+/// The Determinator kernel: `det-kernel`.
+pub mod kernel {
+    pub use det_kernel::*;
+}
+
+/// User-level runtime: `det-runtime`.
+pub mod runtime {
+    pub use det_runtime::*;
+}
+
+/// Cluster simulation: `det-cluster`.
+pub mod cluster {
+    pub use det_cluster::*;
+}
+
+/// The paper's benchmarks: `det-workloads`.
+pub mod workloads {
+    pub use det_workloads::*;
+}

@@ -1,0 +1,157 @@
+//! Cross-crate determinism tests: the paper's core claim, verified
+//! end-to-end — identical results, output bytes, and virtual clocks
+//! across repeated runs and perturbed host schedules, for every layer
+//! of the stack.
+
+use determinator::kernel::{DeviceId, IoMode, Kernel, KernelConfig};
+use determinator::runtime::proc::{ProgramRegistry, run_process_tree, run_process_tree_on};
+use determinator::runtime::shell;
+use determinator::workloads::blackscholes::{self, BsConfig};
+use determinator::workloads::dist::{self, DistConfig};
+use determinator::workloads::fft::{self, FftConfig};
+use determinator::workloads::lu::{self, Layout, LuConfig};
+use determinator::workloads::matmult::{self, MatmultConfig};
+use determinator::workloads::md5::{self, Md5Config};
+use determinator::workloads::qsort::{self, QsortConfig};
+use determinator::workloads::Mode;
+
+/// Every single-node workload: identical checksum AND identical
+/// virtual time across reruns (full-stack repeatability).
+#[test]
+fn workloads_repeat_exactly() {
+    let run_all = || {
+        vec![
+            {
+                let r = md5::run(Mode::Determinator, Md5Config::quick(3));
+                (r.checksum, r.vclock_ns)
+            },
+            {
+                let r = matmult::run(Mode::Determinator, MatmultConfig { threads: 3, n: 48 });
+                (r.checksum, r.vclock_ns)
+            },
+            {
+                let r = qsort::run(Mode::Determinator, QsortConfig { depth: 2, n: 8192 });
+                (r.checksum, r.vclock_ns)
+            },
+            {
+                let r = blackscholes::run(Mode::Determinator, BsConfig::quick(3));
+                (r.checksum, r.vclock_ns)
+            },
+            {
+                let r = fft::run(
+                    Mode::Determinator,
+                    FftConfig {
+                        threads: 3,
+                        log2n: 10,
+                    },
+                );
+                (r.checksum, r.vclock_ns)
+            },
+            {
+                let r = lu::run(
+                    Mode::Determinator,
+                    LuConfig {
+                        threads: 3,
+                        n: 40,
+                        layout: Layout::NonContiguous,
+                    },
+                );
+                (r.checksum, r.vclock_ns)
+            },
+        ]
+    };
+    assert_eq!(run_all(), run_all());
+}
+
+/// Distributed runs repeat exactly too (migration, demand paging and
+/// network charges are all deterministic).
+#[test]
+fn distributed_runs_repeat_exactly() {
+    let run = || {
+        let r = dist::md5_tree(DistConfig {
+            nodes: 4,
+            size: 2_000,
+            tcp_like: false,
+        });
+        (r.checksum, r.vclock_ns, r.stats.migrations)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Checksums are also identical across Determinator and the
+/// conventional baseline — the model changes timing, never results.
+#[test]
+fn results_mode_invariant() {
+    for threads in [1usize, 2, 5] {
+        let d = matmult::run(Mode::Determinator, MatmultConfig { threads, n: 40 });
+        let b = matmult::run(Mode::Baseline, MatmultConfig { threads, n: 40 });
+        assert_eq!(d.checksum, b.checksum, "threads={threads}");
+    }
+}
+
+/// The shell's console output is byte-identical run to run, including
+/// across interleaved child processes (§4.3).
+#[test]
+fn shell_script_repeats_byte_identically() {
+    let script = "
+        echo one > a
+        echo two > b
+        cat a b | wc
+        ls
+    ";
+    let run = || {
+        run_process_tree(KernelConfig::default(), ProgramRegistry::new(), move |p| {
+            shell::run_script(p, script)
+        })
+    };
+    let x = run();
+    let y = run();
+    assert_eq!(x.exit, Ok(0));
+    assert_eq!(x.console(), y.console());
+    assert_eq!(x.vclock_ns, y.vclock_ns);
+}
+
+/// Record/replay end-to-end through the process runtime: a run
+/// consuming console, clock, and entropy inputs replays bit-for-bit
+/// from its log alone (§2.1).
+#[test]
+fn record_replay_full_stack() {
+    let app = |p: &mut determinator::runtime::Proc<'_>| {
+        let mut buf = [0u8; 16];
+        let n = p.read(0, &mut buf)?;
+        let clock = p.ctx().dev_read(DeviceId::Clock)?.unwrap();
+        let rand = p.ctx().dev_read(DeviceId::Random)?.unwrap();
+        p.write(1, &buf[..n])?;
+        p.write(1, &clock)?;
+        p.write(1, &rand)?;
+        Ok(0)
+    };
+    let kernel = Kernel::new(KernelConfig::default());
+    kernel.push_input(DeviceId::ConsoleIn, b"input!".to_vec());
+    let rec = run_process_tree_on(kernel, ProgramRegistry::new(), app);
+    assert_eq!(rec.exit, Ok(0));
+
+    let kernel = Kernel::new(KernelConfig {
+        io: IoMode::Replay(rec.io_log.clone()),
+        ..Default::default()
+    });
+    let rep = run_process_tree_on(kernel, ProgramRegistry::new(), app);
+    assert_eq!(rec.console(), rep.console());
+    assert_eq!(rec.vclock_ns, rep.vclock_ns);
+}
+
+/// Host-schedule independence at the workload level: sleeping threads
+/// at random points must not change anything observable.
+#[test]
+fn host_schedule_perturbation_is_invisible() {
+    // The qsort forks a tree of spaces whose host threads race; the
+    // kernel rendezvous discipline must hide all of it.
+    let runs: Vec<(u64, u64)> = (0..3)
+        .map(|_| {
+            let r = qsort::run(Mode::Determinator, QsortConfig { depth: 3, n: 20_000 });
+            (r.checksum, r.vclock_ns)
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
