@@ -6,6 +6,7 @@
 use criterion::{Criterion, criterion_group, criterion_main};
 use std::hint::black_box;
 
+use det_workloads::Mode;
 use det_workloads::blackscholes::{self, BsConfig};
 use det_workloads::dist::{self, DistConfig};
 use det_workloads::fft::{self, FftConfig};
@@ -13,7 +14,6 @@ use det_workloads::lu::{self, Layout, LuConfig};
 use det_workloads::matmult::{self, MatmultConfig};
 use det_workloads::md5::{self, Md5Config};
 use det_workloads::qsort::{self, QsortConfig};
-use det_workloads::Mode;
 
 fn fig7_fig8_benchmarks(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_fig8");
@@ -25,12 +25,23 @@ fn fig7_fig8_benchmarks(c: &mut Criterion) {
     });
     g.bench_function("matmult_det_4t", |b| {
         b.iter(|| {
-            black_box(matmult::run(Mode::Determinator, MatmultConfig { threads: 4, n: 64 }).vclock_ns)
+            black_box(
+                matmult::run(Mode::Determinator, MatmultConfig { threads: 4, n: 64 }).vclock_ns,
+            )
         })
     });
     g.bench_function("qsort_det_4t", |b| {
         b.iter(|| {
-            black_box(qsort::run(Mode::Determinator, QsortConfig { depth: 2, n: 16_384 }).vclock_ns)
+            black_box(
+                qsort::run(
+                    Mode::Determinator,
+                    QsortConfig {
+                        depth: 2,
+                        n: 16_384,
+                    },
+                )
+                .vclock_ns,
+            )
         })
     });
     g.bench_function("blackscholes_dsched_4t", |b| {
@@ -38,7 +49,16 @@ fn fig7_fig8_benchmarks(c: &mut Criterion) {
     });
     g.bench_function("fft_det_4t", |b| {
         b.iter(|| {
-            black_box(fft::run(Mode::Determinator, FftConfig { threads: 4, log2n: 10 }).vclock_ns)
+            black_box(
+                fft::run(
+                    Mode::Determinator,
+                    FftConfig {
+                        threads: 4,
+                        log2n: 10,
+                    },
+                )
+                .vclock_ns,
+            )
         })
     });
     g.bench_function("lu_cont_det_4t", |b| {
@@ -64,7 +84,9 @@ fn fig9_fig10_sweeps(c: &mut Criterion) {
     for n in [32usize, 128] {
         g.bench_function(format!("fig9_matmult_n{n}"), |b| {
             b.iter(|| {
-                black_box(matmult::run(Mode::Determinator, MatmultConfig { threads: 4, n }).vclock_ns)
+                black_box(
+                    matmult::run(Mode::Determinator, MatmultConfig { threads: 4, n }).vclock_ns,
+                )
             })
         });
     }

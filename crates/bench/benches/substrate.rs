@@ -42,7 +42,9 @@ fn bench_merge(c: &mut Criterion) {
     child.copy_from(&parent, MB4, MB4.start).unwrap();
     let snap = child.snapshot();
     for vpn in 0..1024u64 {
-        child.write_u64(MB4.start + vpn * 4096 + 64, vpn + 1).unwrap();
+        child
+            .write_u64(MB4.start + vpn * 4096 + 64, vpn + 1)
+            .unwrap();
     }
     c.bench_function("merge_diff_4MiB_all_pages_dirty", |b| {
         b.iter(|| {

@@ -60,93 +60,111 @@ fn bench_pair(name: &str, threads: usize, scale: Scale) -> (u64, u64) {
     let run = |mode: Mode| -> u64 {
         match (name, scale) {
             ("md5", Scale::Quick) => md5::run(mode, Md5Config::quick(threads)).vclock_ns,
-            ("md5", Scale::Full) => md5::run(
-                mode,
-                Md5Config {
-                    threads,
-                    keyspace: 200_000,
-                    target: 173_210,
-                },
-            )
-            .vclock_ns,
+            ("md5", Scale::Full) => {
+                md5::run(
+                    mode,
+                    Md5Config {
+                        threads,
+                        keyspace: 200_000,
+                        target: 173_210,
+                    },
+                )
+                .vclock_ns
+            }
             ("matmult", Scale::Quick) => {
                 matmult::run(mode, MatmultConfig { threads, n: 128 }).vclock_ns
             }
             ("matmult", Scale::Full) => {
                 matmult::run(mode, MatmultConfig { threads, n: 512 }).vclock_ns
             }
-            ("qsort", Scale::Quick) => qsort::run(
-                mode,
-                QsortConfig {
-                    depth: threads.next_power_of_two().trailing_zeros(),
-                    n: 65_536,
-                },
-            )
-            .vclock_ns,
-            ("qsort", Scale::Full) => qsort::run(
-                mode,
-                QsortConfig {
-                    depth: threads.next_power_of_two().trailing_zeros(),
-                    n: 1 << 20,
-                },
-            )
-            .vclock_ns,
-            ("blackscholes", Scale::Quick) => blackscholes::run(
-                mode,
-                BsConfig {
-                    threads,
-                    options: 16_384,
-                    quantum_ns: 1_000_000,
-                },
-            )
-            .vclock_ns,
-            ("blackscholes", Scale::Full) => blackscholes::run(
-                mode,
-                BsConfig {
-                    threads,
-                    options: 65_536,
-                    quantum_ns: blackscholes::PAPER_QUANTUM_NS,
-                },
-            )
-            .vclock_ns,
+            ("qsort", Scale::Quick) => {
+                qsort::run(
+                    mode,
+                    QsortConfig {
+                        depth: threads.next_power_of_two().trailing_zeros(),
+                        n: 65_536,
+                    },
+                )
+                .vclock_ns
+            }
+            ("qsort", Scale::Full) => {
+                qsort::run(
+                    mode,
+                    QsortConfig {
+                        depth: threads.next_power_of_two().trailing_zeros(),
+                        n: 1 << 20,
+                    },
+                )
+                .vclock_ns
+            }
+            ("blackscholes", Scale::Quick) => {
+                blackscholes::run(
+                    mode,
+                    BsConfig {
+                        threads,
+                        options: 16_384,
+                        quantum_ns: 1_000_000,
+                    },
+                )
+                .vclock_ns
+            }
+            ("blackscholes", Scale::Full) => {
+                blackscholes::run(
+                    mode,
+                    BsConfig {
+                        threads,
+                        options: 65_536,
+                        quantum_ns: blackscholes::PAPER_QUANTUM_NS,
+                    },
+                )
+                .vclock_ns
+            }
             ("fft", Scale::Quick) => fft::run(mode, FftConfig { threads, log2n: 13 }).vclock_ns,
             ("fft", Scale::Full) => fft::run(mode, FftConfig { threads, log2n: 16 }).vclock_ns,
-            ("lu_cont", Scale::Quick) => lu::run(
-                mode,
-                LuConfig {
-                    threads,
-                    n: 128,
-                    layout: Layout::Contiguous,
-                },
-            )
-            .vclock_ns,
-            ("lu_cont", Scale::Full) => lu::run(
-                mode,
-                LuConfig {
-                    threads,
-                    n: 320,
-                    layout: Layout::Contiguous,
-                },
-            )
-            .vclock_ns,
-            ("lu_noncont", Scale::Quick) => lu::run(
-                mode,
-                LuConfig {
-                    threads,
-                    n: 128,
-                    layout: Layout::NonContiguous,
-                },
-            )
-            .vclock_ns,
-            ("lu_noncont", Scale::Full) => lu::run(
-                mode,
-                LuConfig {
-                    threads,
-                    n: 320,
-                    layout: Layout::NonContiguous,
-                },
-            )
-            .vclock_ns,
+            ("lu_cont", Scale::Quick) => {
+                lu::run(
+                    mode,
+                    LuConfig {
+                        threads,
+                        n: 128,
+                        layout: Layout::Contiguous,
+                    },
+                )
+                .vclock_ns
+            }
+            ("lu_cont", Scale::Full) => {
+                lu::run(
+                    mode,
+                    LuConfig {
+                        threads,
+                        n: 320,
+                        layout: Layout::Contiguous,
+                    },
+                )
+                .vclock_ns
+            }
+            ("lu_noncont", Scale::Quick) => {
+                lu::run(
+                    mode,
+                    LuConfig {
+                        threads,
+                        n: 128,
+                        layout: Layout::NonContiguous,
+                    },
+                )
+                .vclock_ns
+            }
+            ("lu_noncont", Scale::Full) => {
+                lu::run(
+                    mode,
+                    LuConfig {
+                        threads,
+                        n: 320,
+                        layout: Layout::NonContiguous,
+                    },
+                )
+                .vclock_ns
+            }
             _ => unreachable!("unknown benchmark {name}"),
         }
     };
@@ -180,8 +198,7 @@ pub fn fig7(scale: Scale) -> Table {
     let mut headers = vec!["benchmark".into()];
     headers.extend(threads.iter().map(|t| format!("{t} cpus")));
     Table {
-        title: "Figure 7 — speed relative to the nondeterministic baseline (1.0 = parity)"
-            .into(),
+        title: "Figure 7 — speed relative to the nondeterministic baseline (1.0 = parity)".into(),
         headers,
         rows,
     }
@@ -235,7 +252,15 @@ pub fn fig9(scale: Scale) -> Table {
 pub fn fig10(scale: Scale) -> Table {
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18],
-        Scale::Full => vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22],
+        Scale::Full => vec![
+            1 << 10,
+            1 << 12,
+            1 << 14,
+            1 << 16,
+            1 << 18,
+            1 << 20,
+            1 << 22,
+        ],
     };
     let rows = sizes
         .iter()
@@ -366,7 +391,10 @@ pub fn fig12(scale: Scale) -> Table {
             k.to_string(),
             format!("{:.2}", mp_md5 as f64 / det_md5 as f64),
             format!("{:.2}", mp_mm as f64 / det_mm as f64),
-            format!("{:+.2}%", (det_md5_tcp as f64 / det_md5 as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.2}%",
+                (det_md5_tcp as f64 / det_md5 as f64 - 1.0) * 100.0
+            ),
         ]);
     }
     Table {

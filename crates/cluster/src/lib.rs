@@ -142,7 +142,14 @@ impl ClusterHooks for SimCluster {
         ps
     }
 
-    fn on_copy(&self, src: SpaceId, dst: SpaceId, src_start_vpn: u64, dst_start_vpn: u64, pages: u64) {
+    fn on_copy(
+        &self,
+        src: SpaceId,
+        dst: SpaceId,
+        src_start_vpn: u64,
+        dst_start_vpn: u64,
+        pages: u64,
+    ) {
         self.inner
             .lock()
             .inherit(src, dst, src_start_vpn, dst_start_vpn, pages);
@@ -271,7 +278,8 @@ mod tests {
     fn written_pages_invalidate_remote_caches() {
         let (k, sim) = cluster_kernel(2);
         let out = k.run(|ctx| {
-            ctx.mem_mut().map_zero(Region::new(0x10000, 0x11000), Perm::RW)?;
+            ctx.mem_mut()
+                .map_zero(Region::new(0x10000, 0x11000), Perm::RW)?;
             ctx.mem_mut().write_u64(0x10000, 1)?;
             let region = Region::new(0x10000, 0x11000);
             // Worker on node 1 reads the page (cached there), master
@@ -307,11 +315,9 @@ mod tests {
     #[test]
     fn node_out_of_range_rejected() {
         let (k, _sim) = cluster_kernel(2);
-        let out = k.run(|ctx| {
-            match ctx.put(child_on_node(7, 0), PutSpec::new()) {
-                Err(det_kernel::KernelError::NodeUnreachable(7)) => Ok(0),
-                other => panic!("expected unreachable, got {other:?}"),
-            }
+        let out = k.run(|ctx| match ctx.put(child_on_node(7, 0), PutSpec::new()) {
+            Err(det_kernel::KernelError::NodeUnreachable(7)) => Ok(0),
+            other => panic!("expected unreachable, got {other:?}"),
         });
         assert_eq!(out.exit, Ok(0));
     }

@@ -51,11 +51,7 @@ impl Residency {
         let sid = space.index();
         let mut ps = 0u64;
         for &vpn in read.iter().chain(written) {
-            let here = self
-                .map
-                .entry((sid, node))
-                .or_default()
-                .contains(&vpn);
+            let here = self.map.entry((sid, node)).or_default().contains(&vpn);
             if here {
                 self.stats.cache_hits += 1;
                 continue;

@@ -159,12 +159,8 @@ impl SpaceCtx {
                 .state
                 .as_mut()
                 .expect("idle child has state");
-            let ps = hooks.on_rendezvous(
-                child_id,
-                child_st.cur_node,
-                parent_node,
-                &mut child_st.mem,
-            );
+            let ps =
+                hooks.on_rendezvous(child_id, child_st.cur_node, parent_node, &mut child_st.mem);
             let st = self.st_mut();
             st.vclock_ps = st.vclock_ps.saturating_add(ps);
         }
@@ -322,7 +318,13 @@ impl SpaceCtx {
         self.rendezvous_hook(&mut g, child_id);
 
         let regs = if spec.regs {
-            Some(g.slots[child_id.0 as usize].state.as_ref().expect("idle").regs)
+            Some(
+                g.slots[child_id.0 as usize]
+                    .state
+                    .as_ref()
+                    .expect("idle")
+                    .regs,
+            )
         } else {
             None
         };
@@ -489,10 +491,7 @@ fn clone_into(
 ) -> Result<()> {
     let (img, kids) = {
         let slot = &g.slots[src.0 as usize];
-        let st = slot
-            .state
-            .as_ref()
-            .ok_or(KernelError::ChildActive)?;
+        let st = slot.state.as_ref().ok_or(KernelError::ChildActive)?;
         (st.clone_image(), slot.children.clone())
     };
     {

@@ -110,9 +110,10 @@ impl DeviceHub {
     ) -> Result<Option<Vec<u8>>, crate::error::KernelError> {
         let data = match &self.mode {
             IoMode::Replay(log) => {
-                let ev = log.events.get(self.replay_next).ok_or(
-                    crate::error::KernelError::ReplayDivergence("log exhausted"),
-                )?;
+                let ev = log
+                    .events
+                    .get(self.replay_next)
+                    .ok_or(crate::error::KernelError::ReplayDivergence("log exhausted"))?;
                 if ev.device != dev {
                     return Err(crate::error::KernelError::ReplayDivergence(
                         "device mismatch",
@@ -173,8 +174,14 @@ mod tests {
         let mut hub = DeviceHub::new(IoMode::Record);
         hub.push_input(DeviceId::ConsoleIn, b"one".to_vec());
         hub.push_input(DeviceId::ConsoleIn, b"two".to_vec());
-        assert_eq!(hub.read(DeviceId::ConsoleIn).unwrap(), Some(b"one".to_vec()));
-        assert_eq!(hub.read(DeviceId::ConsoleIn).unwrap(), Some(b"two".to_vec()));
+        assert_eq!(
+            hub.read(DeviceId::ConsoleIn).unwrap(),
+            Some(b"one".to_vec())
+        );
+        assert_eq!(
+            hub.read(DeviceId::ConsoleIn).unwrap(),
+            Some(b"two".to_vec())
+        );
         assert_eq!(hub.read(DeviceId::ConsoleIn).unwrap(), None);
         let (_, log) = hub.into_parts();
         assert_eq!(log.events.len(), 3);

@@ -140,10 +140,7 @@ mod tests {
 
     #[test]
     fn vm_trap_conversion() {
-        assert_eq!(
-            TrapKind::from(VmTrap::DivideByZero),
-            TrapKind::DivideByZero
-        );
+        assert_eq!(TrapKind::from(VmTrap::DivideByZero), TrapKind::DivideByZero);
         assert_eq!(
             TrapKind::from(VmTrap::Mem(MemError::Unmapped { addr: 4 })),
             TrapKind::Mem(MemError::Unmapped { addr: 4 })

@@ -68,7 +68,14 @@ pub trait ClusterHooks: Send + Sync {
     /// `Put`+Copy and `Get`+Copy): destination pages share the
     /// sources' frames, so they inherit the sources' node residency.
     /// `src_start_vpn`/`dst_start_vpn` describe the aligned window.
-    fn on_copy(&self, src: SpaceId, dst: SpaceId, src_start_vpn: u64, dst_start_vpn: u64, pages: u64) {
+    fn on_copy(
+        &self,
+        src: SpaceId,
+        dst: SpaceId,
+        src_start_vpn: u64,
+        dst_start_vpn: u64,
+        pages: u64,
+    ) {
         let _ = (src, dst, src_start_vpn, dst_start_vpn, pages);
     }
 }
@@ -300,12 +307,7 @@ impl Shared {
 
     /// Migrates `st` to `target` node if needed, charging the hook's
     /// cost. `Err(NodeUnreachable)` without cluster hooks.
-    pub(crate) fn migrate(
-        &self,
-        id: SpaceId,
-        st: &mut SpaceState,
-        target: u16,
-    ) -> Result<()> {
+    pub(crate) fn migrate(&self, id: SpaceId, st: &mut SpaceState, target: u16) -> Result<()> {
         if st.cur_node == target {
             return Ok(());
         }
@@ -414,7 +416,11 @@ impl Kernel {
 
     /// Queues input bytes on a device (host side).
     pub fn push_input(&self, dev: DeviceId, data: impl Into<Vec<u8>>) {
-        self.shared.state.lock().devices.push_input(dev, data.into());
+        self.shared
+            .state
+            .lock()
+            .devices
+            .push_input(dev, data.into());
     }
 
     /// Returns a handle that can push device input while the kernel
@@ -490,7 +496,11 @@ pub struct InputHandle {
 impl InputHandle {
     /// Queues input bytes on a device.
     pub fn push(&self, dev: DeviceId, data: impl Into<Vec<u8>>) {
-        self.shared.state.lock().devices.push_input(dev, data.into());
+        self.shared
+            .state
+            .lock()
+            .devices
+            .push_input(dev, data.into());
     }
 }
 
@@ -532,7 +542,9 @@ fn vm_thread(shared: Arc<Shared>, id: SpaceId, mut st: Box<SpaceState>) {
         let executed = cpu.insn_count;
         st.regs = cpu.regs;
         st.insn_count += executed;
-        st.vclock_ps = st.vclock_ps.saturating_add(executed.saturating_mul(insn_ps));
+        st.vclock_ps = st
+            .vclock_ps
+            .saturating_add(executed.saturating_mul(insn_ps));
         if let Some(l) = st.limit_ps.as_mut() {
             *l = l.saturating_sub(executed.saturating_mul(insn_ps));
         }

@@ -24,7 +24,10 @@ fn setup_root(ctx: &mut SpaceCtx) -> det_kernel::Result<()> {
 #[test]
 fn child_halts_with_exit_code() {
     let out = kernel().run(|ctx| {
-        ctx.put(0, PutSpec::new().program(Program::native(|_| Ok(42))).start())?;
+        ctx.put(
+            0,
+            PutSpec::new().program(Program::native(|_| Ok(42))).start(),
+        )?;
         let r = ctx.get(0, GetSpec::new())?;
         assert_eq!(r.stop, StopReason::Halted);
         assert_eq!(r.code, 42);

@@ -76,6 +76,9 @@ mod tests {
 
     #[test]
     fn display_is_hex() {
-        assert_eq!(ContentDigest::new().to_string(), format!("{FNV_OFFSET:016x}"));
+        assert_eq!(
+            ContentDigest::new().to_string(),
+            format!("{FNV_OFFSET:016x}")
+        );
     }
 }

@@ -102,7 +102,9 @@ impl AddressSpace {
     ) -> Result<MergeStats> {
         match self.try_merge_from(child, snap, region, policy) {
             Ok((stats, None)) => Ok(stats),
-            Ok((_, Some(conflict))) => Err(MemError::Conflict { addr: conflict.addr }),
+            Ok((_, Some(conflict))) => Err(MemError::Conflict {
+                addr: conflict.addr,
+            }),
             Err(e) => Err(e),
         }
     }
@@ -357,7 +359,12 @@ mod tests {
         child.write(0x6000, b"grown").unwrap();
         let snap2 = AddressSpace::new(); // Empty snapshot for that range.
         let stats = parent
-            .merge_from(&child, &snap2, Region::new(0x6000, 0x7000), ConflictPolicy::Strict)
+            .merge_from(
+                &child,
+                &snap2,
+                Region::new(0x6000, 0x7000),
+                ConflictPolicy::Strict,
+            )
             .unwrap();
         assert_eq!(stats.pages_mapped, 1);
         assert_eq!(parent.read_vec(0x6000, 5).unwrap(), b"grown");
@@ -370,7 +377,12 @@ mod tests {
         child.write_u8(0x4000, 2).unwrap();
         // Merge only the first page.
         parent
-            .merge_from(&child, &snap, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .merge_from(
+                &child,
+                &snap,
+                Region::new(0x1000, 0x2000),
+                ConflictPolicy::Strict,
+            )
             .unwrap();
         assert_eq!(parent.read_u8(0x1000).unwrap(), 1);
         assert_eq!(parent.read_u8(0x4000).unwrap(), 0);
@@ -395,10 +407,20 @@ mod tests {
         c1.write_u64(0x1000, 111).unwrap();
         c2.write_u64(0x1008, 222).unwrap();
         parent
-            .merge_from(&c1, &s1, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .merge_from(
+                &c1,
+                &s1,
+                Region::new(0x1000, 0x2000),
+                ConflictPolicy::Strict,
+            )
             .unwrap();
         parent
-            .merge_from(&c2, &s2, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .merge_from(
+                &c2,
+                &s2,
+                Region::new(0x1000, 0x2000),
+                ConflictPolicy::Strict,
+            )
             .unwrap();
         assert_eq!(parent.read_u64(0x1000).unwrap(), 111);
         assert_eq!(parent.read_u64(0x1008).unwrap(), 222);
@@ -421,12 +443,22 @@ mod tests {
         c1.write_u64(0x1000, 111).unwrap();
         c2.write_u64(0x1000, 222).unwrap();
         parent
-            .merge_from(&c1, &s1, Region::new(0x1000, 0x2000), ConflictPolicy::Strict)
+            .merge_from(
+                &c1,
+                &s1,
+                Region::new(0x1000, 0x2000),
+                ConflictPolicy::Strict,
+            )
             .unwrap();
         // Second join sees the conflict — exactly the paper's actor
         // array example (§2.2).
         assert!(matches!(
-            parent.merge_from(&c2, &s2, Region::new(0x1000, 0x2000), ConflictPolicy::Strict),
+            parent.merge_from(
+                &c2,
+                &s2,
+                Region::new(0x1000, 0x2000),
+                ConflictPolicy::Strict
+            ),
             Err(MemError::Conflict { addr: 0x1000 })
         ));
     }
@@ -457,8 +489,12 @@ mod tests {
         let v = c2.read_u64(x).unwrap();
         c2.write_u64(y, v).unwrap();
         let r = Region::new(0x1000, 0x2000);
-        parent.merge_from(&c1, &s1, r, ConflictPolicy::Strict).unwrap();
-        parent.merge_from(&c2, &s2, r, ConflictPolicy::Strict).unwrap();
+        parent
+            .merge_from(&c1, &s1, r, ConflictPolicy::Strict)
+            .unwrap();
+        parent
+            .merge_from(&c2, &s2, r, ConflictPolicy::Strict)
+            .unwrap();
         assert_eq!(parent.read_u64(x).unwrap(), 2);
         assert_eq!(parent.read_u64(y).unwrap(), 1);
     }

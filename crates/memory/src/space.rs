@@ -137,7 +137,12 @@ impl AddressSpace {
     /// writes. Pages unmapped in the source become unmapped in the
     /// destination, making the copy an exact replica of the range.
     /// Returns the number of pages installed.
-    pub fn copy_from(&mut self, src: &AddressSpace, src_region: Region, dst_start: u64) -> Result<usize> {
+    pub fn copy_from(
+        &mut self,
+        src: &AddressSpace,
+        src_region: Region,
+        dst_start: u64,
+    ) -> Result<usize> {
         src_region.check_page_aligned()?;
         if dst_start & (PAGE_SIZE as u64 - 1) != 0 {
             return Err(MemError::Misaligned { addr: dst_start });
@@ -402,7 +407,9 @@ impl AddressSpace {
     /// Returns a mutable reference to the frame at `vpn`, cloning it
     /// first if shared (crate-internal, used by merge).
     pub(crate) fn frame_mut(&mut self, vpn: u64) -> Option<&mut Frame> {
-        self.pages.get_mut(&vpn).map(|e| Arc::make_mut(&mut e.frame))
+        self.pages
+            .get_mut(&vpn)
+            .map(|e| Arc::make_mut(&mut e.frame))
     }
 
     /// Returns the sorted list of mapped vpns intersecting `region`.
@@ -448,15 +455,9 @@ mod tests {
     #[test]
     fn unmapped_faults() {
         let s = rw_space(0x1000, 0x1000);
-        assert_eq!(
-            s.read_u8(0x3000),
-            Err(MemError::Unmapped { addr: 0x3000 })
-        );
+        assert_eq!(s.read_u8(0x3000), Err(MemError::Unmapped { addr: 0x3000 }));
         let mut s = s;
-        assert!(matches!(
-            s.write_u8(0x0, 1),
-            Err(MemError::Unmapped { .. })
-        ));
+        assert!(matches!(s.write_u8(0x0, 1), Err(MemError::Unmapped { .. })));
     }
 
     #[test]
@@ -474,7 +475,10 @@ mod tests {
         s.set_perm(Region::new(0x1000, 0x2000), Perm::RW).unwrap();
         assert!(s.write_u8(0x1000, 1).is_ok());
         s.set_perm(Region::new(0x1000, 0x2000), Perm::NONE).unwrap();
-        assert!(matches!(s.read_u8(0x1000), Err(MemError::PermDenied { .. })));
+        assert!(matches!(
+            s.read_u8(0x1000),
+            Err(MemError::PermDenied { .. })
+        ));
     }
 
     #[test]

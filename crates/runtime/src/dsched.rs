@@ -306,18 +306,15 @@ impl<'c> DSched<'c> {
     fn process_transfers(&mut self) {
         let ids: Vec<u64> = self.mutexes.keys().copied().collect();
         for m in ids {
-            loop {
-                let rec = self.mutexes.get_mut(&m).expect("exists");
-                if rec.locked || rec.waiters.is_empty() {
-                    break;
-                }
-                let w = rec.waiters.pop_front().expect("nonempty");
-                rec.owner = w;
-                rec.locked = true;
-                let _ = self.write_mailbox(m);
-                self.threads.insert(w, TState::Runnable);
-                break;
+            let rec = self.mutexes.get_mut(&m).expect("exists");
+            if rec.locked || rec.waiters.is_empty() {
+                continue;
             }
+            let w = rec.waiters.pop_front().expect("nonempty");
+            rec.owner = w;
+            rec.locked = true;
+            let _ = self.write_mailbox(m);
+            self.threads.insert(w, TState::Runnable);
         }
     }
 

@@ -112,9 +112,7 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(
-            RtError::NotFound("a/b".into()).to_string().contains("a/b")
-        );
+        assert!(RtError::NotFound("a/b".into()).to_string().contains("a/b"));
         assert!(
             RtError::FsImageOverflow { need: 10, cap: 5 }
                 .to_string()

@@ -413,14 +413,11 @@ impl<'a> Proc<'a> {
     where
         F: FnOnce(&mut Proc<'_>) -> Result<i32> + Send + 'static,
     {
-        let child_num = self
-            .free_child_nums
-            .pop_front()
-            .unwrap_or_else(|| {
-                let n = self.next_child_num;
-                self.next_child_num += 1;
-                n
-            });
+        let child_num = self.free_child_nums.pop_front().unwrap_or_else(|| {
+            let n = self.next_child_num;
+            self.next_child_num += 1;
+            n
+        });
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
 
@@ -493,12 +490,9 @@ impl<'a> Proc<'a> {
                     self.reconcile_child_image()?;
                     match r.code {
                         RET_NEED_INPUT => self.feed_child_input()?,
-                        RET_FLUSH => {
-                            if self.ctx.is_root() {
-                                self.flush_console()?;
-                            }
-                            // Non-root: our own later sync propagates.
-                        }
+                        RET_FLUSH if self.ctx.is_root() => self.flush_console()?,
+                        // Non-root flush: our own later sync propagates.
+                        RET_FLUSH => {}
                         other if other >= RET_EXIT_BASE => {}
                         _ => {}
                     }
@@ -634,11 +628,7 @@ fn load_fs_image(ctx: &mut SpaceCtx, base: u64) -> Result<FileSys> {
 /// assert_eq!(out.exit, Ok(0));
 /// assert_eq!(out.console(), b"hello\n");
 /// ```
-pub fn run_process_tree<F>(
-    config: KernelConfig,
-    registry: ProgramRegistry,
-    root: F,
-) -> RunOutcome
+pub fn run_process_tree<F>(config: KernelConfig, registry: ProgramRegistry, root: F) -> RunOutcome
 where
     F: FnOnce(&mut Proc<'_>) -> Result<i32> + Send + 'static,
 {

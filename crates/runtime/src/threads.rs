@@ -13,8 +13,8 @@
 //! the master; children call [`barrier`] between phases.
 
 use det_kernel::{
-    ChildNum, CopySpec, GetSpec, KernelError, MergeStats, Program, PutSpec, Region, Regs,
-    SpaceCtx, StopReason,
+    ChildNum, CopySpec, GetSpec, KernelError, MergeStats, Program, PutSpec, Region, Regs, SpaceCtx,
+    StopReason,
 };
 
 use crate::error::{Result, RtError};

@@ -2,9 +2,9 @@
 //! system reconciliation, threads, deterministic scheduling, shell.
 
 use det_kernel::{DeviceId, Kernel, KernelConfig};
-use det_runtime::run_deterministic;
 use det_memory::{Perm, Region};
 use det_runtime::proc::{ExitStatus, ProgramRegistry, run_process_tree, run_process_tree_on};
+use det_runtime::run_deterministic;
 use det_runtime::threads::{self, ThreadGroup};
 use det_runtime::{RtError, dsched, shell};
 
@@ -292,7 +292,9 @@ fn actor_simulation_is_race_free() {
             for i in 0..nactors {
                 group.fork(i, move |c| {
                     // New state = old left neighbour + old right.
-                    let l = c.mem().read_u64(SHARED.start + ((i + nactors - 1) % nactors) * 8)?;
+                    let l = c
+                        .mem()
+                        .read_u64(SHARED.start + ((i + nactors - 1) % nactors) * 8)?;
                     let r = c.mem().read_u64(SHARED.start + ((i + 1) % nactors) * 8)?;
                     c.mem_mut().write_u64(SHARED.start + i * 8, l + r)?;
                     Ok(0)
@@ -567,10 +569,7 @@ fn shell_runs_registered_programs() {
     let mut reg = ProgramRegistry::new();
     reg.register("rev", |p, _| {
         let data = p.read_to_end(0)?;
-        let mut line: Vec<u8> = data
-            .strip_suffix(b"\n")
-            .unwrap_or(&data)
-            .to_vec();
+        let mut line: Vec<u8> = data.strip_suffix(b"\n").unwrap_or(&data).to_vec();
         line.reverse();
         p.write(1, &line)?;
         p.write(1, b"\n")?;

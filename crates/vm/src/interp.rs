@@ -109,7 +109,7 @@ impl Cpu {
     /// [`Cpu::insn_count`]; trapped instructions do not commit.
     pub fn step(&mut self, mem: &mut AddressSpace) -> Option<VmExit> {
         let pc = self.regs.pc;
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return Some(VmExit::Trap(VmTrap::PcMisaligned(pc)));
         }
         let word = match mem.read_u32(pc) {
@@ -602,10 +602,7 @@ mod tests {
         }
         assert_eq!(a.regs, b.regs);
         assert_eq!(a.insn_count, b.insn_count);
-        assert_eq!(
-            mem_a.content_digest(),
-            mem_b.content_digest()
-        );
+        assert_eq!(mem_a.content_digest(), mem_b.content_digest());
     }
 
     #[test]

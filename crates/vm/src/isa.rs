@@ -28,7 +28,13 @@ pub struct Insn {
 impl Insn {
     /// Convenience constructor.
     pub fn new(op: Opcode, rd: u8, rs: u8, rt: u8, imm: i16) -> Insn {
-        Insn { op, rd, rs, rt, imm }
+        Insn {
+            op,
+            rd,
+            rs,
+            rt,
+            imm,
+        }
     }
 }
 

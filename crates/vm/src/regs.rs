@@ -32,10 +32,7 @@ impl Regs {
 
     /// Returns zeroed registers with the given entry point.
     pub fn at_entry(pc: u64) -> Regs {
-        Regs {
-            pc,
-            gpr: [0; 16],
-        }
+        Regs { pc, gpr: [0; 16] }
     }
 
     /// Reads register `r` as an IEEE-754 double.

@@ -69,14 +69,8 @@ proptest! {
             (Opcode::Shr, Some(a.wrapping_shr(b as u32))),
             (Opcode::Sltu, Some((a < b) as u64)),
             (Opcode::Slt, Some(((a as i64) < (b as i64)) as u64)),
-            (
-                Opcode::Divu,
-                if b == 0 { None } else { Some(a / b) },
-            ),
-            (
-                Opcode::Modu,
-                if b == 0 { None } else { Some(a % b) },
-            ),
+            (Opcode::Divu, a.checked_div(b)),
+            (Opcode::Modu, a.checked_rem(b)),
         ];
         for (op, expect) in cases {
             let mut mem = AddressSpace::new();

@@ -124,10 +124,12 @@ pub fn run(mode: Mode, cfg: BsConfig) -> RunResult {
                 for t in 0..threads {
                     let lo = t * per;
                     let hi = ((t + 1) * per).min(options);
-                    sched.spawn(t as u64, move |c| {
-                        price_stripe(c, options, lo, hi)?;
-                        Ok(0)
-                    }).map_err(det_runtime::RtError::into_kernel)?;
+                    sched
+                        .spawn(t as u64, move |c| {
+                            price_stripe(c, options, lo, hi)?;
+                            Ok(0)
+                        })
+                        .map_err(det_runtime::RtError::into_kernel)?;
                 }
                 sched.run().map_err(det_runtime::RtError::into_kernel)?;
             }
@@ -136,13 +138,17 @@ pub fn run(mode: Mode, cfg: BsConfig) -> RunResult {
                 for t in 0..threads {
                     let lo = t * per;
                     let hi = ((t + 1) * per).min(options);
-                    group.fork(t as u64, move |c| {
-                        price_stripe(c, options, lo, hi)?;
-                        Ok(0)
-                    }).map_err(det_runtime::RtError::into_kernel)?;
+                    group
+                        .fork(t as u64, move |c| {
+                            price_stripe(c, options, lo, hi)?;
+                            Ok(0)
+                        })
+                        .map_err(det_runtime::RtError::into_kernel)?;
                 }
                 for t in 0..threads {
-                    group.join(t as u64).map_err(det_runtime::RtError::into_kernel)?;
+                    group
+                        .join(t as u64)
+                        .map_err(det_runtime::RtError::into_kernel)?;
                 }
             }
         }

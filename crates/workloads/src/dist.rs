@@ -133,7 +133,8 @@ fn md5_tree_node(
         }
         ctx.charge((key_hi - key_lo) * NS_PER_HASH)?;
         if found != u64::MAX {
-            ctx.mem_mut().write_u64(BASE + (node_lo as u64) * 8, found)?;
+            ctx.mem_mut()
+                .write_u64(BASE + (node_lo as u64) * 8, found)?;
         }
         return Ok(());
     }
@@ -230,10 +231,8 @@ fn mm_tree_node(
                 }
             }
         }
-        ctx.mem_mut().write_u64s(
-            BASE + ((2 * n * n + row_lo * n) * 8) as u64,
-            &c_rows,
-        )?;
+        ctx.mem_mut()
+            .write_u64s(BASE + ((2 * n * n + row_lo * n) * 8) as u64, &c_rows)?;
         let macs = ((row_hi - row_lo) * n * n) as u64;
         ctx.charge(macs * PS_PER_MAC / 1000)?;
         return Ok(());
@@ -426,7 +425,11 @@ mod tests {
     #[test]
     fn mp_baselines_monotone() {
         // The message-passing md5 scales; mp matmult saturates.
-        let big = DistConfig { nodes: 1, size: 400_000, tcp_like: false };
+        let big = DistConfig {
+            nodes: 1,
+            size: 400_000,
+            tcp_like: false,
+        };
         let md5_1 = mp_md5_ns(big);
         let md5_8 = mp_md5_ns(DistConfig { nodes: 8, ..big });
         assert!(md5_1 as f64 / md5_8 as f64 > 4.0);

@@ -18,8 +18,8 @@ pub mod blackscholes;
 pub mod dist;
 pub mod fft;
 pub mod lu;
-pub mod matmult;
 pub mod mathx;
+pub mod matmult;
 pub mod md5;
 pub mod qsort;
 

@@ -72,7 +72,9 @@ pub fn run(mode: Mode, cfg: MatmultConfig) -> RunResult {
                         // Private replica: bulk-read fork-time A rows
                         // and all of B, compute for real, write the C
                         // stripe in place.
-                        let a_rows = c.mem().read_u64s(addr_a(n) + (lo * n * 8) as u64, (hi - lo) * n)?;
+                        let a_rows = c
+                            .mem()
+                            .read_u64s(addr_a(n) + (lo * n * 8) as u64, (hi - lo) * n)?;
                         let b_all = c.mem().read_u64s(addr_b(n), n * n)?;
                         let mut c_rows = vec![0u64; (hi - lo) * n];
                         for i in 0..hi - lo {

@@ -7,8 +7,8 @@
 //! ```
 
 use determinator::kernel::KernelConfig;
-use determinator::runtime::run_deterministic;
 use determinator::memory::{Perm, Region};
+use determinator::runtime::run_deterministic;
 use determinator::runtime::threads::ThreadGroup;
 
 const NACTORS: u64 = 32;
@@ -41,7 +41,8 @@ fn main() {
                     let right = c.mem().read_u64(slot(i + 1))?;
                     let me = c.mem().read_u64(slot(i))?;
                     // update state of actor[i] accordingly, in place
-                    c.mem_mut().write_u64(slot(i), (left + right + me) % 1_000_003)?;
+                    c.mem_mut()
+                        .write_u64(slot(i), (left + right + me) % 1_000_003)?;
                     c.charge(250)?;
                     Ok(0)
                 })?;
@@ -59,9 +60,7 @@ fn main() {
         Ok((ctx.mem().content_digest().value() & 0x7fff_ffff) as i32)
     });
     let digest = out.exit.expect("simulation trapped");
-    println!(
-        "final universe digest: {digest:#x} (identical on every run, any host schedule)"
-    );
+    println!("final universe digest: {digest:#x} (identical on every run, any host schedule)");
     println!(
         "virtual makespan {} µs over {} merges, 0 races possible",
         out.vclock_ns / 1000,

@@ -22,7 +22,10 @@ fn app(p: &mut determinator::runtime::Proc<'_>) -> determinator::runtime::Result
 
     let pid = p.fork(move |c| {
         c.charge(1_000_000)?;
-        c.print(&format!("child computed token {:x}\n", s.rotate_left(17) ^ 0xD15C))?;
+        c.print(&format!(
+            "child computed token {:x}\n",
+            s.rotate_left(17) ^ 0xD15C
+        ))?;
         Ok(0)
     })?;
     p.waitpid(pid)?;

@@ -49,7 +49,8 @@ fn main() {
         second.console(),
         "reruns must be byte-identical"
     );
-    println!("\n(rerun produced byte-identical console output: {} bytes)",
+    println!(
+        "\n(rerun produced byte-identical console output: {} bytes)",
         first.console().len()
     );
 }

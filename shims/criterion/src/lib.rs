@@ -1,0 +1,210 @@
+//! Vendored shim for the parts of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, and `Bencher::{iter, iter_custom}`.
+//!
+//! It is a smoke harness, not a statistics engine: each benchmark is
+//! calibrated to a small fixed measurement budget and the mean ns/iter
+//! is printed, so `cargo bench` finishes quickly and `cargo bench
+//! --no-run` keeps the harnesses compiling.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (now in std).
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        // Cap so vendored benches stay quick even with real-criterion
+        // style budgets of seconds per benchmark.
+        self.measurement_time = t.min(Duration::from_millis(500));
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t.min(Duration::from_millis(100));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, &id.into(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(self.c, &id, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; records one timed batch.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iterations);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    // Warm-up + calibration: grow the batch until it costs ~1/sample_size
+    // of the measurement budget.
+    let per_sample = (c.measurement_time / c.sample_size as u32).max(Duration::from_micros(100));
+    let warm_up_deadline = Instant::now() + c.warm_up_time;
+    let mut iterations: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= per_sample || iterations >= 1 << 20 {
+            break;
+        }
+        if b.elapsed < per_sample / 4 && Instant::now() < warm_up_deadline {
+            iterations = iterations.saturating_mul(2);
+        } else {
+            iterations = iterations.saturating_mul(2).max(1);
+        }
+        if Instant::now() >= warm_up_deadline && b.elapsed >= per_sample / 8 {
+            break;
+        }
+    }
+
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    let deadline = Instant::now() + c.measurement_time;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iterations;
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    let ns_per_iter = if total_iters == 0 {
+        0.0
+    } else {
+        total.as_nanos() as f64 / total_iters as f64
+    };
+    println!("bench {id:<48} {ns_per_iter:>14.1} ns/iter ({total_iters} iters)");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_custom_records_duration() {
+        let mut b = Bencher {
+            iterations: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(Duration::from_nanos);
+        assert_eq!(b.elapsed, Duration::from_nanos(10));
+    }
+}

@@ -1,0 +1,256 @@
+//! Derive backend for the vendored `serde` shim.
+//!
+//! Parses the derive input with raw `proc_macro` tokens (no `syn` —
+//! the build has no registry access) and supports exactly the shapes
+//! the workspace uses: named-field structs and unit-variant enums,
+//! plus the `#[serde(skip)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next().expect("derive input ended before struct/enum") {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                it.next(); // the [...] attribute group
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw != "struct" && kw != "enum" {
+                    continue; // visibility etc.
+                }
+                let name = match it.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected type name, got {other:?}"),
+                };
+                let body = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => panic!(
+                        "serde shim derives support only braced structs/enums \
+                         (no generics, tuple or unit structs); got {other:?}"
+                    ),
+                };
+                return if kw == "struct" {
+                    Item::Struct {
+                        name,
+                        fields: parse_fields(body),
+                    }
+                } else {
+                    Item::Enum {
+                        name,
+                        variants: parse_variants(body),
+                    }
+                };
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True for `serde(skip)` / `serde(skip_serializing)` style attributes.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string().starts_with("skip"))),
+        _ => false,
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.next() {
+                if attr_is_serde_skip(g.stream()) {
+                    skip = true;
+                }
+            }
+        }
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(
+                it.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                it.next(); // pub(crate) etc.
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma. A `>`
+        // joined to a preceding `-` is a return arrow, not a generic
+        // close (e.g. `Box<dyn Fn(u64) -> u64>`).
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        loop {
+            let arrow_head = prev_dash;
+            prev_dash = false;
+            match it.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !arrow_head => {
+                        depth -= 1;
+                        assert!(
+                            depth >= 0,
+                            "serde shim: unbalanced `>` in type of field `{name}`"
+                        );
+                    }
+                    ',' if depth == 0 => break,
+                    '-' => prev_dash = true,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            it.next();
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        match it.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            other => {
+                panic!("serde shim supports only unit enum variants; got {other:?} after `{name}`")
+            }
+        }
+    }
+    variants
+}
+
+fn render_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ \
+                 let mut __f: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();"
+            ));
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "__f.push((::std::string::String::from(\"{fname}\"), \
+                     ::serde::Serialize::to_value(&self.{fname})));"
+                ));
+            }
+            out.push_str("::serde::Value::Object(__f) } }");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ \
+                 ::serde::Value::Str(::std::string::String::from(match self {{"
+            ));
+            for v in variants {
+                out.push_str(&format!("{name}::{v} => \"{v}\","));
+            }
+            out.push_str("})) } }");
+        }
+    }
+    out
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ \
+                 ::std::result::Result::Ok({name} {{"
+            ));
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    out.push_str(&format!("{fname}: ::std::default::Default::default(),"));
+                } else {
+                    out.push_str(&format!("{fname}: ::serde::field(__v, \"{fname}\")?,"));
+                }
+            }
+            out.push_str("}) } }");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ \
+                 match __v {{ ::serde::Value::Str(__s) => match __s.as_str() {{"
+            ));
+            for v in variants {
+                out.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                ));
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 ::std::format!(\"unknown {name} variant `{{}}`\", __other))), }}, \
+                 _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                 \"expected string for enum {name}\")), }} }} }}"
+            ));
+        }
+    }
+    out
+}

@@ -8,7 +8,7 @@ use determinator::kernel::{
     CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec, Regs, StopReason,
 };
 use determinator::memory::{Perm, Region};
-use determinator::vm::{Cpu, Insn, Opcode, encode};
+use determinator::vm::{Insn, Opcode, encode};
 use proptest::prelude::*;
 
 const CODE: Region = Region {
@@ -77,7 +77,9 @@ fn run_once(words: &[u32], budget_ns: u64) -> (String, u64, u64, u64) {
             }
             d.value()
         };
-        Ok((h.value() & 0x3fff_ffff) as i32)
+        // Fold the memory-image digest into the exit code so replays
+        // must agree on memory contents, not just registers.
+        Ok(((h.value() ^ mem_digest) & 0x3fff_ffff) as i32)
     });
     let code = out.exit.expect("root never traps here") as u64;
     (

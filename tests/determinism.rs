@@ -6,6 +6,7 @@
 use determinator::kernel::{DeviceId, IoMode, Kernel, KernelConfig};
 use determinator::runtime::proc::{ProgramRegistry, run_process_tree, run_process_tree_on};
 use determinator::runtime::shell;
+use determinator::workloads::Mode;
 use determinator::workloads::blackscholes::{self, BsConfig};
 use determinator::workloads::dist::{self, DistConfig};
 use determinator::workloads::fft::{self, FftConfig};
@@ -13,7 +14,6 @@ use determinator::workloads::lu::{self, Layout, LuConfig};
 use determinator::workloads::matmult::{self, MatmultConfig};
 use determinator::workloads::md5::{self, Md5Config};
 use determinator::workloads::qsort::{self, QsortConfig};
-use determinator::workloads::Mode;
 
 /// Every single-node workload: identical checksum AND identical
 /// virtual time across reruns (full-stack repeatability).
@@ -148,7 +148,13 @@ fn host_schedule_perturbation_is_invisible() {
     // kernel rendezvous discipline must hide all of it.
     let runs: Vec<(u64, u64)> = (0..3)
         .map(|_| {
-            let r = qsort::run(Mode::Determinator, QsortConfig { depth: 3, n: 20_000 });
+            let r = qsort::run(
+                Mode::Determinator,
+                QsortConfig {
+                    depth: 3,
+                    n: 20_000,
+                },
+            );
             (r.checksum, r.vclock_ns)
         })
         .collect();

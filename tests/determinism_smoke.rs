@@ -1,0 +1,112 @@
+//! Workspace-level determinism smoke test: one racy fork-join
+//! workload, run repeatedly while the host scheduler is deliberately
+//! perturbed by CPU-burning chaos threads, must always produce the
+//! same memory digest and virtual clock. This is the cheap,
+//! always-on version of the empirical claim the heavier property
+//! tests (`adversarial_vm.rs`, `determinism.rs`) check in depth.
+
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use determinator::kernel::{CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec};
+use determinator::memory::{Perm, Region};
+use determinator::workloads::Mode;
+use determinator::workloads::md5::{self, Md5Config};
+
+/// Forks eight children that each fill a private replica chunk of a
+/// shared region, merges them all back, and digests the final memory
+/// image. The children's host threads genuinely race; the digest and
+/// the virtual makespan must not depend on how that race resolves.
+fn fork_join_digest() -> (u64, u64) {
+    const SHARED: Region = Region {
+        start: 0x1000,
+        end: 0x1000 + 8 * 4096,
+    };
+    let digest = Arc::new(AtomicU64::new(0));
+    let digest_out = Arc::clone(&digest);
+    let out = Kernel::new(KernelConfig::default()).run(move |ctx| {
+        ctx.mem_mut().map_zero(SHARED, Perm::RW)?;
+        for child in 0..8u64 {
+            ctx.put(
+                child,
+                PutSpec::new()
+                    .program(Program::native(move |c| {
+                        let base = SHARED.start + child * 4096;
+                        for i in 0..512u64 {
+                            c.mem_mut().write_u64(
+                                base + i * 8,
+                                child.wrapping_mul(0x9e37).wrapping_add(i),
+                            )?;
+                        }
+                        Ok(0)
+                    }))
+                    .copy(CopySpec::mirror(SHARED))
+                    .snap()
+                    .start(),
+            )?;
+        }
+        for child in 0..8u64 {
+            ctx.get(child, GetSpec::new().merge(SHARED))?;
+        }
+        digest_out.store(ctx.mem().content_digest().value(), Ordering::Relaxed);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    (digest.load(Ordering::Relaxed), out.vclock_ns)
+}
+
+/// Spawns `n` chaos threads that burn CPU, yield, and sleep at pseudo
+/// random points so the OS scheduler interleaves the kernel's
+/// execution vehicles differently from an idle host.
+fn with_host_load<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let stop = Arc::new(AtomicBool::new(false));
+    let chaos: Vec<_> = (0..n)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut x = i as u64 + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if x.is_multiple_of(4096) {
+                        std::thread::yield_now();
+                    }
+                    if x.is_multiple_of(1 << 20) {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                std::hint::black_box(x)
+            })
+        })
+        .collect();
+    let result = f();
+    stop.store(true, Ordering::Relaxed);
+    for t in chaos {
+        t.join().expect("chaos thread");
+    }
+    result
+}
+
+#[test]
+fn memory_digest_stable_under_perturbed_host_schedule() {
+    let quiet = fork_join_digest();
+    let loaded = with_host_load(
+        2 * std::thread::available_parallelism().map_or(4, usize::from),
+        || (fork_join_digest(), fork_join_digest()),
+    );
+    assert_eq!(quiet, loaded.0, "digest changed under host load");
+    assert_eq!(quiet, loaded.1, "digest unstable across loaded reruns");
+}
+
+#[test]
+fn workload_checksum_stable_under_perturbed_host_schedule() {
+    let run = || {
+        let r = md5::run(Mode::Determinator, Md5Config::quick(4));
+        (r.checksum, r.vclock_ns)
+    };
+    let quiet = run();
+    let loaded = with_host_load(8, run);
+    assert_eq!(quiet, loaded, "md5 workload diverged under host load");
+}
