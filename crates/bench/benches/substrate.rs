@@ -34,19 +34,29 @@ fn bench_cow_copy(c: &mut Criterion) {
     });
 }
 
-fn bench_merge(c: &mut Criterion) {
-    // Dirty child: every page touched (worst-case diff volume).
+/// Builds a 4 MiB parent, a forked child with snapshot, and applies
+/// `dirty` to the child.
+fn fork_4mib(dirty: impl Fn(&mut AddressSpace)) -> (AddressSpace, AddressSpace, AddressSpace) {
     let mut parent = AddressSpace::new();
     parent.map_zero(MB4, Perm::RW).unwrap();
     let mut child = AddressSpace::new();
     child.copy_from(&parent, MB4, MB4.start).unwrap();
     let snap = child.snapshot();
-    for vpn in 0..1024u64 {
-        child
-            .write_u64(MB4.start + vpn * 4096 + 64, vpn + 1)
-            .unwrap();
-    }
-    c.bench_function("merge_diff_4MiB_all_pages_dirty", |b| {
+    dirty(&mut child);
+    (parent, child, snap)
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+
+    // Sparse-dirty: 16 of 1024 pages touched — the fork/join common
+    // case the dirty write-set exists for.
+    let (parent, child, snap) = fork_4mib(|ch| {
+        for i in 0..16u64 {
+            ch.write_u64(MB4.start + i * 64 * 4096 + 64, i + 1).unwrap();
+        }
+    });
+    g.bench_function("sparse_dirty_16_of_1024", |b| {
         b.iter(|| {
             let mut p = parent.clone();
             black_box(
@@ -55,17 +65,99 @@ fn bench_merge(c: &mut Criterion) {
             )
         })
     });
-    // Clean child: O(1) page skipping.
-    let clean = snap.clone();
-    c.bench_function("merge_unchanged_4MiB", |b| {
+    // The naive oracle on the same inputs: the pre-optimization engine.
+    g.bench_function("sparse_dirty_16_of_1024_reference", |b| {
         b.iter(|| {
             let mut p = parent.clone();
             black_box(
-                p.merge_from(&clean, &snap, MB4, ConflictPolicy::Strict)
+                det_memory::reference::merge_from_reference(
+                    &mut p,
+                    &child,
+                    &snap,
+                    MB4,
+                    ConflictPolicy::Strict,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    // Dense-dirty: every page touched (worst-case diff volume).
+    let (parent, child, snap) = fork_4mib(|ch| {
+        for vpn in 0..1024u64 {
+            ch.write_u64(MB4.start + vpn * 4096 + 64, vpn + 1).unwrap();
+        }
+    });
+    g.bench_function("dense_dirty_1024_of_1024", |b| {
+        b.iter(|| {
+            let mut p = parent.clone();
+            black_box(
+                p.merge_from(&child, &snap, MB4, ConflictPolicy::Strict)
                     .unwrap(),
             )
         })
     });
+
+    // Conflict-early: both sides wrote the first page; the scan must
+    // stop at the lowest conflicting address instead of diffing the
+    // remaining 1023 dirty pages.
+    let (parent, child, snap) = fork_4mib(|ch| {
+        for vpn in 0..1024u64 {
+            ch.write_u64(MB4.start + vpn * 4096 + 64, vpn + 1).unwrap();
+        }
+    });
+    let mut parent = parent;
+    parent.write_u64(MB4.start + 64, 0xDEAD).unwrap();
+    g.bench_function("conflict_early_first_page", |b| {
+        b.iter(|| {
+            let mut p = parent.clone();
+            let (stats, conflict) = p
+                .try_merge_from(&child, &snap, MB4, ConflictPolicy::Strict)
+                .unwrap();
+            assert!(conflict.is_some());
+            black_box(stats)
+        })
+    });
+
+    // Zero-page: the child mapped 1024 fresh zero pages it never
+    // wrote — dirty candidates that still alias the global zero frame
+    // and merge with no byte work.
+    let (parent, child, snap) = fork_4mib(|ch| {
+        ch.map_zero(
+            Region {
+                start: MB4.end,
+                end: MB4.end + 4 * 1024 * 1024,
+            },
+            Perm::RW,
+        )
+        .unwrap();
+    });
+    let wide = Region {
+        start: MB4.start,
+        end: MB4.end + 4 * 1024 * 1024,
+    };
+    g.bench_function("zero_page_1024_mapped_unwritten", |b| {
+        b.iter(|| {
+            let mut p = parent.clone();
+            black_box(
+                p.merge_from(&child, &snap, wide, ConflictPolicy::Strict)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Clean child: empty dirty set, O(dirty)=O(0) page examination.
+    let (parent, child, snap) = fork_4mib(|_| {});
+    g.bench_function("unchanged_0_of_1024", |b| {
+        b.iter(|| {
+            let mut p = parent.clone();
+            black_box(
+                p.merge_from(&child, &snap, MB4, ConflictPolicy::Strict)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
 }
 
 fn bench_syscall_rendezvous(c: &mut Criterion) {

@@ -69,6 +69,8 @@ mod tests {
         let mut k = KernelStats::default();
         let s = MergeStats {
             pages_scanned: 2,
+            pages_skipped_clean: 5,
+            words_compared: 16,
             bytes_copied: 10,
             ..Default::default()
         };
@@ -76,6 +78,8 @@ mod tests {
         k.record_merge(&s);
         assert_eq!(k.merges, 2);
         assert_eq!(k.merge_totals.0.pages_scanned, 4);
+        assert_eq!(k.merge_totals.0.pages_skipped_clean, 10);
+        assert_eq!(k.merge_totals.0.words_compared, 32);
         assert_eq!(k.merge_totals.0.bytes_copied, 20);
     }
 }

@@ -181,6 +181,80 @@ fn write_write_conflict_detected_at_second_join() {
 }
 
 #[test]
+fn merge_over_unaligned_region_fails_and_parent_is_intact() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    c.mem_mut().write_u64(0x2000, 0xBEEF)?;
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(R))
+                .snap()
+                .start(),
+        )?;
+        // Wait for the child, then attempt a misaligned merge.
+        ctx.get(0, GetSpec::new())?;
+        let before = ctx.mem().content_digest();
+        let e = ctx
+            .get(0, GetSpec::new().merge(Region::new(0x1000, 0x1800)))
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            KernelError::Mem(MemError::Misaligned { addr: 0x1800 })
+        ));
+        // The failed join left the parent byte-identical, and the
+        // child is still joinable over the aligned region.
+        assert_eq!(ctx.mem().content_digest(), before);
+        ctx.get(0, GetSpec::new().merge(R))?;
+        assert_eq!(ctx.mem().read_u64(0x2000)?, 0xBEEF);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
+fn merge_into_read_only_parent_mapping_fails_and_parent_is_intact() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    c.mem_mut().write_u64(0x2000, 0xF00D)?;
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(R))
+                .snap()
+                .start(),
+        )?;
+        ctx.get(0, GetSpec::new())?;
+        // The parent downgrades the page the child wrote to read-only:
+        // the join must fail up front (validate-before-write) instead
+        // of silently writing through the protection.
+        ctx.mem_mut()
+            .set_perm(Region::new(0x2000, 0x3000), Perm::R)?;
+        let before = ctx.mem().content_digest();
+        let e = ctx.get(0, GetSpec::new().merge(R)).unwrap_err();
+        assert!(matches!(
+            e,
+            KernelError::Mem(MemError::PermDenied { addr: 0x2000, .. })
+        ));
+        assert_eq!(ctx.mem().content_digest(), before);
+        assert_eq!(ctx.mem().read_u64(0x2000)?, 0);
+        // Restoring the mapping lets the same join complete.
+        ctx.mem_mut()
+            .set_perm(Region::new(0x2000, 0x3000), Perm::RW)?;
+        ctx.get(0, GetSpec::new().merge(R))?;
+        assert_eq!(ctx.mem().read_u64(0x2000)?, 0xF00D);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+#[test]
 fn merge_without_snapshot_is_rejected() {
     let out = kernel().run(|ctx| {
         setup_root(ctx)?;

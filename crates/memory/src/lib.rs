@@ -14,7 +14,12 @@
 //!   changed on both sides — the paper's `Snap`/`Merge` kernel options
 //!   (§3.2);
 //! * unchanged pages are skipped in O(1) via frame pointer equality,
-//!   mirroring the kernel's page-table diffing.
+//!   mirroring the kernel's page-table diffing — and pages outside the
+//!   child's *dirty write-set* (maintained by every mutation path,
+//!   cleared by `snapshot`) are never examined at all;
+//! * [`reference::merge_from_reference`] is the deliberately naive
+//!   merge oracle that differential tests and benches compare the
+//!   optimized engine against.
 //!
 //! All operations are deterministic: iteration orders are fixed
 //! (B-tree), no host state is consulted, and [`MergeStats`] exposes the
@@ -45,7 +50,8 @@
 //!     .unwrap();
 //! assert_eq!(parent.read_u8(0x2000).unwrap(), 9);
 //! assert_eq!(parent.read_u8(0x1003).unwrap(), 7);
-//! assert!(stats.pages_unchanged >= 1);
+//! // The page the child never touched was skipped via the dirty set.
+//! assert!(stats.pages_skipped_clean >= 1);
 //! ```
 
 mod digest;
@@ -53,6 +59,7 @@ mod error;
 mod merge;
 mod page;
 mod perm;
+pub mod reference;
 mod region;
 mod space;
 mod tracker;

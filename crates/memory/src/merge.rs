@@ -1,10 +1,29 @@
 //! Three-way, byte-granularity merge with conflict detection — the
 //! kernel's `Merge` option on `Get` (§3.2).
+//!
+//! The engine is optimized two ways over the naive formulation (which
+//! survives as [`crate::reference::merge_from_reference`], the
+//! differential-testing oracle):
+//!
+//! * **Dirty write-set**: instead of walking every mapped page in the
+//!   merge region, pass 1 visits only the child's dirty VPNs — pages
+//!   the child actually touched since its snapshot (see
+//!   [`AddressSpace::snapshot`] for the invariant). Clean pages are
+//!   never examined at all and are counted in
+//!   [`MergeStats::pages_skipped_clean`].
+//! * **Word-chunked diffing**: both conflict detection and apply
+//!   compare 8 bytes per step via `u64::from_ne_bytes`, descending to
+//!   byte granularity only inside a mismatching word. `words_compared`
+//!   counts chunk compares; `bytes_compared` counts only the bytes
+//!   examined individually — together they are the work actually done.
 
 use std::sync::Arc;
 
-use crate::page::{PAGE_SIZE, zero_frame};
+use crate::page::{Frame, PAGE_SIZE, zero_frame};
 use crate::{AddressSpace, MemError, Perm, Region, Result};
+
+/// Bytes per diff chunk: one `u64` comparison.
+pub(crate) const CHUNK: usize = 8;
 
 /// How the merge treats a byte changed on *both* sides since the
 /// snapshot.
@@ -41,17 +60,32 @@ pub struct MergeConflict {
 }
 
 /// Operation counts from a merge, consumed by the kernel's cost model.
+///
+/// All counters report work *actually performed*: a page skipped via
+/// the dirty set or frame identity contributes nothing to the compare
+/// and copy counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MergeStats {
-    /// Pages examined in the merge range.
+    /// Candidate pages examined (dirty pages mapped in the region).
     pub pages_scanned: u64,
-    /// Pages skipped in O(1) because child and snapshot share the frame.
+    /// Mapped pages in the region skipped without examination because
+    /// they were not in the child's dirty write-set.
+    pub pages_skipped_clean: u64,
+    /// Examined pages skipped in O(1) because child and snapshot share
+    /// the frame (or a fresh zero page matches a missing snapshot page).
     pub pages_unchanged: u64,
-    /// Pages that required a byte-level diff.
+    /// Examined pages skipped in O(1) because the parent already holds
+    /// the child's exact frame (self-merge of a previously adopted
+    /// page); only possible under non-strict policies.
+    pub pages_aliased: u64,
+    /// Pages that required a word/byte-level diff.
     pub pages_diffed: u64,
-    /// Bytes compared during diffing.
+    /// 8-byte chunk comparisons performed during diffing and apply.
+    pub words_compared: u64,
+    /// Byte comparisons performed inside mismatching words.
     pub bytes_compared: u64,
-    /// Bytes copied into the parent.
+    /// Bytes copied into the parent (a wholesale page adoption counts
+    /// as a full page).
     pub bytes_copied: u64,
     /// Pages newly mapped into the parent by the merge.
     pub pages_mapped: u64,
@@ -61,11 +95,24 @@ impl MergeStats {
     /// Accumulates another stats record into `self`.
     pub fn accumulate(&mut self, other: &MergeStats) {
         self.pages_scanned += other.pages_scanned;
+        self.pages_skipped_clean += other.pages_skipped_clean;
         self.pages_unchanged += other.pages_unchanged;
+        self.pages_aliased += other.pages_aliased;
         self.pages_diffed += other.pages_diffed;
+        self.words_compared += other.words_compared;
         self.bytes_compared += other.bytes_compared;
         self.bytes_copied += other.bytes_copied;
         self.pages_mapped += other.pages_mapped;
+    }
+}
+
+/// Reads the `u64` chunk at byte offset `w` of a page, or 0 for an
+/// absent (all-zero) base page.
+#[inline]
+fn word_at(bytes: Option<&[u8; PAGE_SIZE]>, w: usize) -> u64 {
+    match bytes {
+        Some(b) => u64::from_ne_bytes(b[w..w + CHUNK].try_into().expect("chunk of 8")),
+        None => 0,
     }
 }
 
@@ -84,15 +131,30 @@ impl AddressSpace {
     ///   [`MemError::Conflict`] (under
     ///   [`ConflictPolicy::BenignSameValue`], `c == p` is allowed).
     ///
-    /// Pages whose child frame is pointer-identical to the snapshot
-    /// frame are skipped without touching their bytes. Pages present in
-    /// the child but absent from both snapshot and parent are mapped
-    /// into the parent (the child extended the shared region). Pages
-    /// the merge does not mention are left untouched in the parent.
+    /// Only pages in the child's dirty write-set are examined; within
+    /// them, pages whose child frame is pointer-identical to the
+    /// snapshot frame are skipped without touching their bytes. Pages
+    /// present in the child but absent from both snapshot and parent
+    /// are mapped into the parent (the child extended the shared
+    /// region). Pages the merge does not mention are left untouched in
+    /// the parent.
+    ///
+    /// **Dirty-set precondition**: `snap` must be a snapshot of `child`
+    /// taken (and left unmodified) at or after the child's most recent
+    /// [`snapshot`](AddressSpace::snapshot) call, which is when the
+    /// write-set was last cleared. The kernel's `Snap` option satisfies
+    /// this by construction. See DESIGN.md §3.
     ///
     /// On conflict the parent is left unmodified (the merge validates
     /// before it writes), so a failed join can be reported and
-    /// re-examined — the kernel treats it as a child exception.
+    /// re-examined — the kernel treats it as a child exception. The
+    /// same validate-before-write rule applies to permissions: if any
+    /// page that would receive bytes is mapped read-only in the
+    /// parent, the merge fails with [`MemError::PermDenied`] without
+    /// modifying anything. A page whose parent frame *is* the child
+    /// frame (adopted at an earlier join) is already merged: under
+    /// non-strict policies it receives no writes and therefore needs
+    /// no write permission.
     pub fn merge_from(
         &mut self,
         child: &AddressSpace,
@@ -112,6 +174,10 @@ impl AddressSpace {
     /// Like [`merge_from`](AddressSpace::merge_from) but returns the
     /// full [`MergeConflict`] detail instead of collapsing it into an
     /// error, and never applies a conflicting merge.
+    ///
+    /// On a conflict the scan stops at the lowest conflicting address
+    /// (pages and bytes are visited in ascending order), so the stats
+    /// reflect only the work done up to detection.
     pub fn try_merge_from(
         &mut self,
         child: &AddressSpace,
@@ -121,73 +187,125 @@ impl AddressSpace {
     ) -> Result<(MergeStats, Option<MergeConflict>)> {
         region.check_page_aligned()?;
         let mut stats = MergeStats::default();
-
-        // Pass 1: find changed pages and detect conflicts without
-        // mutating the parent.
-        let mut dirty: Vec<u64> = Vec::new();
-        let mut vpns = child.vpns_in(region);
-        // Pages the child unmapped are not propagated (documented
-        // limitation; the runtime never unmaps inside shared regions).
-        vpns.dedup();
         let zero = zero_frame();
-        let mut first_conflict: Option<MergeConflict> = None;
-        for vpn in vpns {
+        let mapped_in_region = child.mapped_pages_in(region);
+
+        // Candidate set: dirty pages still mapped in the region
+        // (dirtied-then-unmapped pages are not propagated — documented
+        // limitation; the runtime never unmaps inside shared regions).
+        // `pages_skipped_clean` is exact on every exit path, including
+        // an early conflict return.
+        let mut candidates = child.dirty_vpns_in(region);
+        candidates.retain(|&vpn| child.entry_frame(vpn).is_some());
+        stats.pages_skipped_clean = mapped_in_region.saturating_sub(candidates.len() as u64);
+
+        // Pass 1: diff the child's dirty pages against the snapshot,
+        // detecting conflicts and permission violations without
+        // mutating the parent.
+        let mut apply: Vec<u64> = Vec::new();
+        for vpn in candidates {
+            let (child_frame, _) = child.entry_frame(vpn).expect("retained mapped");
             stats.pages_scanned += 1;
-            let (child_frame, _) = child.entry_frame(vpn).expect("vpn from child map");
             let snap_frame = snap.entry_frame(vpn).map(|(f, _)| f);
-            // O(1) unchanged test via frame identity.
-            if let Some(sf) = snap_frame {
-                if Arc::ptr_eq(child_frame, sf) {
+            // O(1) unchanged test via frame identity. A newly mapped
+            // page still aliasing the shared zero frame against a
+            // missing snapshot page is unchanged too (both read as
+            // zeroes).
+            match snap_frame {
+                Some(sf) if Arc::ptr_eq(child_frame, sf) => {
                     stats.pages_unchanged += 1;
                     continue;
                 }
-            } else if Arc::ptr_eq(child_frame, &zero) {
-                // Newly mapped but still the shared zero frame: treat a
-                // zero page against a missing snapshot page as
-                // unchanged (both read as zeroes).
-                stats.pages_unchanged += 1;
+                None if Arc::ptr_eq(child_frame, &zero) => {
+                    stats.pages_unchanged += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            let parent = self.entry_frame(vpn);
+            let parent_alias = parent.is_some_and(|(pf, _)| Arc::ptr_eq(pf, child_frame));
+            if parent_alias && policy != ConflictPolicy::Strict {
+                // The parent already holds exactly the child's frame —
+                // a page it adopted at an earlier join. Every parent
+                // byte equals the child byte, so BenignSameValue and
+                // ChildWins cannot conflict and the page receives no
+                // writes: skip in O(1) with no bytes examined and no
+                // write permission required. This is a semantic rule,
+                // not just a shortcut — the reference oracle applies
+                // the same page-level test. (Strict still scans: a
+                // double-write of the same value is a conflict there.)
+                stats.pages_aliased += 1;
                 continue;
             }
             stats.pages_diffed += 1;
-            stats.bytes_compared += PAGE_SIZE as u64;
-            let base_bytes = snap_frame.map(|f| f.bytes());
             let child_bytes = child_frame.bytes();
-            let parent_frame = self.entry_frame(vpn).map(|(f, _)| f.clone());
-            let parent_bytes = parent_frame.as_ref().map(|f| f.bytes());
+            let base_bytes = snap_frame.map(|f| f.bytes());
+            let parent_bytes = parent.map(|(f, _)| f.bytes());
+            let parent_perm = parent.map(|(_, p)| p);
             let mut page_dirty = false;
-            for i in 0..PAGE_SIZE {
-                let base = base_bytes.map_or(0, |b| b[i]);
-                let c = child_bytes[i];
-                if c == base {
+            let mut conflict: Option<MergeConflict> = None;
+            'page: for w in (0..PAGE_SIZE).step_by(CHUNK) {
+                stats.words_compared += 1;
+                if word_at(Some(child_bytes), w) == word_at(base_bytes, w) {
                     continue;
                 }
-                page_dirty = true;
-                if policy == ConflictPolicy::ChildWins {
-                    continue;
-                }
-                let p = parent_bytes.map_or(base, |b| b[i]);
-                if p != base {
-                    let benign = policy == ConflictPolicy::BenignSameValue && p == c;
-                    if !benign && first_conflict.is_none() {
-                        first_conflict = Some(MergeConflict {
-                            addr: (vpn << crate::PAGE_SHIFT) + i as u64,
-                            base,
-                            child: c,
-                            parent: p,
-                        });
+                for i in w..w + CHUNK {
+                    stats.bytes_compared += 1;
+                    let base = base_bytes.map_or(0, |b| b[i]);
+                    let c = child_bytes[i];
+                    if c == base {
+                        continue;
+                    }
+                    page_dirty = true;
+                    if policy == ConflictPolicy::ChildWins {
+                        // Nothing further to learn from this page:
+                        // no conflicts exist, and pass 2 re-diffs.
+                        break 'page;
+                    }
+                    // Aliased + Strict: the parent byte is the child
+                    // byte by construction.
+                    let p = if parent_alias {
+                        c
+                    } else {
+                        parent_bytes.map_or(base, |b| b[i])
+                    };
+                    if p != base {
+                        let benign = policy == ConflictPolicy::BenignSameValue && p == c;
+                        if !benign {
+                            conflict = Some(MergeConflict {
+                                addr: (vpn << crate::PAGE_SHIFT) + i as u64,
+                                base,
+                                child: c,
+                                parent: p,
+                            });
+                            break 'page;
+                        }
                     }
                 }
             }
-            if page_dirty {
-                dirty.push(vpn);
+            if let Some(c) = conflict {
+                return Ok((stats, Some(c)));
             }
-        }
-        if let Some(conflict) = first_conflict {
-            return Ok((stats, Some(conflict)));
+            if page_dirty {
+                // Validate-before-write: a page about to receive bytes
+                // must be writable in the parent (absent pages are
+                // adopted; aliased pages cannot reach here — non-strict
+                // skipped them above, and under Strict a dirty aliased
+                // page already returned a conflict).
+                if let Some(p) = parent_perm {
+                    if !p.allows(Perm::W) {
+                        return Err(MemError::PermDenied {
+                            addr: vpn << crate::PAGE_SHIFT,
+                            need: Perm::W,
+                        });
+                    }
+                }
+                apply.push(vpn);
+            }
         }
 
         // Pass 2: apply child bytes that differ from the snapshot.
-        for vpn in dirty {
+        for vpn in apply {
             let (child_frame, child_perm) = child.entry_frame(vpn).expect("still mapped");
             let child_frame = child_frame.clone();
             let snap_frame = snap.entry_frame(vpn).map(|(f, _)| f.clone());
@@ -202,22 +320,19 @@ impl AddressSpace {
             let frame = self.frame_mut(vpn).expect("checked above");
             let dst = frame.bytes_mut();
             let child_bytes = child_frame.bytes();
-            match snap_frame {
-                Some(sf) => {
-                    let base = sf.bytes();
-                    for i in 0..PAGE_SIZE {
-                        if child_bytes[i] != base[i] {
-                            dst[i] = child_bytes[i];
-                            stats.bytes_copied += 1;
-                        }
-                    }
+            let base_bytes: Option<&[u8; PAGE_SIZE]> = snap_frame.as_deref().map(Frame::bytes);
+            for w in (0..PAGE_SIZE).step_by(CHUNK) {
+                stats.words_compared += 1;
+                if word_at(Some(child_bytes), w) == word_at(base_bytes, w) {
+                    continue;
                 }
-                None => {
-                    for i in 0..PAGE_SIZE {
-                        if child_bytes[i] != 0 {
-                            dst[i] = child_bytes[i];
-                            stats.bytes_copied += 1;
-                        }
+                for i in w..w + CHUNK {
+                    stats.bytes_compared += 1;
+                    let base = base_bytes.map_or(0, |b| b[i]);
+                    let c = child_bytes[i];
+                    if c != base {
+                        dst[i] = c;
+                        stats.bytes_copied += 1;
                     }
                 }
             }
@@ -261,8 +376,10 @@ mod tests {
         assert_eq!(parent.read_vec(0x2000, 10).unwrap(), b"from-child");
         assert_eq!(parent.read_vec(0x3000, 11).unwrap(), b"from-parent");
         assert_eq!(stats.bytes_copied, 10);
-        // Pages 1 (untouched), 3 (parent-only) and 4 unchanged in child.
-        assert_eq!(stats.pages_unchanged, 3);
+        // Only the child's one dirty page is even examined; the other
+        // three mapped pages are skipped via the dirty set.
+        assert_eq!(stats.pages_scanned, 1);
+        assert_eq!(stats.pages_skipped_clean, 3);
         assert_eq!(stats.pages_diffed, 1);
     }
 
@@ -338,13 +455,16 @@ mod tests {
     }
 
     #[test]
-    fn unchanged_pages_skipped_in_o1() {
+    fn clean_child_merge_examines_nothing() {
         let (mut parent, child, snap) = setup();
         let stats = parent
             .merge_from(&child, &snap, R, ConflictPolicy::Strict)
             .unwrap();
-        assert_eq!(stats.pages_scanned, 4);
-        assert_eq!(stats.pages_unchanged, 4);
+        // With an empty dirty set the merge does not even look at the
+        // child's pages: everything is skipped clean.
+        assert_eq!(stats.pages_scanned, 0);
+        assert_eq!(stats.pages_skipped_clean, 4);
+        assert_eq!(stats.words_compared, 0);
         assert_eq!(stats.bytes_compared, 0);
         assert_eq!(stats.bytes_copied, 0);
     }
@@ -368,6 +488,29 @@ mod tests {
             .unwrap();
         assert_eq!(stats.pages_mapped, 1);
         assert_eq!(parent.read_vec(0x6000, 5).unwrap(), b"grown");
+    }
+
+    #[test]
+    fn zero_page_mapped_by_child_is_unchanged() {
+        let (mut parent, mut child, _) = setup();
+        // Child maps fresh pages but never writes them: they still
+        // alias the global zero frame and merge as unchanged.
+        child
+            .map_zero(Region::new(0x6000, 0x8000), Perm::RW)
+            .unwrap();
+        let snap2 = AddressSpace::new();
+        let stats = parent
+            .merge_from(
+                &child,
+                &snap2,
+                Region::new(0x6000, 0x8000),
+                ConflictPolicy::Strict,
+            )
+            .unwrap();
+        assert_eq!(stats.pages_scanned, 2);
+        assert_eq!(stats.pages_unchanged, 2);
+        assert_eq!(stats.words_compared, 0);
+        assert_eq!(stats.pages_mapped, 0);
     }
 
     #[test]
@@ -497,5 +640,107 @@ mod tests {
             .unwrap();
         assert_eq!(parent.read_u64(x).unwrap(), 2);
         assert_eq!(parent.read_u64(y).unwrap(), 1);
+    }
+
+    #[test]
+    fn self_merge_of_adopted_page_is_free() {
+        // Merge #1 adopts a child-created page into the parent: parent
+        // and child then share the frame. Re-merging the same child
+        // under a non-strict policy must recognize the alias in O(1)
+        // and charge no compare or copy work (the pre-optimization
+        // engine charged a full page of bytes_compared here).
+        let (mut parent, mut child, _) = setup();
+        child
+            .map_zero(Region::new(0x6000, 0x7000), Perm::RW)
+            .unwrap();
+        child.write(0x6000, b"grown").unwrap();
+        let snap2 = AddressSpace::new();
+        let r = Region::new(0x6000, 0x7000);
+        parent
+            .merge_from(&child, &snap2, r, ConflictPolicy::ChildWins)
+            .unwrap();
+        assert!(parent.same_frame(&child, 6));
+        let before = parent.content_digest();
+        let stats = parent
+            .merge_from(&child, &snap2, r, ConflictPolicy::ChildWins)
+            .unwrap();
+        assert_eq!(stats.pages_aliased, 1);
+        assert_eq!(stats.pages_diffed, 0);
+        assert_eq!(stats.words_compared, 0);
+        assert_eq!(stats.bytes_compared, 0);
+        assert_eq!(stats.bytes_copied, 0);
+        assert_eq!(parent.content_digest(), before);
+        // The frame is still shared — the self-merge did not force a
+        // copy-on-write clone of the parent page.
+        assert!(parent.same_frame(&child, 6));
+        // BenignSameValue skips the same way (p == c everywhere).
+        let stats = parent
+            .merge_from(&child, &snap2, r, ConflictPolicy::BenignSameValue)
+            .unwrap();
+        assert_eq!(stats.pages_aliased, 1);
+        assert_eq!(stats.bytes_compared, 0);
+        // An aliased page receives no writes, so it needs no write
+        // permission — both engines agree (the differential suite's
+        // alias rule).
+        parent.set_perm(r, Perm::R).unwrap();
+        let stats = parent
+            .merge_from(&child, &snap2, r, ConflictPolicy::ChildWins)
+            .unwrap();
+        assert_eq!((stats.pages_aliased, stats.bytes_copied), (1, 0));
+        let mut p_ref = parent.clone();
+        let (ref_stats, ref_conflict) = crate::reference::merge_from_reference(
+            &mut p_ref,
+            &child,
+            &snap2,
+            r,
+            ConflictPolicy::ChildWins,
+        )
+        .unwrap();
+        assert!(ref_conflict.is_none());
+        assert_eq!((ref_stats.pages_aliased, ref_stats.bytes_copied), (1, 0));
+        assert_eq!(p_ref.content_digest(), parent.content_digest());
+        parent.set_perm(r, Perm::RW).unwrap();
+        // Strict still treats the double-write as a conflict.
+        assert!(matches!(
+            parent.merge_from(&child, &snap2, r, ConflictPolicy::Strict),
+            Err(MemError::Conflict { addr: 0x6000 })
+        ));
+    }
+
+    #[test]
+    fn merge_into_read_only_parent_page_fails_without_writing() {
+        let (mut parent, mut child, snap) = setup();
+        child.write_u8(0x2004, 9).unwrap();
+        parent
+            .set_perm(Region::new(0x2000, 0x3000), Perm::R)
+            .unwrap();
+        let before = parent.content_digest();
+        let err = parent
+            .merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MemError::PermDenied {
+                addr: 0x2000,
+                need: Perm::W
+            }
+        );
+        assert_eq!(parent.content_digest(), before);
+    }
+
+    #[test]
+    fn unaligned_byte_runs_merge_exactly() {
+        // Writes that straddle word and page boundaries survive the
+        // chunked diff byte-for-byte.
+        let (mut parent, mut child, snap) = setup();
+        let data: Vec<u8> = (1..=100).collect();
+        child.write(0x1ffd, &data).unwrap(); // Spans pages 1 and 2.
+        child.write_u8(0x3007, 0xEE).unwrap(); // Last byte of a word.
+        let stats = parent
+            .merge_from(&child, &snap, R, ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(parent.read_vec(0x1ffd, 100).unwrap(), data);
+        assert_eq!(parent.read_u8(0x3007).unwrap(), 0xEE);
+        assert_eq!(stats.bytes_copied, 101);
     }
 }

@@ -1,6 +1,6 @@
 //! Sparse paged address spaces with copy-on-write sharing.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::digest::ContentDigest;
@@ -42,6 +42,17 @@ pub struct PageInfo {
 #[derive(Clone, Default)]
 pub struct AddressSpace {
     pages: BTreeMap<u64, PageEntry>,
+    /// The *dirty write-set*: VPNs whose contents may have changed
+    /// since the last [`snapshot`](AddressSpace::snapshot) (which
+    /// clears it). Every mutation path — `write`, `map_zero`,
+    /// `copy_from`, and the merge engine's own applies — records the
+    /// pages it touches here, so `try_merge_from` can visit only the
+    /// pages a child actually dirtied instead of every mapped page in
+    /// the merge region. An over-approximation is sound (extra entries
+    /// are rediscovered clean by frame identity or byte diffing); a
+    /// missed entry would lose writes, so every content-mutating path
+    /// below must mark it.
+    dirty: BTreeSet<u64>,
     tracker: Option<AccessTracker>,
 }
 
@@ -100,8 +111,38 @@ impl AddressSpace {
                     perm,
                 },
             );
+            self.dirty.insert(vpn);
         }
         Ok(())
+    }
+
+    /// Like [`map_zero`](AddressSpace::map_zero) but leaves
+    /// already-mapped pages in the range untouched (contents, frames,
+    /// and permissions). Returns the number of pages newly mapped.
+    ///
+    /// Re-staging paths (the process runtime rewrites its file-system
+    /// image region at every rendezvous) use this to avoid discarding
+    /// frames — and dirtying pages — that the subsequent write will
+    /// overwrite anyway.
+    pub fn map_zero_if_unmapped(&mut self, region: Region, perm: Perm) -> Result<usize> {
+        region.check_page_aligned()?;
+        let zero = zero_frame();
+        let mut added = 0;
+        for vpn in region.vpns() {
+            if self.pages.contains_key(&vpn) {
+                continue;
+            }
+            self.pages.insert(
+                vpn,
+                PageEntry {
+                    frame: zero.clone(),
+                    perm,
+                },
+            );
+            self.dirty.insert(vpn);
+            added += 1;
+        }
+        Ok(added)
     }
 
     /// Removes all mappings in the page-aligned `region`.
@@ -109,6 +150,7 @@ impl AddressSpace {
         region.check_page_aligned()?;
         for vpn in region.vpns() {
             self.pages.remove(&vpn);
+            self.dirty.remove(&vpn);
         }
         Ok(())
     }
@@ -154,10 +196,12 @@ impl AddressSpace {
             match src.pages.get(&vpn) {
                 Some(e) => {
                     self.pages.insert(dst_vpn, e.clone());
+                    self.dirty.insert(dst_vpn);
                     installed += 1;
                 }
                 None => {
                     self.pages.remove(&dst_vpn);
+                    self.dirty.remove(&dst_vpn);
                 }
             }
         }
@@ -171,9 +215,20 @@ impl AddressSpace {
     /// [`merge_from`](AddressSpace::merge_from) computes changes, as
     /// the kernel's `Snap` option does (§3.2). Trackers are not
     /// inherited by snapshots.
-    pub fn snapshot(&self) -> AddressSpace {
+    ///
+    /// Taking a snapshot **clears this space's dirty write-set**: the
+    /// returned snapshot is byte-identical to `self` at this instant,
+    /// so "changed since the snapshot" and "dirtied since the write-set
+    /// was cleared" start out as the same (empty) set, and every later
+    /// mutation maintains both. This is the invariant that lets
+    /// [`try_merge_from`](AddressSpace::try_merge_from) visit only
+    /// dirty pages; it holds for any snapshot taken at or after the
+    /// most recent `snapshot()` call (see DESIGN.md §3).
+    pub fn snapshot(&mut self) -> AddressSpace {
+        self.dirty.clear();
         AddressSpace {
             pages: self.pages.clone(),
+            dirty: BTreeSet::new(),
             tracker: None,
         }
     }
@@ -233,6 +288,9 @@ impl AddressSpace {
         }
         if let Some(t) = &self.tracker {
             t.record_write_range(addr, data.len() as u64);
+        }
+        for vpn in Region::new(addr, end).vpns() {
+            self.dirty.insert(vpn);
         }
         let mut cursor = addr;
         let mut remaining = data;
@@ -402,11 +460,13 @@ impl AddressSpace {
     /// Installs `frame` at `vpn` with `perm` (crate-internal, used by merge).
     pub(crate) fn install_frame(&mut self, vpn: u64, frame: Arc<Frame>, perm: Perm) {
         self.pages.insert(vpn, PageEntry { frame, perm });
+        self.dirty.insert(vpn);
     }
 
     /// Returns a mutable reference to the frame at `vpn`, cloning it
     /// first if shared (crate-internal, used by merge).
     pub(crate) fn frame_mut(&mut self, vpn: u64) -> Option<&mut Frame> {
+        self.dirty.insert(vpn);
         self.pages
             .get_mut(&vpn)
             .map(|e| Arc::make_mut(&mut e.frame))
@@ -421,6 +481,35 @@ impl AddressSpace {
             vpn_of(region.end - 1)
         };
         self.pages.range(first..=last).map(|(&v, _)| v).collect()
+    }
+
+    /// Returns the sorted dirty VPNs intersecting `region` — the
+    /// candidate set the merge engine examines.
+    pub(crate) fn dirty_vpns_in(&self, region: Region) -> Vec<u64> {
+        if region.is_empty() {
+            return Vec::new();
+        }
+        let first = vpn_of(region.start);
+        let last = vpn_of(region.end - 1);
+        self.dirty.range(first..=last).copied().collect()
+    }
+
+    /// Counts mapped pages intersecting `region` (a B-tree cursor walk
+    /// over mapped entries only; no frame bytes are touched).
+    pub(crate) fn mapped_pages_in(&self, region: Region) -> u64 {
+        if region.is_empty() {
+            return 0;
+        }
+        let first = vpn_of(region.start);
+        let last = vpn_of(region.end - 1);
+        self.pages.range(first..=last).count() as u64
+    }
+
+    /// Number of pages currently in the dirty write-set (pages whose
+    /// contents may have changed since the last
+    /// [`snapshot`](AddressSpace::snapshot)).
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.len()
     }
 }
 
@@ -611,5 +700,47 @@ mod tests {
     fn zero_fill_shares_global_frame() {
         let s = rw_space(0x1000, 0x100000);
         assert!(s.iter_pages().all(|p| p.is_zero_frame));
+    }
+
+    #[test]
+    fn dirty_set_tracks_mutations_and_snapshot_clears() {
+        let mut s = rw_space(0x1000, 0x3000);
+        // map_zero dirtied all three pages.
+        assert_eq!(s.dirty_page_count(), 3);
+        let _snap = s.snapshot();
+        assert_eq!(s.dirty_page_count(), 0);
+        // A write spanning two pages dirties both.
+        s.write(0x1ff0, &[1u8; 32]).unwrap();
+        assert_eq!(s.dirty_vpns_in(Region::new(0x1000, 0x4000)), vec![1, 2]);
+        // Unmapping removes the page from the set.
+        s.unmap(Region::new(0x2000, 0x3000)).unwrap();
+        assert_eq!(s.dirty_vpns_in(Region::new(0x1000, 0x4000)), vec![1]);
+        // Region filtering works.
+        assert!(s.dirty_vpns_in(Region::new(0x3000, 0x4000)).is_empty());
+        assert_eq!(s.mapped_pages_in(Region::new(0x1000, 0x4000)), 2);
+    }
+
+    #[test]
+    fn copy_from_marks_destination_dirty() {
+        let mut src = rw_space(0x1000, 0x2000);
+        src.write_u8(0x1000, 9).unwrap();
+        let mut dst = AddressSpace::new();
+        let _snap = dst.snapshot();
+        dst.copy_from(&src, Region::new(0x1000, 0x3000), 0x1000)
+            .unwrap();
+        assert_eq!(dst.dirty_vpns_in(Region::new(0x1000, 0x3000)), vec![1, 2]);
+    }
+
+    #[test]
+    fn map_zero_if_unmapped_preserves_existing_pages() {
+        let mut s = rw_space(0x1000, 0x1000);
+        s.write_u8(0x1000, 7).unwrap();
+        let added = s
+            .map_zero_if_unmapped(Region::new(0x1000, 0x3000), Perm::RW)
+            .unwrap();
+        assert_eq!(added, 1);
+        // The existing page's contents survived; the new page is zero.
+        assert_eq!(s.read_u8(0x1000).unwrap(), 7);
+        assert_eq!(s.read_u8(0x2000).unwrap(), 0);
     }
 }

@@ -584,10 +584,16 @@ fn store_fs_image_raw(ctx: &mut SpaceCtx, fs: &FileSys, base: u64) -> Result<()>
             cap: layout::FS_IMAGE_SIZE,
         });
     }
-    // Map only the pages the image needs.
+    // Map only the pages the image needs, and keep pages that are
+    // already mapped: re-staging at every fork/wait rendezvous would
+    // otherwise discard their frames and grow the space's dirty
+    // write-set by the whole image region each time. The subsequent
+    // write overlays the new image; stale bytes past `total` are
+    // unreachable (loads read only the length-prefixed payload) and a
+    // deterministic function of prior images.
     let end_page = (base + total + 0xfff) & !0xfff;
     ctx.mem_mut()
-        .map_zero(Region::new(base, end_page), det_memory::Perm::RW)?;
+        .map_zero_if_unmapped(Region::new(base, end_page), det_memory::Perm::RW)?;
     ctx.mem_mut().write_u64(base, bytes.len() as u64)?;
     ctx.mem_mut().write(base + 8, &bytes)?;
     // Serializing the image costs memcpy-like work.

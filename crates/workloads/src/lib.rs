@@ -59,6 +59,7 @@ pub fn baseline_costs() -> CostModel {
         resume_ps: 1_000_000,
         page_map_ps: 0,
         page_scan_ps: 0,
+        word_compare_ps: 0,
         byte_compare_ps: 0,
         byte_copy_ps: 0,
         vm_insn_ps: 1_000,

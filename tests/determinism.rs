@@ -3,7 +3,9 @@
 //! across repeated runs and perturbed host schedules, for every layer
 //! of the stack.
 
-use determinator::kernel::{DeviceId, IoMode, Kernel, KernelConfig};
+use determinator::kernel::{
+    CopySpec, DeviceId, GetSpec, IoMode, Kernel, KernelConfig, Program, PutSpec, Region,
+};
 use determinator::runtime::proc::{ProgramRegistry, run_process_tree, run_process_tree_on};
 use determinator::runtime::shell;
 use determinator::workloads::Mode;
@@ -138,6 +140,62 @@ fn record_replay_full_stack() {
     let rep = run_process_tree_on(kernel, ProgramRegistry::new(), app);
     assert_eq!(rec.console(), rep.console());
     assert_eq!(rec.vclock_ns, rep.vclock_ns);
+}
+
+/// N-way fork/join with the join order permuted by seed: the parent's
+/// final memory digest must be identical regardless of the order in
+/// which children are merged. Guards the merge engine's dirty-set
+/// optimization against any join-order sensitivity.
+#[test]
+fn n_way_join_order_digest_invariant() {
+    let region = Region::new(0x1000, 0x9000);
+    // Runs an N-way fork/join, merging children in the order produced
+    // by repeatedly striding `seed` over the remaining set, and
+    // returns the parent's final memory digest.
+    let run = |n: u64, seed: u64| {
+        let order: Vec<u64> = {
+            let mut remaining: Vec<u64> = (0..n).collect();
+            let mut out = Vec::new();
+            let mut pos = seed as usize;
+            while !remaining.is_empty() {
+                pos = (pos * 7 + seed as usize + 3) % remaining.len();
+                out.push(remaining.remove(pos));
+            }
+            out
+        };
+        let out = Kernel::new(KernelConfig::default()).run(move |ctx| {
+            ctx.mem_mut()
+                .map_zero(region, determinator::memory::Perm::RW)?;
+            ctx.mem_mut().write_u64(0x1000, 0xC0FFEE)?;
+            for i in 0..n {
+                ctx.put(
+                    i,
+                    PutSpec::new()
+                        .program(Program::native(move |c| {
+                            // Disjoint slots plus a disjoint per-child run.
+                            c.mem_mut().write_u64(0x2000 + i * 8, i * i + 1)?;
+                            c.mem_mut().write_u64(0x4000 + i * 0x800, i + 7)?;
+                            Ok(0)
+                        }))
+                        .copy(CopySpec::mirror(region))
+                        .snap()
+                        .start(),
+                )?;
+            }
+            for &i in &order {
+                ctx.get(i, GetSpec::new().merge(region))?;
+            }
+            Ok(ctx.mem().content_digest().value() as i32)
+        });
+        out.exit.expect("no trap")
+    };
+    for n in [2u64, 4, 8] {
+        let digests: Vec<i32> = (0..4).map(|seed| run(n, seed)).collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "join order changed the merged digest for n={n}: {digests:?}"
+        );
+    }
 }
 
 /// Host-schedule independence at the workload level: sleeping threads
