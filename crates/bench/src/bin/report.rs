@@ -6,7 +6,9 @@
 //! cargo run --release -p det-bench --bin report -- fig7 fig11
 //! ```
 
-use det_bench::{Scale, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation, table3};
+use det_bench::{
+    Scale, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation, table3, vm_mips,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +56,9 @@ fn main() {
     }
     if want("quantum") {
         print!("{}", quantum_ablation(scale).to_markdown());
+    }
+    if want("vmmips") {
+        print!("{}", vm_mips(scale).to_markdown());
     }
     if want("table3") {
         let root = std::env::var("CARGO_MANIFEST_DIR")

@@ -1,0 +1,263 @@
+//! VM-coded workload kernels: the inner loops of the paper's
+//! benchmarks (fft, matmult, md5) hand-written in det-vm assembly, so
+//! the interpreter's real throughput — MIPS on this host — can be
+//! measured per workload shape rather than only on the synthetic ALU
+//! loop. Used by the `vm` bench group (benches/substrate.rs) and the
+//! report binary's per-workload MIPS table.
+//!
+//! Each kernel initializes its own data in VM code and then loops
+//! forever over a working set that fits the software TLB, the shape of
+//! every paper workload's steady state; the harness bounds execution
+//! with the instruction budget. Throughput is wall-clock (indicative);
+//! the cache-hit statistics reported alongside are exact and
+//! deterministic.
+
+use std::time::Instant;
+
+use det_memory::{AddressSpace, Perm, Region};
+use det_vm::{Cpu, CpuCacheStats, VmExit, assemble};
+
+/// A named VM assembly kernel.
+pub struct VmKernel {
+    /// Short name (matches the workload crate's module names).
+    pub name: &'static str,
+    /// Assembly source; must loop indefinitely.
+    pub src: &'static str,
+}
+
+/// The synthetic ALU loop `vm_interpreter_mips` has always measured:
+/// pure fetch/decode/dispatch, no data memory.
+pub const ALU_LOOP: &str = "
+    ldi r1, 0
+loop:
+    addi r1, r1, 1
+    addi r2, r1, 3
+    xor  r3, r2, r1
+    beq r0, r0, loop
+";
+
+/// fft: the butterfly — two f64 loads, add/sub/scale, two stores,
+/// marching a pair of pointers across a 2 KiB array.
+const FFT_SRC: &str = "
+    li   r5, 0x8000        ; a[]
+    li   r6, 0x8400        ; b[]
+    ldi  r1, 3
+    cvtif r10, r1          ; twiddle-ish scale 3.0
+init:
+    addi r1, r1, 1
+    cvtif r2, r1
+    std  r2, [r5+0]
+    std  r2, [r6+0]
+    addi r5, r5, 8
+    addi r6, r6, 8
+    slti r3, r1, 131
+    bne  r3, r0, init
+    li   r5, 0x8000
+    li   r6, 0x8400
+outer:
+    ldi  r7, 128           ; butterflies per pass
+pass:
+    ldd  r2, [r5+0]        ; x = a[i]
+    ldd  r3, [r6+0]        ; y = b[i]
+    fmul r4, r3, r10       ; t = y * w
+    fadd r8, r2, r4        ; a' = x + t
+    fsub r9, r2, r4        ; b' = x - t
+    std  r8, [r5+0]
+    std  r9, [r6+0]
+    addi r5, r5, 8
+    addi r6, r6, 8
+    addi r7, r7, -1
+    bne  r7, r0, pass
+    li   r5, 0x8000
+    li   r6, 0x8400
+    beq  r0, r0, outer
+";
+
+/// matmult: the dot-product inner loop — two f64 loads, fused
+/// multiply-accumulate, one store per row.
+const MATMULT_SRC: &str = "
+    li   r5, 0x8000        ; row of A
+    li   r6, 0x8800        ; column of B
+    ldi  r1, 0
+init:
+    addi r1, r1, 1
+    cvtif r2, r1
+    std  r2, [r5+0]
+    std  r2, [r6+0]
+    addi r5, r5, 8
+    addi r6, r6, 8
+    slti r3, r1, 256
+    bne  r3, r0, init
+outer:
+    li   r5, 0x8000
+    li   r6, 0x8800
+    ldi  r7, 256           ; k loop
+    ldi  r9, 0
+    cvtif r9, r9           ; acc = 0.0
+dot:
+    ldd  r2, [r5+0]        ; A[i][k]
+    ldd  r3, [r6+0]        ; B[k][j]
+    fmul r4, r2, r3
+    fadd r9, r9, r4        ; acc += A*B
+    addi r5, r5, 8
+    addi r6, r6, 8
+    addi r7, r7, -1
+    bne  r7, r0, dot
+    li   r5, 0x9000
+    std  r9, [r5+0]        ; C[i][j] = acc
+    beq  r0, r0, outer
+";
+
+/// md5: the round function's shape — load a word, mix with rotates
+/// (shl/shr/or), adds and xors against round constants, store back.
+const MD5_SRC: &str = "
+    li   r5, 0x8000        ; 64-word block
+    ldi  r1, 0
+init:
+    addi r1, r1, 1
+    muli r2, r1, 0x61d
+    stw  r2, [r5+0]
+    addi r5, r5, 4
+    slti r3, r1, 64
+    bne  r3, r0, init
+    li   r10, 0x67452301   ; state a
+    li   r11, 0xefcdab89   ; state b
+outer:
+    li   r5, 0x8000
+    ldi  r7, 64
+round:
+    ldw  r2, [r5+0]        ; m = block[i]
+    add  r3, r10, r2       ; a + m
+    li   r4, 0x5a827999
+    add  r3, r3, r4        ; + k
+    shli r8, r3, 7         ; rotl 7
+    shri r9, r3, 57
+    or   r3, r8, r9
+    xor  r3, r3, r11       ; mix with b
+    add  r10, r11, r3      ; rotate state
+    or   r11, r3, r0
+    stw  r3, [r5+0]        ; write the lane back
+    addi r5, r5, 4
+    addi r7, r7, -1
+    bne  r7, r0, round
+    beq  r0, r0, outer
+";
+
+/// The paper-workload kernels measured by the MIPS table and benches.
+pub const KERNELS: &[VmKernel] = &[
+    VmKernel {
+        name: "fft",
+        src: FFT_SRC,
+    },
+    VmKernel {
+        name: "matmult",
+        src: MATMULT_SRC,
+    },
+    VmKernel {
+        name: "md5",
+        src: MD5_SRC,
+    },
+];
+
+/// A TLB-hostile load loop: alternating accesses 64 pages apart map to
+/// the same direct-mapped TLB index with different tags, so every load
+/// misses — the miss-path microbench.
+pub const TLB_MISS_STRIDE: &str = "
+    li   r5, 0x100000
+    li   r6, 0x140000      ; +64 pages: same TLB set, different page
+loop:
+    ldd  r1, [r5+0]
+    ldd  r2, [r6+0]
+    beq  r0, r0, loop
+";
+
+/// Result of one measured kernel run.
+pub struct KernelRun {
+    /// Instructions retired.
+    pub insns: u64,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// The CPU's cache counters over the run.
+    pub stats: CpuCacheStats,
+}
+
+impl KernelRun {
+    /// Million instructions per second.
+    pub fn mips(&self) -> f64 {
+        self.insns as f64 * 1e3 / self.wall_ns.max(1) as f64
+    }
+
+    /// Nanoseconds per instruction.
+    pub fn ns_per_insn(&self) -> f64 {
+        self.wall_ns as f64 / self.insns.max(1) as f64
+    }
+}
+
+/// Builds the standard kernel sandbox: 16 pages of code + the data
+/// window the kernels use (plus the stride bench's far pages).
+pub fn sandbox(src: &str) -> (Cpu, AddressSpace) {
+    let image = assemble(src).expect("kernel assembles");
+    let mut mem = AddressSpace::new();
+    mem.map_zero(Region::new(0, 0x10000), Perm::RW).unwrap();
+    mem.map_zero(Region::new(0x100000, 0x180000), Perm::RW)
+        .unwrap();
+    mem.write(0, &image.bytes).unwrap();
+    (Cpu::new(), mem)
+}
+
+/// Runs `src` for `budget` instructions (after a warm-up quarter) and
+/// reports throughput + cache stats. `fast` selects the TLB/icache
+/// path or the pre-TLB reference interpreter.
+pub fn run_kernel(src: &str, budget: u64, fast: bool) -> KernelRun {
+    let (mut cpu, mut mem) = sandbox(src);
+    if !fast {
+        cpu.fast_path = false;
+    }
+    assert_eq!(cpu.run(&mut mem, Some(budget / 4)), VmExit::OutOfBudget);
+    let mark = cpu.cache_stats;
+    let start = Instant::now();
+    assert_eq!(cpu.run(&mut mem, Some(budget)), VmExit::OutOfBudget);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    KernelRun {
+        insns: budget,
+        wall_ns,
+        stats: cpu.cache_stats.since(&mark),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every kernel assembles, runs indefinitely, and (except the
+    /// deliberately hostile stride loop) keeps the TLB hot.
+    #[test]
+    fn kernels_run_and_stay_hot() {
+        for k in KERNELS {
+            let run = run_kernel(k.src, 200_000, true);
+            assert!(
+                run.stats.hit_rate() > 0.99,
+                "{}: hit rate {}",
+                k.name,
+                run.stats.hit_rate()
+            );
+        }
+        let alu = run_kernel(ALU_LOOP, 100_000, true);
+        assert!(alu.stats.hit_rate() > 0.999);
+    }
+
+    /// The stride loop really does defeat the direct-mapped TLB: every
+    /// load walks the page table.
+    #[test]
+    fn stride_loop_misses() {
+        let run = run_kernel(TLB_MISS_STRIDE, 90_000, true);
+        // 1 load per 1.5 instructions (ldd, ldd, beq), every one a
+        // fill: walk count tracks the load count.
+        assert!(
+            run.stats.tlb_read_fills > run.insns / 4,
+            "fills {} of {} insns",
+            run.stats.tlb_read_fills,
+            run.insns
+        );
+    }
+}

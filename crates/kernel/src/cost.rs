@@ -42,16 +42,27 @@ pub struct CostModel {
     /// Per-byte cost of copying merged bytes into the parent.
     pub byte_copy_ps: u64,
     /// Cost of one interpreted VM instruction (1 GIPS default).
+    ///
+    /// This is the *TLB-hit* rate: an instruction whose fetch and data
+    /// access hit the VM's software TLB / decoded-instruction cache
+    /// costs exactly this.
     pub vm_insn_ps: u64,
+    /// Cost of one page-table walk performed on the VM's behalf — a
+    /// TLB fill or a slow-path access (first touch of a page, a
+    /// page-crossing access, or a translation invalidated by a kernel
+    /// operation). Charged *in addition to* `vm_insn_ps` for the
+    /// instruction that missed, mirroring a hardware TLB miss.
+    pub vm_tlb_fill_ps: u64,
 }
 
 impl CostModel {
     /// Calibration resembling the paper's 2.2 GHz Opteron testbed:
     /// ~0.5 µs syscalls, ~25 µs space creation, ~30 ns/page of
     /// page-table work for COW mapping and snapshots, ~1 cycle
-    /// (~0.45 ns) per 8-byte word compare on the merge fast path, and
+    /// (~0.45 ns) per 8-byte word compare on the merge fast path,
     /// memcpy/memcmp-class per-byte costs (~0.25–0.3 ns/byte) for the
-    /// byte-granularity slow path.
+    /// byte-granularity slow path, and a ~20 ns TLB fill (a software
+    /// page-table walk, same order as `page_scan_ps`).
     pub fn calibrated() -> CostModel {
         CostModel {
             syscall_ps: 500_000,
@@ -63,6 +74,7 @@ impl CostModel {
             byte_compare_ps: 250,
             byte_copy_ps: 300,
             vm_insn_ps: 1_000,
+            vm_tlb_fill_ps: 20_000,
         }
     }
 
@@ -80,6 +92,7 @@ impl CostModel {
             byte_compare_ps: 0,
             byte_copy_ps: 0,
             vm_insn_ps: 1_000,
+            vm_tlb_fill_ps: 0,
         }
     }
 
@@ -132,6 +145,7 @@ mod tests {
             byte_compare_ps: 2,
             byte_copy_ps: 3,
             vm_insn_ps: 1,
+            vm_tlb_fill_ps: 7,
         };
         let stats = MergeStats {
             pages_scanned: 4,

@@ -170,12 +170,45 @@ pub(crate) struct KState {
     pub stats: KernelStats,
 }
 
+/// Counters bumped on hot paths without taking the state lock.
+///
+/// Relaxed atomics: each is an independent event count, folded into
+/// [`KernelStats`] only at collection time (`Kernel::run` shutdown), so
+/// no ordering between them is ever observed mid-run. The *values* are
+/// deterministic — they count kernel-mediated events, not host
+/// scheduling — only the bump itself is lock-free.
+#[derive(Default)]
+pub(crate) struct HotStats {
+    pub migrations: std::sync::atomic::AtomicU64,
+    pub vm_instructions: std::sync::atomic::AtomicU64,
+    pub vm_tlb_hits: std::sync::atomic::AtomicU64,
+    pub vm_pages_walked: std::sync::atomic::AtomicU64,
+    pub vm_icache_hits: std::sync::atomic::AtomicU64,
+    pub vm_icache_fills: std::sync::atomic::AtomicU64,
+}
+
+impl HotStats {
+    /// Folds the hot counters into a stats record (read-time merge).
+    pub(crate) fn fold_into(&self, stats: &mut KernelStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        stats.migrations += self.migrations.load(Relaxed);
+        stats.vm_instructions += self.vm_instructions.load(Relaxed);
+        stats.vm_tlb_hits += self.vm_tlb_hits.load(Relaxed);
+        stats.vm_pages_walked += self.vm_pages_walked.load(Relaxed);
+        stats.vm_icache_hits += self.vm_icache_hits.load(Relaxed);
+        stats.vm_icache_fills += self.vm_icache_fills.load(Relaxed);
+    }
+}
+
 pub(crate) struct Shared {
     pub state: Mutex<KState>,
     pub cv: Condvar,
     pub costs: CostModel,
     pub policy: ConflictPolicy,
     pub cluster: Option<Arc<dyn ClusterHooks>>,
+    /// Lock-free hot-path counters (folded into `KState::stats` at
+    /// collection time).
+    pub hot: HotStats,
     /// Set at kernel shutdown; checked lock-free by hot paths
     /// (`charge`) so compute-looping programs observe destruction.
     pub shutdown: std::sync::atomic::AtomicBool,
@@ -321,7 +354,10 @@ impl Shared {
         let cost = hooks.on_migrate(id, st.cur_node, target, &mut st.mem);
         st.vclock_ps = st.vclock_ps.saturating_add(cost);
         st.cur_node = target;
-        self.state.lock().stats.migrations += 1;
+        // Hot path: a stat bump must not serialize on the state lock.
+        self.hot
+            .migrations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 }
@@ -409,6 +445,7 @@ impl Kernel {
                 costs: config.costs,
                 policy: config.policy,
                 cluster,
+                hot: HotStats::default(),
                 shutdown: std::sync::atomic::AtomicBool::new(false),
             }),
         }
@@ -469,7 +506,8 @@ impl Kernel {
                 }
             }
             self.shared.cv.notify_all();
-            let stats = g.stats.clone();
+            let mut stats = g.stats.clone();
+            self.shared.hot.fold_into(&mut stats);
             let devices = std::mem::replace(&mut g.devices, DeviceHub::new(IoMode::Record));
             let (outputs, io_log) = devices.into_parts();
             (handles, stats, outputs, io_log)
@@ -527,28 +565,59 @@ fn native_thread(shared: Arc<Shared>, id: SpaceId, entry: NativeEntry, st: Box<S
 }
 
 fn vm_thread(shared: Arc<Shared>, id: SpaceId, mut st: Box<SpaceState>) {
+    use std::sync::atomic::Ordering::Relaxed;
     let insn_ps = shared.costs.vm_insn_ps.max(1);
+    let walk_ps = shared.costs.vm_tlb_fill_ps;
     // Interpret in bounded chunks so unlimited programs still observe
     // kernel shutdown between chunks.
     const CHUNK: u64 = 4_000_000;
+    // One CPU for the space's lifetime: its software TLB and decoded-
+    // instruction cache stay warm across chunk boundaries, preemptions,
+    // and rendezvous. Parent-side mutations while the state is parked
+    // (copy, merge, zero, perm, snap — even a wholesale Tree image
+    // replacement) bump the address space's generation or change its
+    // identity, so stale entries miss instead of lying.
+    let mut cpu = Cpu::new();
+    cpu.regs = st.regs;
+    let mut cache_mark = cpu.cache_stats;
     loop {
-        let mut cpu = Cpu {
-            regs: st.regs,
-            insn_count: 0,
-        };
         let limit_insns = st.limit_ps.map(|ps| ps / insn_ps);
         let this_budget = limit_insns.map_or(CHUNK, |b| b.min(CHUNK));
+        let insns_before = cpu.insn_count;
         let exit = cpu.run(&mut st.mem, Some(this_budget));
-        let executed = cpu.insn_count;
+        let executed = cpu.insn_count - insns_before;
+        let cache = cpu.cache_stats.since(&cache_mark);
+        cache_mark = cpu.cache_stats;
         st.regs = cpu.regs;
         st.insn_count += executed;
+        // Instructions advance the clock at the TLB-hit rate; every
+        // page walk (TLB fill or slow-path access) is charged on top.
+        // Walk costs hit the clock but not the work limit, preserving
+        // the "limit of N ns runs exactly N instructions" contract.
         st.vclock_ps = st
             .vclock_ps
-            .saturating_add(executed.saturating_mul(insn_ps));
+            .saturating_add(executed.saturating_mul(insn_ps))
+            .saturating_add(cache.pages_walked.saturating_mul(walk_ps));
         if let Some(l) = st.limit_ps.as_mut() {
             *l = l.saturating_sub(executed.saturating_mul(insn_ps));
         }
-        shared.state.lock().stats.vm_instructions += executed;
+        shared.hot.vm_instructions.fetch_add(executed, Relaxed);
+        shared
+            .hot
+            .vm_tlb_hits
+            .fetch_add(cache.tlb_read_hits + cache.tlb_write_hits, Relaxed);
+        shared
+            .hot
+            .vm_pages_walked
+            .fetch_add(cache.pages_walked, Relaxed);
+        shared
+            .hot
+            .vm_icache_hits
+            .fetch_add(cache.icache_hits, Relaxed);
+        shared
+            .hot
+            .vm_icache_fills
+            .fetch_add(cache.icache_fills, Relaxed);
         let reason = match exit {
             VmExit::Halt => {
                 // Home-node return before the final stop (§3.3).
@@ -589,5 +658,9 @@ fn vm_thread(shared: Arc<Shared>, id: SpaceId, mut st: Box<SpaceState>) {
             Ok(st) => st,
             Err(_) => return,
         };
+        // The parent may have rewritten the registers at the
+        // rendezvous (Put with regs); memory mutations are covered by
+        // generation/space-id validation inside the CPU's caches.
+        cpu.regs = st.regs;
     }
 }

@@ -45,6 +45,17 @@ pub struct KernelStats {
     pub device_write_bytes: u64,
     /// VM instructions retired across all spaces.
     pub vm_instructions: u64,
+    /// VM software-TLB hits (loads + stores served from a cached
+    /// translation, skipping the page-table walk).
+    pub vm_tlb_hits: u64,
+    /// Page-table walks performed on the VM's behalf (TLB fills plus
+    /// slow-path accesses). `vm_pages_walked / vm_instructions` is the
+    /// per-instruction translation overhead the TLB exists to crush.
+    pub vm_pages_walked: u64,
+    /// VM decoded-instruction cache hits (fetch + decode skipped).
+    pub vm_icache_hits: u64,
+    /// VM decoded-instruction cache fills (full fetch + decode).
+    pub vm_icache_fills: u64,
 }
 
 /// Wrapper keeping [`MergeStats`] (an external type) inside the

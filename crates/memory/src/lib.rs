@@ -19,7 +19,12 @@
 //!   cleared by `snapshot`) are never examined at all;
 //! * [`reference::merge_from_reference`] is the deliberately naive
 //!   merge oracle that differential tests and benches compare the
-//!   optimized engine against.
+//!   optimized engine against;
+//! * [`AddressSpace::translate_read`] / [`AddressSpace::translate_write`]
+//!   mint generation-validated [`Translation`]s — the entries of the
+//!   VM's software TLB — that skip the page-table walk, permission
+//!   check, and dirty-set bookkeeping until the next mutation
+//!   invalidates them (DESIGN.md §4).
 //!
 //! All operations are deterministic: iteration orders are fixed
 //! (B-tree), no host state is consulted, and [`MergeStats`] exposes the
@@ -70,7 +75,7 @@ pub use merge::{ConflictPolicy, MergeConflict, MergeStats};
 pub use page::{Frame, PAGE_SHIFT, PAGE_SIZE};
 pub use perm::Perm;
 pub use region::Region;
-pub use space::{AddressSpace, PageInfo};
+pub use space::{AddressSpace, PageInfo, Translation};
 pub use tracker::AccessTracker;
 
 /// Result alias for memory operations.

@@ -1,7 +1,9 @@
 //! Sparse paged address spaces with copy-on-write sharing.
 
+use std::collections::btree_map::Entry as BEntry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::digest::ContentDigest;
 use crate::page::{Frame, PAGE_SIZE, offset_of, vpn_of, zero_frame};
@@ -29,6 +31,55 @@ pub struct PageInfo {
     pub is_zero_frame: bool,
 }
 
+/// A generation-validated translation of one virtual page, minted by
+/// [`AddressSpace::translate_read`] / [`AddressSpace::translate_write`]
+/// and redeemed through [`AddressSpace::translated_bytes`] /
+/// [`AddressSpace::translated_bytes_mut`].
+///
+/// This is the entry type of the VM's software TLB (see DESIGN.md §4).
+/// A translation is a *capability to skip the page-table walk*, not a
+/// pointer: redeeming it re-checks that it was minted by this exact
+/// space (`space_id`) at its current `generation`, so a translation
+/// that survived any page-table mutation — map, unmap, permission
+/// change, snapshot, merge, external write — is refused and the caller
+/// falls back to the slow path. A stale hit is therefore impossible by
+/// construction; the worst a forged or outdated translation can do is
+/// miss.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Translation {
+    space_id: u64,
+    generation: u64,
+    slot: u32,
+    writable: bool,
+}
+
+impl Translation {
+    /// A translation that never validates (TLB reset value).
+    pub const INVALID: Translation = Translation {
+        space_id: 0, // Real space ids start at 1.
+        generation: 0,
+        slot: 0,
+        writable: false,
+    };
+}
+
+impl Default for Translation {
+    fn default() -> Translation {
+        Translation::INVALID
+    }
+}
+
+/// Source of unique [`AddressSpace::space_id`] values. Ids only ever
+/// feed *equality checks* against translations minted from the same
+/// space, so allocation order (which can vary with host scheduling)
+/// never influences observable behavior — a translation matches its
+/// own space or nothing.
+static NEXT_SPACE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_space_id() -> u64 {
+    NEXT_SPACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A private virtual address space: the memory half of a Determinator
 /// *space* (§3.1).
 ///
@@ -38,22 +89,72 @@ pub struct PageInfo {
 /// (copy-on-write), which is what makes the paper's fork/snapshot/merge
 /// cycle affordable.
 ///
+/// Internally the page table is split in two: a `vpn → slot` B-tree
+/// (`table`) for ordered walks, and a dense slot arena (`slots`)
+/// holding the entries themselves. The arena gives the VM's software
+/// TLB an O(1), bounds-checked redemption path for cached
+/// [`Translation`]s without any raw pointers; the `generation` counter
+/// (bumped by every mutation that could make a cached translation or a
+/// decoded instruction stale) is what keeps those translations honest.
+///
 /// [`snapshot`]: AddressSpace::snapshot
-#[derive(Clone, Default)]
 pub struct AddressSpace {
-    pages: BTreeMap<u64, PageEntry>,
+    /// Ordered index: virtual page number → slot in `slots`.
+    table: BTreeMap<u64, u32>,
+    /// Slot arena; `None` slots are free and listed in `free`.
+    slots: Vec<Option<PageEntry>>,
+    /// Free slot indices available for reuse.
+    free: Vec<u32>,
     /// The *dirty write-set*: VPNs whose contents may have changed
     /// since the last [`snapshot`](AddressSpace::snapshot) (which
     /// clears it). Every mutation path — `write`, `map_zero`,
-    /// `copy_from`, and the merge engine's own applies — records the
-    /// pages it touches here, so `try_merge_from` can visit only the
-    /// pages a child actually dirtied instead of every mapped page in
-    /// the merge region. An over-approximation is sound (extra entries
-    /// are rediscovered clean by frame identity or byte diffing); a
-    /// missed entry would lose writes, so every content-mutating path
-    /// below must mark it.
+    /// `copy_from`, `translate_write`, and the merge engine's own
+    /// applies — records the pages it touches here, so `try_merge_from`
+    /// can visit only the pages a child actually dirtied instead of
+    /// every mapped page in the merge region. An over-approximation is
+    /// sound (extra entries are rediscovered clean by frame identity or
+    /// byte diffing); a missed entry would lose writes, so every
+    /// content-mutating path below must mark it.
     dirty: BTreeSet<u64>,
+    /// Bumped by every page-table or content mutation that could
+    /// invalidate an outstanding [`Translation`] or a decoded
+    /// instruction (see DESIGN.md §4 for the exact rule). Monotonic.
+    generation: u64,
+    /// Unique identity of this space, distinguishing its translations
+    /// from those of clones/snapshots that share `generation` values.
+    space_id: u64,
     tracker: Option<AccessTracker>,
+}
+
+impl Default for AddressSpace {
+    fn default() -> AddressSpace {
+        AddressSpace {
+            table: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            dirty: BTreeSet::new(),
+            generation: 0,
+            space_id: fresh_space_id(),
+            tracker: None,
+        }
+    }
+}
+
+impl Clone for AddressSpace {
+    fn clone(&self) -> AddressSpace {
+        AddressSpace {
+            table: self.table.clone(),
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            dirty: self.dirty.clone(),
+            generation: self.generation,
+            // A clone is a different space: translations minted from
+            // the original must not validate against it (they could
+            // diverge from here on).
+            space_id: fresh_space_id(),
+            tracker: self.tracker.clone(),
+        }
+    }
 }
 
 impl AddressSpace {
@@ -65,7 +166,12 @@ impl AddressSpace {
     /// Installs an access tracker that records every page touched by
     /// reads and writes (used by the cluster layer to account demand
     /// paging). Returns any previous tracker.
+    ///
+    /// Installing or removing a tracker bumps the generation and
+    /// disables the translation fast path (`translate_*` return `None`
+    /// while a tracker is present), so the tracker's log stays exact.
     pub fn set_tracker(&mut self, tracker: Option<AccessTracker>) -> Option<AccessTracker> {
+        self.generation += 1;
         std::mem::replace(&mut self.tracker, tracker)
     }
 
@@ -76,22 +182,73 @@ impl AddressSpace {
 
     /// Returns the number of mapped pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.table.len()
     }
 
     /// Returns the total mapped size in bytes.
     pub fn mapped_bytes(&self) -> u64 {
-        (self.pages.len() as u64) << crate::PAGE_SHIFT
+        (self.table.len() as u64) << crate::PAGE_SHIFT
+    }
+
+    // ------------------------------------------------------------------
+    // Slot arena plumbing
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn entry(&self, vpn: u64) -> Option<&PageEntry> {
+        let &slot = self.table.get(&vpn)?;
+        self.slots[slot as usize].as_ref()
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, vpn: u64) -> Option<&mut PageEntry> {
+        let &slot = self.table.get(&vpn)?;
+        self.slots[slot as usize].as_mut()
+    }
+
+    fn insert_entry(&mut self, vpn: u64, e: PageEntry) {
+        match self.table.entry(vpn) {
+            BEntry::Occupied(o) => {
+                self.slots[*o.get() as usize] = Some(e);
+            }
+            BEntry::Vacant(v) => {
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(e);
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(e));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                v.insert(slot);
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, vpn: u64) -> bool {
+        match self.table.remove(&vpn) {
+            Some(slot) => {
+                self.slots[slot as usize] = None;
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Iterates information about every mapped page, in address order.
     pub fn iter_pages(&self) -> impl Iterator<Item = PageInfo> + '_ {
         let zero = zero_frame();
-        self.pages.iter().map(move |(&vpn, e)| PageInfo {
-            vpn,
-            perm: e.perm,
-            frame_refs: Arc::strong_count(&e.frame),
-            is_zero_frame: Arc::ptr_eq(&e.frame, &zero),
+        self.table.iter().map(move |(&vpn, &slot)| {
+            let e = self.slots[slot as usize].as_ref().expect("mapped slot");
+            PageInfo {
+                vpn,
+                perm: e.perm,
+                frame_refs: Arc::strong_count(&e.frame),
+                is_zero_frame: Arc::ptr_eq(&e.frame, &zero),
+            }
         })
     }
 
@@ -103,8 +260,9 @@ impl AddressSpace {
     pub fn map_zero(&mut self, region: Region, perm: Perm) -> Result<()> {
         region.check_page_aligned()?;
         let zero = zero_frame();
+        let mut changed = false;
         for vpn in region.vpns() {
-            self.pages.insert(
+            self.insert_entry(
                 vpn,
                 PageEntry {
                     frame: zero.clone(),
@@ -112,6 +270,10 @@ impl AddressSpace {
                 },
             );
             self.dirty.insert(vpn);
+            changed = true;
+        }
+        if changed {
+            self.generation += 1;
         }
         Ok(())
     }
@@ -123,16 +285,19 @@ impl AddressSpace {
     /// Re-staging paths (the process runtime rewrites its file-system
     /// image region at every rendezvous) use this to avoid discarding
     /// frames — and dirtying pages — that the subsequent write will
-    /// overwrite anyway.
+    /// overwrite anyway. When every page is already mapped this is a
+    /// pure no-op: no dirty marks and **no generation bump**, so a
+    /// rendezvous that re-stages an image does not spuriously
+    /// invalidate the VM's cached translations.
     pub fn map_zero_if_unmapped(&mut self, region: Region, perm: Perm) -> Result<usize> {
         region.check_page_aligned()?;
         let zero = zero_frame();
         let mut added = 0;
         for vpn in region.vpns() {
-            if self.pages.contains_key(&vpn) {
+            if self.table.contains_key(&vpn) {
                 continue;
             }
-            self.pages.insert(
+            self.insert_entry(
                 vpn,
                 PageEntry {
                     frame: zero.clone(),
@@ -142,15 +307,24 @@ impl AddressSpace {
             self.dirty.insert(vpn);
             added += 1;
         }
+        if added > 0 {
+            self.generation += 1;
+        }
         Ok(added)
     }
 
     /// Removes all mappings in the page-aligned `region`.
     pub fn unmap(&mut self, region: Region) -> Result<()> {
         region.check_page_aligned()?;
+        let mut changed = false;
         for vpn in region.vpns() {
-            self.pages.remove(&vpn);
+            if self.remove_entry(vpn) {
+                changed = true;
+            }
             self.dirty.remove(&vpn);
+        }
+        if changed {
+            self.generation += 1;
         }
         Ok(())
     }
@@ -159,17 +333,22 @@ impl AddressSpace {
     /// `region`; unmapped pages in the range are skipped.
     pub fn set_perm(&mut self, region: Region, perm: Perm) -> Result<()> {
         region.check_page_aligned()?;
+        let mut changed = false;
         for vpn in region.vpns() {
-            if let Some(e) = self.pages.get_mut(&vpn) {
+            if let Some(e) = self.entry_mut(vpn) {
                 e.perm = perm;
+                changed = true;
             }
+        }
+        if changed {
+            self.generation += 1;
         }
         Ok(())
     }
 
     /// Returns the permissions of the page containing `addr`, if mapped.
     pub fn perm_at(&self, addr: u64) -> Option<Perm> {
-        self.pages.get(&vpn_of(addr)).map(|e| e.perm)
+        self.entry(vpn_of(addr)).map(|e| e.perm)
     }
 
     /// Virtually copies `src_region` (page-aligned) of `src` to
@@ -191,19 +370,26 @@ impl AddressSpace {
         }
         let delta = (dst_start >> crate::PAGE_SHIFT) as i128 - vpn_of(src_region.start) as i128;
         let mut installed = 0;
+        let mut changed = false;
         for vpn in src_region.vpns() {
             let dst_vpn = (vpn as i128 + delta) as u64;
-            match src.pages.get(&vpn) {
+            match src.entry(vpn) {
                 Some(e) => {
-                    self.pages.insert(dst_vpn, e.clone());
+                    self.insert_entry(dst_vpn, e.clone());
                     self.dirty.insert(dst_vpn);
                     installed += 1;
+                    changed = true;
                 }
                 None => {
-                    self.pages.remove(&dst_vpn);
+                    if self.remove_entry(dst_vpn) {
+                        changed = true;
+                    }
                     self.dirty.remove(&dst_vpn);
                 }
             }
+        }
+        if changed {
+            self.generation += 1;
         }
         Ok(installed)
     }
@@ -224,11 +410,23 @@ impl AddressSpace {
     /// [`try_merge_from`](AddressSpace::try_merge_from) visit only
     /// dirty pages; it holds for any snapshot taken at or after the
     /// most recent `snapshot()` call (see DESIGN.md §3).
+    ///
+    /// Snapshots also bump the generation: a cached write translation
+    /// pre-dates the dirty-set clear, so redeeming it would skip a
+    /// dirty mark the merge engine depends on. (The refcount bump the
+    /// snapshot puts on every frame would already force such writes
+    /// back to the slow path while the snapshot lives, but the
+    /// generation bump keeps them out even after it is dropped.)
     pub fn snapshot(&mut self) -> AddressSpace {
         self.dirty.clear();
+        self.generation += 1;
         AddressSpace {
-            pages: self.pages.clone(),
+            table: self.table.clone(),
+            slots: self.slots.clone(),
+            free: self.free.clone(),
             dirty: BTreeSet::new(),
+            generation: 0,
+            space_id: fresh_space_id(),
             tracker: None,
         }
     }
@@ -236,11 +434,123 @@ impl AddressSpace {
     /// Returns true if the page frames backing `vpn` are the identical
     /// physical frame in `self` and `other` (O(1) unchanged-page test).
     pub fn same_frame(&self, other: &AddressSpace, vpn: u64) -> bool {
-        match (self.pages.get(&vpn), other.pages.get(&vpn)) {
+        match (self.entry(vpn), other.entry(vpn)) {
             (Some(a), Some(b)) => Arc::ptr_eq(&a.frame, &b.frame),
             (None, None) => true,
             _ => false,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Translation fast path (the VM's software TLB)
+    // ------------------------------------------------------------------
+
+    /// The current page-table generation (see [`Translation`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// This space's unique identity (see [`Translation`]).
+    #[inline]
+    pub fn space_id(&self) -> u64 {
+        self.space_id
+    }
+
+    /// Mints a read translation for the page containing `addr`, or
+    /// `None` if the page is unmapped, not readable, or an access
+    /// tracker is installed (the fast path would bypass its log).
+    ///
+    /// The translation stays redeemable until the next generation bump;
+    /// a whole page of reads through it is semantically identical to
+    /// the [`read`](AddressSpace::read) slow path.
+    #[inline]
+    pub fn translate_read(&self, addr: u64) -> Option<Translation> {
+        if self.tracker.is_some() {
+            return None;
+        }
+        let &slot = self.table.get(&vpn_of(addr))?;
+        let e = self.slots[slot as usize].as_ref()?;
+        if !e.perm.allows(Perm::R) {
+            return None;
+        }
+        Some(Translation {
+            space_id: self.space_id,
+            generation: self.generation,
+            slot,
+            writable: false,
+        })
+    }
+
+    /// Mints a write translation for the page containing `addr`, or
+    /// `None` if the page is unmapped, not writable, or a tracker is
+    /// installed.
+    ///
+    /// The page is made exclusively owned now (copy-on-write clone if
+    /// shared) and marked dirty, so redeeming the translation via
+    /// [`translated_bytes_mut`](AddressSpace::translated_bytes_mut) can
+    /// write in place with no per-store permission check, dirty-set
+    /// insert, or `Arc::make_mut`. This mints without bumping the
+    /// generation: the slot mapping, permissions, and dirty set only
+    /// gained information, so no outstanding translation went stale.
+    pub fn translate_write(&mut self, addr: u64) -> Option<Translation> {
+        if self.tracker.is_some() {
+            return None;
+        }
+        let vpn = vpn_of(addr);
+        let &slot = self.table.get(&vpn)?;
+        let e = self.slots[slot as usize].as_mut()?;
+        if !e.perm.allows(Perm::W) {
+            return None;
+        }
+        Arc::make_mut(&mut e.frame);
+        self.dirty.insert(vpn);
+        Some(Translation {
+            space_id: self.space_id,
+            generation: self.generation,
+            slot,
+            writable: true,
+        })
+    }
+
+    /// Redeems a read translation: the translated page's bytes, or
+    /// `None` if the translation is stale (minted by another space or
+    /// before the last generation bump). Redemption is O(1).
+    #[inline]
+    pub fn translated_bytes(&self, t: Translation) -> Option<&[u8; PAGE_SIZE]> {
+        if t.space_id != self.space_id || t.generation != self.generation {
+            return None;
+        }
+        self.slots
+            .get(t.slot as usize)?
+            .as_ref()
+            .map(|e| e.frame.bytes())
+    }
+
+    /// Redeems a write translation: the translated page's bytes,
+    /// mutably, or `None` if the translation is stale, was minted for
+    /// reading, or the frame has been shared again since minting (a
+    /// snapshot or virtual copy took a reference — writing in place
+    /// would leak through the copy-on-write boundary, so the caller
+    /// must fall back to the slow path).
+    ///
+    /// **Single-executor contract**: in-place writes through a
+    /// redeemed translation deliberately do *not* bump the generation
+    /// (that is the entire fast path), so they are invisible to any
+    /// *other* holder of content-derived caches over this space. The
+    /// one legitimate caller is the single `det_vm::Cpu` executing the
+    /// space — it invalidates its own decoded-instruction cache on
+    /// stores into code pages. Driving two CPUs against one space (the
+    /// kernel never does) would let one CPU's stores stale the other's
+    /// cached decodes; use [`write`](AddressSpace::write) (which bumps
+    /// the generation) for any externally-observable mutation.
+    #[inline]
+    pub fn translated_bytes_mut(&mut self, t: Translation) -> Option<&mut [u8; PAGE_SIZE]> {
+        if !t.writable || t.space_id != self.space_id || t.generation != self.generation {
+            return None;
+        }
+        let e = self.slots.get_mut(t.slot as usize)?.as_mut()?;
+        Arc::get_mut(&mut e.frame).map(Frame::bytes_mut)
     }
 
     // ------------------------------------------------------------------
@@ -261,6 +571,15 @@ impl AddressSpace {
 
     /// Writes `data` starting at `addr`, cloning shared frames first
     /// (copy-on-write).
+    ///
+    /// The page table is walked **once**: a single range cursor
+    /// validates every page (so a failed write is still all-or-nothing
+    /// — nothing is dirtied or copied unless the whole range is
+    /// writable) while collecting the slot of each page, and the copy
+    /// loop then runs over the collected slots without re-walking the
+    /// map. External content writes bump the generation: the bytes
+    /// under any outstanding translation (and any decoded instruction)
+    /// may have changed.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<()> {
         if data.is_empty() {
             return Ok(());
@@ -268,39 +587,56 @@ impl AddressSpace {
         let end = addr
             .checked_add(data.len() as u64)
             .ok_or(MemError::AddressOverflow)?;
-        // Validate permissions over the whole range first so that a
-        // failed write is all-or-nothing.
-        for vpn in Region::new(addr, end).vpns() {
-            match self.pages.get(&vpn) {
-                None => {
-                    return Err(MemError::Unmapped {
-                        addr: vpn << crate::PAGE_SHIFT,
-                    });
-                }
-                Some(e) if !e.perm.allows(Perm::W) => {
-                    return Err(MemError::PermDenied {
-                        addr: vpn << crate::PAGE_SHIFT,
-                        need: Perm::W,
-                    });
-                }
-                Some(_) => {}
+        let first_vpn = vpn_of(addr);
+        let last_vpn = vpn_of(end - 1);
+        let npages = (last_vpn - first_vpn + 1) as usize;
+
+        // Single validation pass over the mapped range: a B-tree range
+        // cursor yields mapped vpns in order, so any gap is the first
+        // unmapped page. Slots are stashed inline for the common small
+        // write; large image writes spill to a Vec.
+        let mut inline = [0u32; 8];
+        let mut spill: Vec<u32>;
+        let page_slots: &mut [u32] = if npages <= inline.len() {
+            &mut inline[..npages]
+        } else {
+            spill = vec![0; npages];
+            &mut spill
+        };
+        let mut expect = first_vpn;
+        for (&vpn, &slot) in self.table.range(first_vpn..=last_vpn) {
+            if vpn != expect {
+                return Err(MemError::Unmapped {
+                    addr: expect << crate::PAGE_SHIFT,
+                });
             }
+            let e = self.slots[slot as usize].as_ref().expect("mapped slot");
+            if !e.perm.allows(Perm::W) {
+                return Err(MemError::PermDenied {
+                    addr: vpn << crate::PAGE_SHIFT,
+                    need: Perm::W,
+                });
+            }
+            page_slots[(vpn - first_vpn) as usize] = slot;
+            expect = vpn + 1;
         }
+        if expect != last_vpn + 1 {
+            return Err(MemError::Unmapped {
+                addr: expect << crate::PAGE_SHIFT,
+            });
+        }
+
         if let Some(t) = &self.tracker {
             t.record_write_range(addr, data.len() as u64);
         }
-        for vpn in Region::new(addr, end).vpns() {
-            self.dirty.insert(vpn);
-        }
+        self.generation += 1;
         let mut cursor = addr;
         let mut remaining = data;
-        while !remaining.is_empty() {
+        for (i, &slot) in page_slots.iter().enumerate() {
+            self.dirty.insert(first_vpn + i as u64);
             let off = offset_of(cursor);
             let chunk = remaining.len().min(PAGE_SIZE - off);
-            let entry = self
-                .pages
-                .get_mut(&vpn_of(cursor))
-                .expect("validated above");
+            let entry = self.slots[slot as usize].as_mut().expect("validated above");
             // Copy-on-write: clone the frame if it is shared.
             let frame = Arc::make_mut(&mut entry.frame);
             frame.bytes_mut()[off..off + chunk].copy_from_slice(&remaining[..chunk]);
@@ -333,7 +669,7 @@ impl AddressSpace {
         while done < len {
             let off = offset_of(cursor);
             let chunk = (len - done).min(PAGE_SIZE - off);
-            let entry = self.pages.get(&vpn_of(cursor)).ok_or(MemError::Unmapped {
+            let entry = self.entry(vpn_of(cursor)).ok_or(MemError::Unmapped {
                 addr: vpn_of(cursor) << crate::PAGE_SHIFT,
             })?;
             if !entry.perm.allows(need) {
@@ -440,10 +776,13 @@ impl AddressSpace {
 
     /// Returns a deterministic digest of the mapped contents
     /// (vpn, perm, bytes), used by determinism tests to compare whole
-    /// memory images across runs.
+    /// memory images across runs. The generation and space id are
+    /// deliberately excluded: they are cache-validation state, not
+    /// memory contents.
     pub fn content_digest(&self) -> ContentDigest {
         let mut d = ContentDigest::new();
-        for (&vpn, e) in &self.pages {
+        for (&vpn, &slot) in &self.table {
+            let e = self.slots[slot as usize].as_ref().expect("mapped slot");
             d.update_u64(vpn);
             d.update_u64(if e.perm.allows(Perm::R) { 1 } else { 0 });
             d.update_u64(if e.perm.allows(Perm::W) { 1 } else { 0 });
@@ -454,21 +793,24 @@ impl AddressSpace {
 
     /// Grants `merge_from` access to entries (crate-internal).
     pub(crate) fn entry_frame(&self, vpn: u64) -> Option<(&Arc<Frame>, Perm)> {
-        self.pages.get(&vpn).map(|e| (&e.frame, e.perm))
+        self.entry(vpn).map(|e| (&e.frame, e.perm))
     }
 
     /// Installs `frame` at `vpn` with `perm` (crate-internal, used by merge).
     pub(crate) fn install_frame(&mut self, vpn: u64, frame: Arc<Frame>, perm: Perm) {
-        self.pages.insert(vpn, PageEntry { frame, perm });
+        self.insert_entry(vpn, PageEntry { frame, perm });
         self.dirty.insert(vpn);
+        self.generation += 1;
     }
 
     /// Returns a mutable reference to the frame at `vpn`, cloning it
     /// first if shared (crate-internal, used by merge).
     pub(crate) fn frame_mut(&mut self, vpn: u64) -> Option<&mut Frame> {
         self.dirty.insert(vpn);
-        self.pages
-            .get_mut(&vpn)
+        self.generation += 1;
+        let &slot = self.table.get(&vpn)?;
+        self.slots[slot as usize]
+            .as_mut()
             .map(|e| Arc::make_mut(&mut e.frame))
     }
 
@@ -480,12 +822,13 @@ impl AddressSpace {
         } else {
             vpn_of(region.end - 1)
         };
-        self.pages.range(first..=last).map(|(&v, _)| v).collect()
+        self.table.range(first..=last).map(|(&v, _)| v).collect()
     }
 
     /// Returns the sorted dirty VPNs intersecting `region` — the
-    /// candidate set the merge engine examines.
-    pub(crate) fn dirty_vpns_in(&self, region: Region) -> Vec<u64> {
+    /// candidate set the merge engine examines (public for inspection
+    /// tools and the VM's differential tests).
+    pub fn dirty_vpns_in(&self, region: Region) -> Vec<u64> {
         if region.is_empty() {
             return Vec::new();
         }
@@ -502,7 +845,7 @@ impl AddressSpace {
         }
         let first = vpn_of(region.start);
         let last = vpn_of(region.end - 1);
-        self.pages.range(first..=last).count() as u64
+        self.table.range(first..=last).count() as u64
     }
 
     /// Number of pages currently in the dirty write-set (pages whose
@@ -518,7 +861,7 @@ impl std::fmt::Debug for AddressSpace {
         write!(
             f,
             "AddressSpace {{ pages: {}, bytes: {} }}",
-            self.pages.len(),
+            self.table.len(),
             self.mapped_bytes()
         )
     }
@@ -579,12 +922,44 @@ mod tests {
     }
 
     #[test]
+    fn write_spanning_many_pages_spills() {
+        // More pages than the inline slot buffer holds.
+        let mut s = rw_space(0x1000, 0x10000);
+        let data: Vec<u8> = (0..0xa000u32).map(|i| i as u8).collect();
+        s.write(0x1800, &data).unwrap();
+        assert_eq!(s.read_vec(0x1800, data.len()).unwrap(), data);
+    }
+
+    #[test]
     fn failed_write_is_all_or_nothing() {
         let mut s = rw_space(0x1000, 0x1000);
         // Spans into unmapped page 0x2000.
         let before = s.read_vec(0x1ff0, 16).unwrap();
+        let dirty_before = s.dirty_page_count();
         assert!(s.write(0x1ff0, &[1u8; 32]).is_err());
         assert_eq!(s.read_vec(0x1ff0, 16).unwrap(), before);
+        // The failed write also left no dirty marks behind.
+        assert_eq!(s.dirty_page_count(), dirty_before);
+    }
+
+    #[test]
+    fn failed_write_reports_first_bad_page() {
+        let mut s = rw_space(0x1000, 0x1000);
+        s.map_zero(Region::new(0x3000, 0x4000), Perm::RW).unwrap();
+        // Hole at 0x2000 in the middle of the range.
+        assert_eq!(
+            s.write(0x1ff0, &[0u8; 0x2020]),
+            Err(MemError::Unmapped { addr: 0x2000 })
+        );
+        // Read-only page in the middle is found too.
+        s.map_zero(Region::new(0x2000, 0x3000), Perm::R).unwrap();
+        assert_eq!(
+            s.write(0x1ff0, &[0u8; 0x2020]),
+            Err(MemError::PermDenied {
+                addr: 0x2000,
+                need: Perm::W
+            })
+        );
     }
 
     #[test]
@@ -683,6 +1058,19 @@ mod tests {
     }
 
     #[test]
+    fn slot_reuse_after_unmap() {
+        let mut s = rw_space(0x1000, 0x3000);
+        s.unmap(Region::new(0x1000, 0x4000)).unwrap();
+        // Remapping reuses freed slots instead of growing the arena.
+        let arena = s.slots.len();
+        s.map_zero(Region::new(0x8000, 0xa000), Perm::RW).unwrap();
+        assert_eq!(s.slots.len(), arena);
+        s.write_u8(0x8000, 7).unwrap();
+        assert_eq!(s.read_u8(0x8000).unwrap(), 7);
+        assert_eq!(s.page_count(), 2);
+    }
+
+    #[test]
     fn misaligned_kernel_ops_rejected() {
         let mut s = AddressSpace::new();
         assert!(matches!(
@@ -742,5 +1130,132 @@ mod tests {
         // The existing page's contents survived; the new page is zero.
         assert_eq!(s.read_u8(0x1000).unwrap(), 7);
         assert_eq!(s.read_u8(0x2000).unwrap(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Generation + translation fast path
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn generation_bumps_on_table_and_content_mutations() {
+        let mut s = AddressSpace::new();
+        let g0 = s.generation();
+        s.map_zero(Region::new(0x1000, 0x3000), Perm::RW).unwrap();
+        let g1 = s.generation();
+        assert!(g1 > g0);
+        s.write_u8(0x1000, 1).unwrap();
+        let g2 = s.generation();
+        assert!(g2 > g1);
+        s.set_perm(Region::new(0x1000, 0x2000), Perm::R).unwrap();
+        let g3 = s.generation();
+        assert!(g3 > g2);
+        let _snap = s.snapshot();
+        let g4 = s.generation();
+        assert!(g4 > g3);
+        s.unmap(Region::new(0x2000, 0x3000)).unwrap();
+        assert!(s.generation() > g4);
+    }
+
+    #[test]
+    fn generation_stable_under_noop_restage_and_reads() {
+        // The proc-runtime rendezvous re-stages its fs image with
+        // map_zero_if_unmapped; when every page is already mapped the
+        // call must not invalidate cached translations.
+        let mut s = rw_space(0x1000, 0x3000);
+        let g = s.generation();
+        s.map_zero_if_unmapped(Region::new(0x1000, 0x3000), Perm::RW)
+            .unwrap();
+        assert_eq!(s.generation(), g);
+        // Reads and no-op mutations on empty ranges don't bump either.
+        s.read_u64(0x1000).unwrap();
+        s.unmap(Region::new(0x8000, 0x9000)).unwrap();
+        s.set_perm(Region::new(0x8000, 0x9000), Perm::R).unwrap();
+        s.write(0x1000, &[]).unwrap();
+        assert_eq!(s.generation(), g);
+    }
+
+    #[test]
+    fn translations_roundtrip_and_go_stale() {
+        let mut s = rw_space(0x1000, 0x2000);
+        s.write(0x1000, b"abcd").unwrap();
+        let t = s.translate_read(0x1004).unwrap();
+        assert_eq!(&s.translated_bytes(t).unwrap()[0..4], b"abcd");
+        // Any mutation invalidates it.
+        s.write_u8(0x2000, 1).unwrap();
+        assert!(s.translated_bytes(t).is_none());
+        // A fresh one works again.
+        let t = s.translate_read(0x1000).unwrap();
+        assert!(s.translated_bytes(t).is_some());
+        // Read translations cannot be redeemed for writing.
+        assert!(s.translated_bytes_mut(t).is_none());
+    }
+
+    #[test]
+    fn translate_respects_perms_and_mapping() {
+        let mut s = AddressSpace::new();
+        s.map_zero(Region::new(0x1000, 0x2000), Perm::R).unwrap();
+        assert!(s.translate_read(0x1000).is_some());
+        assert!(s.translate_write(0x1000).is_none());
+        assert!(s.translate_read(0x5000).is_none());
+        s.set_perm(Region::new(0x1000, 0x2000), Perm::NONE).unwrap();
+        assert!(s.translate_read(0x1000).is_none());
+    }
+
+    #[test]
+    fn write_translation_marks_dirty_and_writes_in_place() {
+        let mut s = rw_space(0x1000, 0x2000);
+        let _snap = s.snapshot();
+        assert_eq!(s.dirty_page_count(), 0);
+        let t = s.translate_write(0x1008).unwrap();
+        // Minting the translation already dirtied the page.
+        assert_eq!(s.dirty_vpns_in(Region::new(0x1000, 0x3000)), vec![1]);
+        let g = s.generation();
+        s.translated_bytes_mut(t).unwrap()[8] = 0xAB;
+        // In-place writes do not bump the generation...
+        assert_eq!(s.generation(), g);
+        // ...and are visible to ordinary reads.
+        assert_eq!(s.read_u8(0x1008).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn write_translation_refused_once_frame_shared() {
+        let mut s = rw_space(0x1000, 0x2000);
+        s.write_u8(0x1000, 1).unwrap(); // Own the frame exclusively.
+        let t = s.translate_write(0x1000).unwrap();
+        assert!(s.translated_bytes_mut(t).is_some());
+        // A snapshot shares every frame again (and bumps generation).
+        let snap = s.snapshot();
+        assert!(s.translated_bytes_mut(t).is_none());
+        // Even a fresh write translation COWs first, so writing through
+        // it cannot leak into the snapshot.
+        let t2 = s.translate_write(0x1000).unwrap();
+        s.translated_bytes_mut(t2).unwrap()[0] = 9;
+        assert_eq!(snap.read_u8(0x1000).unwrap(), 1);
+        assert_eq!(s.read_u8(0x1000).unwrap(), 9);
+    }
+
+    #[test]
+    fn translations_do_not_cross_spaces() {
+        let a = rw_space(0x1000, 0x1000);
+        let t = a.translate_read(0x1000).unwrap();
+        let b = a.clone();
+        // The clone shares frames but is a different space; the
+        // original's translation must not validate against it.
+        assert!(b.translated_bytes(t).is_none());
+        assert!(a.translated_bytes(t).is_some());
+    }
+
+    #[test]
+    fn tracker_disables_fast_path() {
+        let mut s = rw_space(0x1000, 0x1000);
+        let t = s.translate_read(0x1000).unwrap();
+        s.set_tracker(Some(AccessTracker::new()));
+        // Installing the tracker bumped the generation...
+        assert!(s.translated_bytes(t).is_none());
+        // ...and minting is refused while it is present.
+        assert!(s.translate_read(0x1000).is_none());
+        assert!(s.translate_write(0x1000).is_none());
+        s.set_tracker(None);
+        assert!(s.translate_read(0x1000).is_some());
     }
 }

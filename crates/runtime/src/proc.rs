@@ -576,8 +576,8 @@ impl<'a> Proc<'a> {
 }
 
 fn store_fs_image_raw(ctx: &mut SpaceCtx, fs: &FileSys, base: u64) -> Result<()> {
-    let bytes = fs.to_bytes();
-    let total = bytes.len() as u64 + 8;
+    let mut image = fs.to_bytes();
+    let total = image.len() as u64 + 8;
     if total > layout::FS_IMAGE_SIZE {
         return Err(RtError::FsImageOverflow {
             need: total,
@@ -587,17 +587,23 @@ fn store_fs_image_raw(ctx: &mut SpaceCtx, fs: &FileSys, base: u64) -> Result<()>
     // Map only the pages the image needs, and keep pages that are
     // already mapped: re-staging at every fork/wait rendezvous would
     // otherwise discard their frames and grow the space's dirty
-    // write-set by the whole image region each time. The subsequent
-    // write overlays the new image; stale bytes past `total` are
-    // unreachable (loads read only the length-prefixed payload) and a
-    // deterministic function of prior images.
+    // write-set by the whole image region each time (and, since the VM
+    // fast path arrived, spuriously invalidate the space's cached
+    // translations — `map_zero_if_unmapped` over an already-mapped
+    // range is a generation no-op). The subsequent write overlays the
+    // new image; stale bytes past `total` are unreachable (loads read
+    // only the length-prefixed payload) and a deterministic function
+    // of prior images.
     let end_page = (base + total + 0xfff) & !0xfff;
     ctx.mem_mut()
         .map_zero_if_unmapped(Region::new(base, end_page), det_memory::Perm::RW)?;
-    ctx.mem_mut().write_u64(base, bytes.len() as u64)?;
-    ctx.mem_mut().write(base + 8, &bytes)?;
+    // Stage header + payload as one write: one range validation, one
+    // page-table walk, one generation bump per rendezvous.
+    let payload_len = image.len() as u64;
+    image.splice(0..0, payload_len.to_le_bytes());
+    ctx.mem_mut().write(base, &image)?;
     // Serializing the image costs memcpy-like work.
-    ctx.charge(bytes.len() as u64 / 4)?;
+    ctx.charge(payload_len / 4)?;
     Ok(())
 }
 

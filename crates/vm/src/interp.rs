@@ -1,7 +1,44 @@
 //! The interpreter: deterministic execution with exact instruction
-//! accounting and preemption.
+//! accounting, preemption, and a software TLB + predecoded instruction
+//! cache on the hot fetch/load/store paths.
+//!
+//! # The fast path
+//!
+//! The first-cut interpreter paid a full page-table walk (B-tree
+//! lookup, permission check, tracker probe, dirty-set insert,
+//! `Arc::make_mut`) for every instruction fetch, load, and store, and
+//! re-decoded every instruction word on every step. [`Cpu`] now keeps
+//! three caches, all validated by the address space's generation
+//! counter (see `det_memory::Translation` and DESIGN.md §4):
+//!
+//! * a direct-mapped **read TLB** and **write TLB** of
+//!   [`Translation`]s, so a hit costs one index, one tag compare, and
+//!   one O(1) redemption instead of a page-table walk. Write hits
+//!   additionally skip the per-store permission re-check, dirty-set
+//!   insert, and `Arc::make_mut` — the translation was minted with the
+//!   frame exclusively owned and the page already dirty;
+//! * a direct-mapped **decoded-instruction cache** keyed by
+//!   `(pc, space, generation)`, so straight-line code decodes once.
+//!
+//! The caches are semantically invisible: every miss or stale hit
+//! falls back to the exact slow path, a store into a page holding
+//! cached decodes flushes them (self-modifying code), and an installed
+//! [`AccessTracker`](det_memory::AccessTracker) disables caching
+//! entirely so its page log stays exact. `Cpu::fast_path` can be
+//! cleared to force the original slow path everywhere — the
+//! differential suite in `tests/tlb_props.rs` runs both and demands
+//! byte-identical results.
+//!
+//! One invariant is the caller's: **at most one `Cpu` executes a given
+//! `AddressSpace`** (the kernel runs exactly one per space). The fast
+//! path's in-place stores bump no generation, so a *second* CPU
+//! interleaving stores on the same space could stale the first's
+//! cached decodes — see the single-executor contract on
+//! `AddressSpace::translated_bytes_mut`. External mutation between
+//! runs through the ordinary `AddressSpace` API (writes, copies,
+//! merges, snapshots) is always safe: those paths bump the generation.
 
-use det_memory::{AddressSpace, MemError};
+use det_memory::{AddressSpace, MemError, PAGE_SHIFT, PAGE_SIZE, Translation};
 
 use crate::isa::{Insn, Opcode, decode};
 use crate::regs::Regs;
@@ -49,16 +86,196 @@ impl std::fmt::Display for VmTrap {
     }
 }
 
+/// Entries per direct-mapped TLB (separate read and write arrays).
+const DTLB_ENTRIES: usize = 64;
+
+/// Slots in the exact code-page set backing the self-modifying-code
+/// filter; programs spanning more distinct code pages fall back to
+/// flush-on-any-filter-hit.
+const CODE_PAGE_SLOTS: usize = 8;
+
+/// Entries in the decoded-instruction cache (4 KiB of straight-line
+/// code before conflict evictions start).
+const ICACHE_ENTRIES: usize = 1024;
+
+/// One data-TLB entry: a page tag plus its cached translation.
+#[derive(Clone, Copy, Debug)]
+struct DtlbEntry {
+    vpn: u64,
+    tr: Translation,
+}
+
+impl DtlbEntry {
+    /// No virtual address has this page number (48-bit addresses), so
+    /// an invalid entry can never tag-match.
+    const INVALID: DtlbEntry = DtlbEntry {
+        vpn: u64::MAX,
+        tr: Translation::INVALID,
+    };
+}
+
+/// One decoded-instruction cache entry.
+#[derive(Clone, Copy, Debug)]
+struct ICacheEntry {
+    /// Tag: only 4-aligned pcs are ever filled, so `u64::MAX` is a
+    /// safe invalid marker.
+    pc: u64,
+    space_id: u64,
+    generation: u64,
+    insn: Insn,
+}
+
+impl ICacheEntry {
+    const INVALID: ICacheEntry = ICacheEntry {
+        pc: u64::MAX,
+        space_id: 0,
+        generation: 0,
+        insn: Insn {
+            op: Opcode::Nop,
+            rd: 0,
+            rs: 0,
+            rt: 0,
+            imm: 0,
+        },
+    };
+}
+
+/// Counters for the fetch/load/store fast path. Monotonic over the
+/// CPU's lifetime; all counts are deterministic functions of the
+/// program and the kernel operations applied to its memory, never of
+/// host scheduling — which is what lets the kernel charge misses in
+/// virtual time.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CpuCacheStats {
+    /// Decoded-instruction cache hits.
+    pub icache_hits: u64,
+    /// Decoded-instruction cache fills (fetch + decode performed).
+    pub icache_fills: u64,
+    /// Whole-icache flushes forced by stores into cached code pages.
+    pub icache_flushes: u64,
+    /// Read-TLB hits (loads and instruction fetches).
+    pub tlb_read_hits: u64,
+    /// Read-TLB fills.
+    pub tlb_read_fills: u64,
+    /// Write-TLB hits.
+    pub tlb_write_hits: u64,
+    /// Write-TLB fills.
+    pub tlb_write_fills: u64,
+    /// Memory accesses that took the full slow path (tracker installed,
+    /// page-crossing access, or a faulting access).
+    pub slow_accesses: u64,
+    /// Page-table walks performed on the VM's behalf: every TLB fill
+    /// attempt and every slow-path access. The ratio of this to
+    /// retired instructions is the stat the TLB exists to crush.
+    pub pages_walked: u64,
+}
+
+impl CpuCacheStats {
+    /// Total TLB + icache hits.
+    pub fn hits(&self) -> u64 {
+        self.icache_hits + self.tlb_read_hits + self.tlb_write_hits
+    }
+
+    /// Total fills (misses that installed a fresh entry).
+    pub fn fills(&self) -> u64 {
+        self.icache_fills + self.tlb_read_fills + self.tlb_write_fills
+    }
+
+    /// Hit rate over all cache probes, in [0, 1]; 1.0 for an idle CPU.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.fills() + self.slow_accesses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (for per-quantum
+    /// accounting of a live CPU).
+    pub fn since(&self, earlier: &CpuCacheStats) -> CpuCacheStats {
+        CpuCacheStats {
+            icache_hits: self.icache_hits - earlier.icache_hits,
+            icache_fills: self.icache_fills - earlier.icache_fills,
+            icache_flushes: self.icache_flushes - earlier.icache_flushes,
+            tlb_read_hits: self.tlb_read_hits - earlier.tlb_read_hits,
+            tlb_read_fills: self.tlb_read_fills - earlier.tlb_read_fills,
+            tlb_write_hits: self.tlb_write_hits - earlier.tlb_write_hits,
+            tlb_write_fills: self.tlb_write_fills - earlier.tlb_write_fills,
+            slow_accesses: self.slow_accesses - earlier.slow_accesses,
+            pages_walked: self.pages_walked - earlier.pages_walked,
+        }
+    }
+}
+
 /// A deterministic CPU: registers plus a lifetime instruction counter.
 ///
 /// The memory it executes against is passed to [`Cpu::run`] so the
 /// kernel can check a space's memory in and out around preemptions.
-#[derive(Clone, Debug, Default)]
+/// The translation and decode caches ride along; they validate against
+/// the specific `AddressSpace` (identity and generation) on every hit,
+/// so a `Cpu` may be kept across preemptions, rendezvous, and even a
+/// wholesale replacement of its memory image — stale entries miss,
+/// they never lie.
+#[derive(Clone)]
 pub struct Cpu {
     /// Architectural register state.
     pub regs: Regs,
     /// Total instructions retired over the CPU's lifetime.
     pub insn_count: u64,
+    /// Use the TLB/icache fast path (default). Clear to force every
+    /// access down the original slow path — same semantics, used as
+    /// the reference side of differential tests.
+    pub fast_path: bool,
+    /// Fast-path hit/miss counters.
+    pub cache_stats: CpuCacheStats,
+    dtlb_read: [DtlbEntry; DTLB_ENTRIES],
+    dtlb_write: [DtlbEntry; DTLB_ENTRIES],
+    icache: [ICacheEntry; ICACHE_ENTRIES],
+    /// Coarse filter of code pages with live icache entries: bit
+    /// `vpn & 63`. A store whose page hits the filter consults the
+    /// exact `code_pages` set before flushing (self-modifying code);
+    /// false positives cost a short scan, false negatives cannot
+    /// happen.
+    code_vpns: u64,
+    /// Exact set of code page numbers with live icache entries (first
+    /// `code_page_count` slots). Confirms or rejects filter hits, so a
+    /// data page that merely aliases a code page mod 64 does not flush
+    /// the icache on every store.
+    code_pages: [u64; CODE_PAGE_SLOTS],
+    code_page_count: u8,
+    /// More than `CODE_PAGE_SLOTS` distinct code pages are live: the
+    /// exact set is no longer complete, so every filter hit flushes.
+    code_pages_overflowed: bool,
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu {
+            regs: Regs::default(),
+            insn_count: 0,
+            fast_path: true,
+            cache_stats: CpuCacheStats::default(),
+            dtlb_read: [DtlbEntry::INVALID; DTLB_ENTRIES],
+            dtlb_write: [DtlbEntry::INVALID; DTLB_ENTRIES],
+            icache: [ICacheEntry::INVALID; ICACHE_ENTRIES],
+            code_vpns: 0,
+            code_pages: [0; CODE_PAGE_SLOTS],
+            code_page_count: 0,
+            code_pages_overflowed: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("regs", &self.regs)
+            .field("insn_count", &self.insn_count)
+            .field("fast_path", &self.fast_path)
+            .field("cache_stats", &self.cache_stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Cpu {
@@ -71,8 +288,47 @@ impl Cpu {
     pub fn at_entry(pc: u64) -> Cpu {
         Cpu {
             regs: Regs::at_entry(pc),
-            insn_count: 0,
+            ..Cpu::default()
         }
+    }
+
+    /// Returns a CPU with the translation/decode fast path disabled —
+    /// the pre-TLB interpreter, kept as the reference side of
+    /// differential tests and benchmarks.
+    pub fn slow_path() -> Cpu {
+        Cpu {
+            fast_path: false,
+            ..Cpu::default()
+        }
+    }
+
+    /// Drops every cached translation and decoded instruction. Never
+    /// required for correctness (stale entries self-invalidate);
+    /// provided for benchmarks that want cold-cache numbers.
+    pub fn flush_caches(&mut self) {
+        self.dtlb_read = [DtlbEntry::INVALID; DTLB_ENTRIES];
+        self.dtlb_write = [DtlbEntry::INVALID; DTLB_ENTRIES];
+        self.flush_icache();
+    }
+
+    /// Drops every cached decode and the code-page bookkeeping.
+    fn flush_icache(&mut self) {
+        self.icache = [ICacheEntry::INVALID; ICACHE_ENTRIES];
+        self.code_vpns = 0;
+        self.code_pages = [0; CODE_PAGE_SLOTS];
+        self.code_page_count = 0;
+        self.code_pages_overflowed = false;
+    }
+
+    /// True if `vpn` or `last_vpn` may hold cached decodes (exact when
+    /// the code-page set has not overflowed).
+    fn stores_into_code(&self, vpn: u64, last_vpn: u64) -> bool {
+        if self.code_pages_overflowed {
+            return true;
+        }
+        self.code_pages[..self.code_page_count as usize]
+            .iter()
+            .any(|&p| p == vpn || p == last_vpn)
     }
 
     /// Executes instructions against `mem` until halt, syscall, trap,
@@ -85,21 +341,21 @@ impl Cpu {
     /// precisely — the property the paper's deterministic scheduler
     /// depends on.
     pub fn run(&mut self, mem: &mut AddressSpace, budget: Option<u64>) -> VmExit {
-        let mut remaining = budget;
-        loop {
-            if let Some(0) = remaining {
-                return VmExit::OutOfBudget;
-            }
-            match self.step(mem) {
-                None => {
-                    if let Some(r) = remaining.as_mut() {
-                        *r -= 1;
-                    }
-                }
-                Some(exit) => {
-                    return exit;
-                }
-            }
+        // `None` is folded to u64::MAX: the loop below then carries no
+        // Option per instruction, and 2^64 instructions is centuries of
+        // virtual time, unreachable before the kernel's chunking.
+        let remaining = match budget {
+            Some(0) => return VmExit::OutOfBudget,
+            Some(n) => n,
+            None => u64::MAX,
+        };
+        // Monomorphize the dispatch loop per path so the fast loop
+        // carries no `if fast_path` tests and the slow loop carries no
+        // cache probes.
+        if self.fast_path {
+            self.run_loop::<true>(mem, remaining)
+        } else {
+            self.run_loop::<false>(mem, remaining)
         }
     }
 
@@ -107,298 +363,516 @@ impl Cpu {
     ///
     /// Retired instructions (including `halt`/`sys`) bump
     /// [`Cpu::insn_count`]; trapped instructions do not commit.
+    /// Equivalent to [`run`](Cpu::run) with a budget of one (which is
+    /// exactly how it is implemented, so the two can never drift).
     pub fn step(&mut self, mem: &mut AddressSpace) -> Option<VmExit> {
-        let pc = self.regs.pc;
-        if !pc.is_multiple_of(4) {
-            return Some(VmExit::Trap(VmTrap::PcMisaligned(pc)));
+        match self.run(mem, Some(1)) {
+            VmExit::OutOfBudget => None,
+            exit => Some(exit),
         }
-        let word = match mem.read_u32(pc) {
-            Ok(w) => w,
-            Err(e) => return Some(VmExit::Trap(VmTrap::Mem(e))),
+    }
+
+    /// The interpreter proper: fetch → dispatch → retire, with `pc`
+    /// and the cache-validation tags held in locals across iterations.
+    ///
+    /// Tag hoisting is sound because `mem` is exclusively borrowed for
+    /// the whole call: the space id cannot change at all, and the
+    /// generation can only be bumped by this loop's own slow-path
+    /// stores (`AddressSpace::write`), after which the store arm
+    /// reloads it. Every exit path writes the architectural `pc` back
+    /// before returning.
+    fn run_loop<const FAST: bool>(&mut self, mem: &mut AddressSpace, mut remaining: u64) -> VmExit {
+        use Opcode::*;
+        let sid = mem.space_id();
+        let mut generation = mem.generation();
+        let mut pc = self.regs.pc;
+        macro_rules! trap {
+            ($t:expr) => {{
+                self.regs.pc = pc;
+                return VmExit::Trap($t);
+            }};
+        }
+        loop {
+            let insn = if FAST {
+                let idx = ((pc >> 2) as usize) & (ICACHE_ENTRIES - 1);
+                let e = &self.icache[idx];
+                if e.pc == pc && e.space_id == sid && e.generation == generation {
+                    self.cache_stats.icache_hits += 1;
+                    e.insn
+                } else {
+                    match self.fetch_fill(mem, pc, idx) {
+                        Ok(i) => i,
+                        Err(exit) => {
+                            self.regs.pc = pc;
+                            return exit;
+                        }
+                    }
+                }
+            } else {
+                match self.fetch_slow(mem, pc) {
+                    Ok(i) => i,
+                    Err(exit) => {
+                        self.regs.pc = pc;
+                        return exit;
+                    }
+                }
+            };
+            let next_pc = pc + 4;
+            // Register fields decode from 4-bit slots; re-masking here
+            // is free and lets the compiler drop the 16-entry bounds
+            // checks on the register file.
+            let (rd, rs, rt) = (
+                (insn.rd & 15) as usize,
+                (insn.rs & 15) as usize,
+                (insn.rt & 15) as usize,
+            );
+            let imm = insn.imm as i64;
+            let g = &mut self.regs.gpr;
+            // Every arm leaves `pc` at the next instruction (or
+            // returns). Branch displacements are in words relative to
+            // `next_pc`.
+            match insn.op {
+                Nop => pc = next_pc,
+                Halt => {
+                    self.insn_count += 1;
+                    self.regs.pc = next_pc;
+                    return VmExit::Halt;
+                }
+                Sys => {
+                    self.insn_count += 1;
+                    self.regs.pc = next_pc;
+                    return VmExit::Sys(insn.imm as u16 & 0xfff);
+                }
+
+                Add => {
+                    g[rd] = g[rs].wrapping_add(g[rt]);
+                    pc = next_pc;
+                }
+                Sub => {
+                    g[rd] = g[rs].wrapping_sub(g[rt]);
+                    pc = next_pc;
+                }
+                Mul => {
+                    g[rd] = g[rs].wrapping_mul(g[rt]);
+                    pc = next_pc;
+                }
+                Div => {
+                    if g[rt] == 0 {
+                        trap!(VmTrap::DivideByZero);
+                    }
+                    g[rd] = (g[rs] as i64).wrapping_div(g[rt] as i64) as u64;
+                    pc = next_pc;
+                }
+                Mod => {
+                    if g[rt] == 0 {
+                        trap!(VmTrap::DivideByZero);
+                    }
+                    g[rd] = (g[rs] as i64).wrapping_rem(g[rt] as i64) as u64;
+                    pc = next_pc;
+                }
+                Divu => {
+                    if g[rt] == 0 {
+                        trap!(VmTrap::DivideByZero);
+                    }
+                    g[rd] = g[rs] / g[rt];
+                    pc = next_pc;
+                }
+                Modu => {
+                    if g[rt] == 0 {
+                        trap!(VmTrap::DivideByZero);
+                    }
+                    g[rd] = g[rs] % g[rt];
+                    pc = next_pc;
+                }
+                And => {
+                    g[rd] = g[rs] & g[rt];
+                    pc = next_pc;
+                }
+                Or => {
+                    g[rd] = g[rs] | g[rt];
+                    pc = next_pc;
+                }
+                Xor => {
+                    g[rd] = g[rs] ^ g[rt];
+                    pc = next_pc;
+                }
+                Shl => {
+                    g[rd] = g[rs].wrapping_shl(g[rt] as u32);
+                    pc = next_pc;
+                }
+                Shr => {
+                    g[rd] = g[rs].wrapping_shr(g[rt] as u32);
+                    pc = next_pc;
+                }
+                Sar => {
+                    g[rd] = (g[rs] as i64).wrapping_shr(g[rt] as u32) as u64;
+                    pc = next_pc;
+                }
+                Slt => {
+                    g[rd] = ((g[rs] as i64) < (g[rt] as i64)) as u64;
+                    pc = next_pc;
+                }
+                Sltu => {
+                    g[rd] = (g[rs] < g[rt]) as u64;
+                    pc = next_pc;
+                }
+
+                Addi => {
+                    g[rd] = g[rs].wrapping_add(imm as u64);
+                    pc = next_pc;
+                }
+                Andi => {
+                    g[rd] = g[rs] & imm as u64;
+                    pc = next_pc;
+                }
+                Ori => {
+                    g[rd] = g[rs] | imm as u64;
+                    pc = next_pc;
+                }
+                Xori => {
+                    g[rd] = g[rs] ^ imm as u64;
+                    pc = next_pc;
+                }
+                Shli => {
+                    g[rd] = g[rs].wrapping_shl(imm as u32 & 63);
+                    pc = next_pc;
+                }
+                Shri => {
+                    g[rd] = g[rs].wrapping_shr(imm as u32 & 63);
+                    pc = next_pc;
+                }
+                Sari => {
+                    g[rd] = (g[rs] as i64).wrapping_shr(imm as u32 & 63) as u64;
+                    pc = next_pc;
+                }
+                Slti => {
+                    g[rd] = ((g[rs] as i64) < imm) as u64;
+                    pc = next_pc;
+                }
+                Muli => {
+                    g[rd] = g[rs].wrapping_mul(imm as u64);
+                    pc = next_pc;
+                }
+                Ldi => {
+                    g[rd] = imm as u64;
+                    pc = next_pc;
+                }
+                Ldih => {
+                    g[rd] = (g[rd] << 12) | (insn.imm as u64 & 0xfff);
+                    pc = next_pc;
+                }
+
+                Ldb | Ldh | Ldw | Ldd => {
+                    if let Err(t) = self.exec_mem(insn, mem) {
+                        trap!(t);
+                    }
+                    pc = next_pc;
+                }
+                Stb | Sth | Stw | Std => {
+                    if let Err(t) = self.exec_mem(insn, mem) {
+                        trap!(t);
+                    }
+                    if FAST {
+                        // A store that fell back to the slow path may
+                        // have bumped the generation; re-hoist it.
+                        generation = mem.generation();
+                    }
+                    pc = next_pc;
+                }
+
+                Beq => {
+                    pc = if g[rs] == g[rt] {
+                        (next_pc as i64 + imm * 4) as u64
+                    } else {
+                        next_pc
+                    };
+                }
+                Bne => {
+                    pc = if g[rs] != g[rt] {
+                        (next_pc as i64 + imm * 4) as u64
+                    } else {
+                        next_pc
+                    };
+                }
+                Blt => {
+                    pc = if (g[rs] as i64) < (g[rt] as i64) {
+                        (next_pc as i64 + imm * 4) as u64
+                    } else {
+                        next_pc
+                    };
+                }
+                Bge => {
+                    pc = if (g[rs] as i64) >= (g[rt] as i64) {
+                        (next_pc as i64 + imm * 4) as u64
+                    } else {
+                        next_pc
+                    };
+                }
+                Bltu => {
+                    pc = if g[rs] < g[rt] {
+                        (next_pc as i64 + imm * 4) as u64
+                    } else {
+                        next_pc
+                    };
+                }
+                Bgeu => {
+                    pc = if g[rs] >= g[rt] {
+                        (next_pc as i64 + imm * 4) as u64
+                    } else {
+                        next_pc
+                    };
+                }
+                Jal => {
+                    g[rd] = next_pc;
+                    pc = (next_pc as i64 + imm * 4) as u64;
+                }
+                Jalr => {
+                    let target = g[rs].wrapping_add(imm as u64);
+                    g[rd] = next_pc;
+                    pc = target;
+                }
+
+                Fadd => {
+                    let v = self.regs.f(rs) + self.regs.f(rt);
+                    self.regs.set_f(rd, v);
+                    pc = next_pc;
+                }
+                Fsub => {
+                    let v = self.regs.f(rs) - self.regs.f(rt);
+                    self.regs.set_f(rd, v);
+                    pc = next_pc;
+                }
+                Fmul => {
+                    let v = self.regs.f(rs) * self.regs.f(rt);
+                    self.regs.set_f(rd, v);
+                    pc = next_pc;
+                }
+                Fdiv => {
+                    let v = self.regs.f(rs) / self.regs.f(rt);
+                    self.regs.set_f(rd, v);
+                    pc = next_pc;
+                }
+                Fsqrt => {
+                    let v = self.regs.f(rs).sqrt();
+                    self.regs.set_f(rd, v);
+                    pc = next_pc;
+                }
+                Cvtif => {
+                    let v = self.regs.gpr[rs] as i64 as f64;
+                    self.regs.set_f(rd, v);
+                    pc = next_pc;
+                }
+                Cvtfi => {
+                    // Rust's saturating float→int cast is deterministic.
+                    self.regs.gpr[rd] = self.regs.f(rs) as i64 as u64;
+                    pc = next_pc;
+                }
+                Flt => {
+                    self.regs.gpr[rd] = (self.regs.f(rs) < self.regs.f(rt)) as u64;
+                    pc = next_pc;
+                }
+                Feq => {
+                    self.regs.gpr[rd] = (self.regs.f(rs) == self.regs.f(rt)) as u64;
+                    pc = next_pc;
+                }
+                Fle => {
+                    self.regs.gpr[rd] = (self.regs.f(rs) <= self.regs.f(rt)) as u64;
+                    pc = next_pc;
+                }
+            }
+            self.insn_count += 1;
+            remaining -= 1;
+            if remaining == 0 {
+                self.regs.pc = pc;
+                return VmExit::OutOfBudget;
+            }
+        }
+    }
+
+    /// Fetch miss: check alignment, read and decode the word, and (if
+    /// no tracker is watching) install the decode in the icache.
+    fn fetch_fill(&mut self, mem: &mut AddressSpace, pc: u64, idx: usize) -> Result<Insn, VmExit> {
+        if !pc.is_multiple_of(4) {
+            return Err(VmExit::Trap(VmTrap::PcMisaligned(pc)));
+        }
+        let word = match self.load::<4>(mem, pc) {
+            Ok(b) => u32::from_le_bytes(b),
+            Err(e) => return Err(VmExit::Trap(VmTrap::Mem(e))),
         };
         let insn = match decode(word) {
             Ok(i) => i,
-            Err(e) => return Some(VmExit::Trap(VmTrap::IllegalInstruction(e.opcode))),
+            Err(e) => return Err(VmExit::Trap(VmTrap::IllegalInstruction(e.opcode))),
         };
-        let next_pc = pc + 4;
-        match self.exec(insn, next_pc, mem) {
-            Ok(flow) => {
-                self.insn_count += 1;
-                match flow {
-                    Flow::Next => {
-                        self.regs.pc = next_pc;
-                        None
-                    }
-                    Flow::Jump(target) => {
-                        self.regs.pc = target;
-                        None
-                    }
-                    Flow::Halt => {
-                        self.regs.pc = next_pc;
-                        Some(VmExit::Halt)
-                    }
-                    Flow::Sys(n) => {
-                        self.regs.pc = next_pc;
-                        Some(VmExit::Sys(n))
-                    }
+        // With a tracker installed nothing may be cached: an icache hit
+        // would skip the fetch's page-log record.
+        if mem.tracker().is_none() {
+            self.cache_stats.icache_fills += 1;
+            self.icache[idx] = ICacheEntry {
+                pc,
+                space_id: mem.space_id(),
+                generation: mem.generation(),
+                insn,
+            };
+            let vpn = pc >> PAGE_SHIFT;
+            self.code_vpns |= 1 << (vpn & 63);
+            if !self.code_pages[..self.code_page_count as usize].contains(&vpn) {
+                if (self.code_page_count as usize) < CODE_PAGE_SLOTS {
+                    self.code_pages[self.code_page_count as usize] = vpn;
+                    self.code_page_count += 1;
+                } else {
+                    self.code_pages_overflowed = true;
                 }
             }
-            Err(trap) => Some(VmExit::Trap(trap)),
         }
+        Ok(insn)
     }
 
-    fn exec(&mut self, i: Insn, next_pc: u64, mem: &mut AddressSpace) -> Result<Flow, VmTrap> {
-        use Opcode::*;
-        let g = &mut self.regs.gpr;
-        let (rd, rs, rt) = (i.rd as usize, i.rs as usize, i.rt as usize);
-        let imm = i.imm as i64;
-        let branch = |taken: bool| {
-            if taken {
-                Flow::Jump((next_pc as i64 + imm * 4) as u64)
-            } else {
-                Flow::Next
-            }
+    /// The original fetch path, byte-for-byte (used when `fast_path`
+    /// is off).
+    fn fetch_slow(&mut self, mem: &mut AddressSpace, pc: u64) -> Result<Insn, VmExit> {
+        if !pc.is_multiple_of(4) {
+            return Err(VmExit::Trap(VmTrap::PcMisaligned(pc)));
+        }
+        let word = match mem.read_u32(pc) {
+            Ok(w) => w,
+            Err(e) => return Err(VmExit::Trap(VmTrap::Mem(e))),
         };
-        let flow = match i.op {
-            Nop => Flow::Next,
-            Halt => Flow::Halt,
-            Sys => Flow::Sys(i.imm as u16 & 0xfff),
+        decode(word).map_err(|e| VmExit::Trap(VmTrap::IllegalInstruction(e.opcode)))
+    }
 
-            Add => {
-                g[rd] = g[rs].wrapping_add(g[rt]);
-                Flow::Next
-            }
-            Sub => {
-                g[rd] = g[rs].wrapping_sub(g[rt]);
-                Flow::Next
-            }
-            Mul => {
-                g[rd] = g[rs].wrapping_mul(g[rt]);
-                Flow::Next
-            }
-            Div => {
-                if g[rt] == 0 {
-                    return Err(VmTrap::DivideByZero);
+    /// Loads `N` bytes, through the read TLB when possible.
+    #[inline]
+    fn load<const N: usize>(&mut self, mem: &AddressSpace, addr: u64) -> Result<[u8; N], MemError> {
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        if self.fast_path && off + N <= PAGE_SIZE {
+            let vpn = addr >> PAGE_SHIFT;
+            let idx = (vpn as usize) & (DTLB_ENTRIES - 1);
+            let e = self.dtlb_read[idx];
+            if e.vpn == vpn {
+                if let Some(bytes) = mem.translated_bytes(e.tr) {
+                    self.cache_stats.tlb_read_hits += 1;
+                    return Ok(bytes[off..off + N].try_into().expect("page-bounded"));
                 }
-                g[rd] = (g[rs] as i64).wrapping_div(g[rt] as i64) as u64;
-                Flow::Next
             }
-            Mod => {
-                if g[rt] == 0 {
-                    return Err(VmTrap::DivideByZero);
-                }
-                g[rd] = (g[rs] as i64).wrapping_rem(g[rt] as i64) as u64;
-                Flow::Next
+            if let Some(tr) = mem.translate_read(addr) {
+                self.cache_stats.pages_walked += 1;
+                self.cache_stats.tlb_read_fills += 1;
+                self.dtlb_read[idx] = DtlbEntry { vpn, tr };
+                let bytes = mem.translated_bytes(tr).expect("fresh translation");
+                return Ok(bytes[off..off + N].try_into().expect("page-bounded"));
             }
-            Divu => {
-                if g[rt] == 0 {
-                    return Err(VmTrap::DivideByZero);
-                }
-                g[rd] = g[rs] / g[rt];
-                Flow::Next
-            }
-            Modu => {
-                if g[rt] == 0 {
-                    return Err(VmTrap::DivideByZero);
-                }
-                g[rd] = g[rs] % g[rt];
-                Flow::Next
-            }
-            And => {
-                g[rd] = g[rs] & g[rt];
-                Flow::Next
-            }
-            Or => {
-                g[rd] = g[rs] | g[rt];
-                Flow::Next
-            }
-            Xor => {
-                g[rd] = g[rs] ^ g[rt];
-                Flow::Next
-            }
-            Shl => {
-                g[rd] = g[rs].wrapping_shl(g[rt] as u32);
-                Flow::Next
-            }
-            Shr => {
-                g[rd] = g[rs].wrapping_shr(g[rt] as u32);
-                Flow::Next
-            }
-            Sar => {
-                g[rd] = (g[rs] as i64).wrapping_shr(g[rt] as u32) as u64;
-                Flow::Next
-            }
-            Slt => {
-                g[rd] = ((g[rs] as i64) < (g[rt] as i64)) as u64;
-                Flow::Next
-            }
-            Sltu => {
-                g[rd] = (g[rs] < g[rt]) as u64;
-                Flow::Next
-            }
+            // A refused translation (tracker installed, unmapped, no
+            // permission) is not counted here: the slow path below
+            // performs — and counts — the one real walk.
+        }
+        // Tracker installed, page-crossing access, or a fault: the
+        // exact slow path (which also produces the exact error).
+        if self.fast_path {
+            self.cache_stats.slow_accesses += 1;
+            self.cache_stats.pages_walked += 1;
+        }
+        let mut buf = [0u8; N];
+        mem.read(addr, &mut buf)?;
+        Ok(buf)
+    }
 
-            Addi => {
-                g[rd] = g[rs].wrapping_add(imm as u64);
-                Flow::Next
+    /// Stores `N` bytes, through the write TLB when possible.
+    #[inline]
+    fn store<const N: usize>(
+        &mut self,
+        mem: &mut AddressSpace,
+        addr: u64,
+        data: [u8; N],
+    ) -> Result<(), MemError> {
+        if self.fast_path {
+            // Self-modifying code: if a page this store can touch holds
+            // cached decodes, drop them before the bytes change. The
+            // 64-bit filter rejects most stores in one AND; a filter
+            // hit (which a data page aliasing a code page mod 64 can
+            // also produce) is confirmed against the exact code-page
+            // set, so only genuine code stores pay the flush.
+            let vpn = addr >> PAGE_SHIFT;
+            let last_vpn = addr.saturating_add(N as u64 - 1) >> PAGE_SHIFT;
+            let mask = (1u64 << (vpn & 63)) | (1u64 << (last_vpn & 63));
+            if self.code_vpns & mask != 0 && self.stores_into_code(vpn, last_vpn) {
+                self.cache_stats.icache_flushes += 1;
+                self.flush_icache();
             }
-            Andi => {
-                g[rd] = g[rs] & imm as u64;
-                Flow::Next
+            let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+            if off + N <= PAGE_SIZE {
+                let idx = (vpn as usize) & (DTLB_ENTRIES - 1);
+                let e = self.dtlb_write[idx];
+                if e.vpn == vpn {
+                    if let Some(bytes) = mem.translated_bytes_mut(e.tr) {
+                        self.cache_stats.tlb_write_hits += 1;
+                        bytes[off..off + N].copy_from_slice(&data);
+                        return Ok(());
+                    }
+                }
+                if let Some(tr) = mem.translate_write(addr) {
+                    self.cache_stats.pages_walked += 1;
+                    self.cache_stats.tlb_write_fills += 1;
+                    self.dtlb_write[idx] = DtlbEntry { vpn, tr };
+                    let bytes = mem
+                        .translated_bytes_mut(tr)
+                        .expect("fresh exclusive translation");
+                    bytes[off..off + N].copy_from_slice(&data);
+                    return Ok(());
+                }
+                // Refused translation: the slow path below performs —
+                // and counts — the one real walk.
             }
-            Ori => {
-                g[rd] = g[rs] | imm as u64;
-                Flow::Next
-            }
-            Xori => {
-                g[rd] = g[rs] ^ imm as u64;
-                Flow::Next
-            }
-            Shli => {
-                g[rd] = g[rs].wrapping_shl(imm as u32 & 63);
-                Flow::Next
-            }
-            Shri => {
-                g[rd] = g[rs].wrapping_shr(imm as u32 & 63);
-                Flow::Next
-            }
-            Sari => {
-                g[rd] = (g[rs] as i64).wrapping_shr(imm as u32 & 63) as u64;
-                Flow::Next
-            }
-            Slti => {
-                g[rd] = ((g[rs] as i64) < imm) as u64;
-                Flow::Next
-            }
-            Muli => {
-                g[rd] = g[rs].wrapping_mul(imm as u64);
-                Flow::Next
-            }
-            Ldi => {
-                g[rd] = imm as u64;
-                Flow::Next
-            }
-            Ldih => {
-                g[rd] = (g[rd] << 12) | (i.imm as u64 & 0xfff);
-                Flow::Next
-            }
+        }
+        if self.fast_path {
+            self.cache_stats.slow_accesses += 1;
+            self.cache_stats.pages_walked += 1;
+        }
+        mem.write(addr, &data)
+    }
 
+    /// Loads, stores — the opcodes that need the TLB helpers (and thus
+    /// `&mut self` rather than a borrowed register file).
+    fn exec_mem(&mut self, i: Insn, mem: &mut AddressSpace) -> Result<(), VmTrap> {
+        use Opcode::*;
+        let (rd, rs) = ((i.rd & 15) as usize, (i.rs & 15) as usize);
+        let a = self.regs.gpr[rs].wrapping_add(i.imm as i64 as u64);
+        match i.op {
             Ldb => {
-                let a = g[rs].wrapping_add(imm as u64);
-                g[rd] = mem.read_u8(a).map_err(VmTrap::Mem)? as u64;
-                Flow::Next
+                let b = self.load::<1>(mem, a).map_err(VmTrap::Mem)?;
+                self.regs.gpr[rd] = b[0] as u64;
             }
             Ldh => {
-                let a = g[rs].wrapping_add(imm as u64);
-                let mut b = [0u8; 2];
-                mem.read(a, &mut b).map_err(VmTrap::Mem)?;
-                g[rd] = u16::from_le_bytes(b) as u64;
-                Flow::Next
+                let b = self.load::<2>(mem, a).map_err(VmTrap::Mem)?;
+                self.regs.gpr[rd] = u16::from_le_bytes(b) as u64;
             }
             Ldw => {
-                let a = g[rs].wrapping_add(imm as u64);
-                g[rd] = mem.read_u32(a).map_err(VmTrap::Mem)? as u64;
-                Flow::Next
+                let b = self.load::<4>(mem, a).map_err(VmTrap::Mem)?;
+                self.regs.gpr[rd] = u32::from_le_bytes(b) as u64;
             }
             Ldd => {
-                let a = g[rs].wrapping_add(imm as u64);
-                g[rd] = mem.read_u64(a).map_err(VmTrap::Mem)?;
-                Flow::Next
+                let b = self.load::<8>(mem, a).map_err(VmTrap::Mem)?;
+                self.regs.gpr[rd] = u64::from_le_bytes(b);
             }
             Stb => {
-                let a = g[rs].wrapping_add(imm as u64);
-                mem.write_u8(a, g[rd] as u8).map_err(VmTrap::Mem)?;
-                Flow::Next
+                let v = self.regs.gpr[rd] as u8;
+                self.store(mem, a, v.to_le_bytes()).map_err(VmTrap::Mem)?;
             }
             Sth => {
-                let a = g[rs].wrapping_add(imm as u64);
-                mem.write(a, &(g[rd] as u16).to_le_bytes())
-                    .map_err(VmTrap::Mem)?;
-                Flow::Next
+                let v = self.regs.gpr[rd] as u16;
+                self.store(mem, a, v.to_le_bytes()).map_err(VmTrap::Mem)?;
             }
             Stw => {
-                let a = g[rs].wrapping_add(imm as u64);
-                mem.write_u32(a, g[rd] as u32).map_err(VmTrap::Mem)?;
-                Flow::Next
+                let v = self.regs.gpr[rd] as u32;
+                self.store(mem, a, v.to_le_bytes()).map_err(VmTrap::Mem)?;
             }
             Std => {
-                let a = g[rs].wrapping_add(imm as u64);
-                mem.write_u64(a, g[rd]).map_err(VmTrap::Mem)?;
-                Flow::Next
+                let v = self.regs.gpr[rd];
+                self.store(mem, a, v.to_le_bytes()).map_err(VmTrap::Mem)?;
             }
-
-            Beq => branch(g[rs] == g[rt]),
-            Bne => branch(g[rs] != g[rt]),
-            Blt => branch((g[rs] as i64) < (g[rt] as i64)),
-            Bge => branch((g[rs] as i64) >= (g[rt] as i64)),
-            Bltu => branch(g[rs] < g[rt]),
-            Bgeu => branch(g[rs] >= g[rt]),
-            Jal => {
-                g[rd] = next_pc;
-                Flow::Jump((next_pc as i64 + imm * 4) as u64)
-            }
-            Jalr => {
-                let target = g[rs].wrapping_add(imm as u64);
-                g[rd] = next_pc;
-                Flow::Jump(target)
-            }
-
-            Fadd => {
-                let v = self.regs.f(rs) + self.regs.f(rt);
-                self.regs.set_f(rd, v);
-                Flow::Next
-            }
-            Fsub => {
-                let v = self.regs.f(rs) - self.regs.f(rt);
-                self.regs.set_f(rd, v);
-                Flow::Next
-            }
-            Fmul => {
-                let v = self.regs.f(rs) * self.regs.f(rt);
-                self.regs.set_f(rd, v);
-                Flow::Next
-            }
-            Fdiv => {
-                let v = self.regs.f(rs) / self.regs.f(rt);
-                self.regs.set_f(rd, v);
-                Flow::Next
-            }
-            Fsqrt => {
-                let v = self.regs.f(rs).sqrt();
-                self.regs.set_f(rd, v);
-                Flow::Next
-            }
-            Cvtif => {
-                let v = self.regs.gpr[rs] as i64 as f64;
-                self.regs.set_f(rd, v);
-                Flow::Next
-            }
-            Cvtfi => {
-                // Rust's saturating float→int cast is deterministic.
-                self.regs.gpr[rd] = self.regs.f(rs) as i64 as u64;
-                Flow::Next
-            }
-            Flt => {
-                self.regs.gpr[rd] = (self.regs.f(rs) < self.regs.f(rt)) as u64;
-                Flow::Next
-            }
-            Feq => {
-                self.regs.gpr[rd] = (self.regs.f(rs) == self.regs.f(rt)) as u64;
-                Flow::Next
-            }
-            Fle => {
-                self.regs.gpr[rd] = (self.regs.f(rs) <= self.regs.f(rt)) as u64;
-                Flow::Next
-            }
-        };
-        Ok(flow)
+            _ => unreachable!("exec_mem called for non-memory opcode"),
+        }
+        Ok(())
     }
-}
-
-enum Flow {
-    Next,
-    Jump(u64),
-    Halt,
-    Sys(u16),
 }
 
 #[cfg(test)]
@@ -643,5 +1117,254 @@ mod tests {
         );
         assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
         assert_eq!(cpu.regs.gpr[1], 20);
+    }
+
+    // ------------------------------------------------------------------
+    // Fast-path specifics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fast_and_slow_paths_agree() {
+        let src = "
+            ldi r1, 200
+            ldi r3, 0
+            li  r5, 0x8000
+        loop:
+            add r3, r3, r1
+            std r3, [r5+0]
+            ldd r4, [r5+0]
+            stb r3, [r5+9]
+            ldh r6, [r5+8]
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ";
+        let (mut fast, mut mem_f) = load(src);
+        let (_, mut mem_s) = load(src);
+        let mut slow = Cpu::slow_path();
+        assert_eq!(fast.run(&mut mem_f, None), VmExit::Halt);
+        assert_eq!(slow.run(&mut mem_s, None), VmExit::Halt);
+        assert_eq!(fast.regs, slow.regs);
+        assert_eq!(fast.insn_count, slow.insn_count);
+        assert_eq!(mem_f.content_digest(), mem_s.content_digest());
+        // And the fast run actually used its caches.
+        assert!(fast.cache_stats.icache_hits > 1000);
+        assert!(fast.cache_stats.tlb_write_hits > 100);
+        assert_eq!(slow.cache_stats, CpuCacheStats::default());
+    }
+
+    #[test]
+    fn loop_hits_cache_and_walks_few_pages() {
+        let (mut cpu, mut mem) = load(
+            "
+            ldi r1, 0
+        loop:
+            addi r1, r1, 1
+            beq r0, r0, loop
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, Some(100_000)), VmExit::OutOfBudget);
+        let s = cpu.cache_stats;
+        assert!(s.hit_rate() > 0.999, "hit rate {}", s.hit_rate());
+        // A tight loop touches one code page: a handful of walks, ever.
+        assert!(s.pages_walked < 10, "pages walked {}", s.pages_walked);
+        assert!(s.icache_hits > 99_000);
+    }
+
+    /// Hand-assembled image: words at ascending addresses from 0.
+    fn load_words(words: &[u32], extra: &[(u64, u32)]) -> (Cpu, AddressSpace) {
+        let mut mem = AddressSpace::new();
+        mem.map_zero(Region::new(0, 0x10000), Perm::RW).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            mem.write_u32((i * 4) as u64, *w).unwrap();
+        }
+        for &(addr, w) in extra {
+            mem.write_u32(addr, w).unwrap();
+        }
+        (Cpu::new(), mem)
+    }
+
+    #[test]
+    fn self_modifying_code_reflects_stores() {
+        use crate::isa::encode;
+        // The program loads `ldi r2, 7` from data memory and writes it
+        // over the instruction at address 12, then executes it.
+        let patch = encode(Insn::new(Opcode::Ldi, 2, 0, 0, 7));
+        let words = [
+            encode(Insn::new(Opcode::Ldw, 4, 0, 0, 256)), // 0: r4 = patch
+            encode(Insn::new(Opcode::Stw, 4, 0, 0, 12)),  // 4: patch @12
+            encode(Insn::new(Opcode::Nop, 0, 0, 0, 0)),   // 8
+            encode(Insn::new(Opcode::Halt, 0, 0, 0, 0)),  // 12: replaced
+            encode(Insn::new(Opcode::Halt, 0, 0, 0, 0)),  // 16
+        ];
+        let (mut fast, mut mem_f) = load_words(&words, &[(256, patch)]);
+        assert_eq!(fast.run(&mut mem_f, None), VmExit::Halt);
+        assert_eq!(fast.regs.gpr[2], 7, "patched instruction must execute");
+        assert_eq!(fast.regs.pc, 20, "halt at 16, not the patched 12");
+
+        // Slow path agrees.
+        let (_, mut mem_s) = load_words(&words, &[(256, patch)]);
+        let mut slow = Cpu::slow_path();
+        assert_eq!(slow.run(&mut mem_s, None), VmExit::Halt);
+        assert_eq!(fast.regs, slow.regs);
+    }
+
+    #[test]
+    fn self_modifying_code_after_warm_icache() {
+        use crate::isa::encode;
+        // First pass executes (and caches) the target instruction, then
+        // patches it and loops back — the store must flush the cached
+        // decode so the second pass sees the new instruction.
+        let patch = encode(Insn::new(Opcode::Ldi, 2, 0, 0, 9));
+        let words = [
+            encode(Insn::new(Opcode::Ldw, 4, 0, 0, 256)), // 0: r4 = patch
+            encode(Insn::new(Opcode::Ldi, 2, 0, 0, 1)),   // 4: target
+            encode(Insn::new(Opcode::Bne, 0, 5, 0, 3)),   // 8: pass 2 → 24
+            encode(Insn::new(Opcode::Ldi, 5, 0, 0, 1)),   // 12: flag
+            encode(Insn::new(Opcode::Stw, 4, 0, 0, 4)),   // 16: patch @4
+            encode(Insn::new(Opcode::Beq, 0, 0, 0, -5)),  // 20: → 4
+            encode(Insn::new(Opcode::Halt, 0, 0, 0, 0)),  // 24
+        ];
+        let (mut fast, mut mem_f) = load_words(&words, &[(256, patch)]);
+        let (_, mut mem_s) = load_words(&words, &[(256, patch)]);
+        let mut slow = Cpu::slow_path();
+        assert_eq!(fast.run(&mut mem_f, None), VmExit::Halt);
+        assert_eq!(slow.run(&mut mem_s, None), VmExit::Halt);
+        assert_eq!(fast.regs, slow.regs);
+        assert_eq!(fast.regs.gpr[2], 9);
+        assert!(fast.cache_stats.icache_flushes >= 1);
+    }
+
+    #[test]
+    fn external_mutation_between_steps_is_seen() {
+        // A cached translation must go stale when the kernel mutates
+        // memory between quanta (snapshot, merge, protection change).
+        let (mut cpu, mut mem) = load(
+            "
+            li  r5, 0x8000
+        loop:
+            ldd r2, [r5+0]
+            beq r0, r0, loop
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, Some(10)), VmExit::OutOfBudget);
+        assert_eq!(cpu.regs.gpr[2], 0);
+        // External write through the kernel path.
+        mem.write_u64(0x8000, 0xFEED).unwrap();
+        assert_eq!(cpu.run(&mut mem, Some(10)), VmExit::OutOfBudget);
+        assert_eq!(cpu.regs.gpr[2], 0xFEED);
+        // Protection change faults the next load.
+        mem.set_perm(Region::new(0x8000, 0x9000), Perm::NONE)
+            .unwrap();
+        assert!(matches!(
+            cpu.run(&mut mem, Some(10)),
+            VmExit::Trap(VmTrap::Mem(MemError::PermDenied { .. }))
+        ));
+    }
+
+    #[test]
+    fn cpu_survives_memory_image_replacement() {
+        // Swapping in a different AddressSpace (kernel Tree option)
+        // must never produce stale hits: the space id differs.
+        let (mut cpu, mut mem_a) = load("ldi r1, 1\nbeq r0, r0, -2\n");
+        assert_eq!(cpu.run(&mut mem_a, Some(100)), VmExit::OutOfBudget);
+        let (_, mut mem_b) = load("ldi r1, 2\nbeq r0, r0, -2\n");
+        cpu.regs.pc = 0;
+        assert_eq!(cpu.run(&mut mem_b, Some(3)), VmExit::OutOfBudget);
+        assert_eq!(cpu.regs.gpr[1], 2);
+    }
+
+    #[test]
+    fn tracker_log_identical_with_fast_path() {
+        use det_memory::AccessTracker;
+        let src = "
+            li  r5, 0x8000
+            ldd r2, [r5+0]
+            std r2, [r5+256]
+            ldb r3, [r5+0]
+            halt
+        ";
+        let run = |cpu: &mut Cpu| {
+            let (_, mut mem) = load(src);
+            let t = AccessTracker::new();
+            mem.set_tracker(Some(t.clone()));
+            assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+            (t.pages_read(), t.pages_written())
+        };
+        let fast_log = run(&mut Cpu::new());
+        let slow_log = run(&mut Cpu::slow_path());
+        assert_eq!(fast_log, slow_log);
+        // Fetches are reads: page 0 must be in the read set.
+        assert!(fast_log.0.contains(&0));
+        assert!(fast_log.1.contains(&8));
+    }
+
+    #[test]
+    fn store_page_aliasing_code_page_mod64_does_not_flush() {
+        // Code lives at vpn 0; the store target at 0x40000 is vpn 64 —
+        // the same 64-bit filter bit. The exact code-page set must
+        // reject the false positive, so a store-heavy loop keeps its
+        // decoded instructions.
+        let mut mem = AddressSpace::new();
+        mem.map_zero(Region::new(0, 0x1000), Perm::RW).unwrap();
+        mem.map_zero(Region::new(0x40000, 0x41000), Perm::RW)
+            .unwrap();
+        let image = assemble(
+            "
+            li r5, 0x40000
+        loop:
+            std r1, [r5+0]
+            addi r1, r1, 1
+            beq r0, r0, loop
+            ",
+        )
+        .unwrap();
+        mem.write(0, &image.bytes).unwrap();
+        let mut cpu = Cpu::new();
+        assert_eq!(cpu.run(&mut mem, Some(30_000)), VmExit::OutOfBudget);
+        let s = cpu.cache_stats;
+        assert_eq!(s.icache_flushes, 0, "aliasing store must not flush");
+        assert!(s.hit_rate() > 0.999, "hit rate {}", s.hit_rate());
+    }
+
+    #[test]
+    fn tracked_accesses_count_one_walk_each() {
+        use det_memory::AccessTracker;
+        // With a tracker installed every access is a slow-path walk —
+        // exactly one, not a failed-translate walk plus a slow walk.
+        let (mut cpu, mut mem) = load(
+            "
+            li  r5, 0x8000
+        loop:
+            ldd r2, [r5+0]
+            std r2, [r5+8]
+            beq r0, r0, loop
+            ",
+        );
+        mem.set_tracker(Some(AccessTracker::new()));
+        assert_eq!(cpu.run(&mut mem, Some(3_000)), VmExit::OutOfBudget);
+        let s = cpu.cache_stats;
+        assert_eq!(
+            s.pages_walked, s.slow_accesses,
+            "every tracked access walks exactly once"
+        );
+        assert_eq!(s.fills(), 0, "nothing may be cached while tracked");
+    }
+
+    #[test]
+    fn page_crossing_access_takes_slow_path_correctly() {
+        let (mut cpu, mut mem) = load(
+            "
+            li  r5, 0x8ffc
+            li  r1, 0x1122334455667788
+            std r1, [r5+0]
+            ldd r2, [r5+0]
+            halt
+            ",
+        );
+        assert_eq!(cpu.run(&mut mem, None), VmExit::Halt);
+        assert_eq!(cpu.regs.gpr[2], 0x1122334455667788);
+        assert_eq!(mem.read_u64(0x8ffc).unwrap(), 0x1122334455667788);
+        assert!(cpu.cache_stats.slow_accesses >= 2);
     }
 }

@@ -56,6 +56,7 @@ macro_rules! opcodes {
 
         impl Opcode {
             /// Returns the opcode for an encoded byte, if defined.
+            #[inline]
             pub fn from_u8(v: u8) -> Option<Opcode> {
                 match v {
                     $($val => Some(Opcode::$name),)*
@@ -174,6 +175,10 @@ pub fn encode(i: Insn) -> u32 {
 }
 
 /// Decodes a 32-bit word into an instruction.
+///
+/// Inlined: this is the decoded-instruction cache's fill path; a hit
+/// skips it entirely.
+#[inline]
 pub fn decode(word: u32) -> Result<Insn, DecodeError> {
     let op_byte = (word >> 24) as u8;
     let op = Opcode::from_u8(op_byte).ok_or(DecodeError { opcode: op_byte })?;

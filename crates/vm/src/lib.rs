@@ -48,6 +48,6 @@ mod isa;
 mod regs;
 
 pub use asm::{AsmError, Image, assemble};
-pub use interp::{Cpu, VmExit, VmTrap};
+pub use interp::{Cpu, CpuCacheStats, VmExit, VmTrap};
 pub use isa::{DecodeError, Insn, Opcode, decode, disassemble, encode};
 pub use regs::Regs;

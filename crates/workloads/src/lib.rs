@@ -63,6 +63,9 @@ pub fn baseline_costs() -> CostModel {
         byte_compare_ps: 0,
         byte_copy_ps: 0,
         vm_insn_ps: 1_000,
+        // Hardware TLB: misses are absorbed into the per-instruction
+        // rate, as they are for native pthreads code.
+        vm_tlb_fill_ps: 0,
     }
 }
 
