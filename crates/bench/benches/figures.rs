@@ -1,5 +1,5 @@
 //! Criterion benches wrapping each figure's workload at a reduced
-//! size: one bench per figure/table of §6, measuring the real time the
+//! size: one bench per figure/table of PAPER.md §6, measuring the real time the
 //! simulation substrate takes to regenerate it. The virtual-time
 //! series themselves come from `cargo run -p det-bench --bin report`.
 

@@ -34,8 +34,79 @@ fn bench_cow_copy(c: &mut Criterion) {
     });
 }
 
+/// The structural-clone bench group: the paper's claim that fork and
+/// snapshot cost O(pages-touched), not O(pages-mapped) (PAPER.md §3.2,
+/// §8), measured on this substrate. With the two-level shared page
+/// table a leaf-congruent clone is O(leaves): sharing one `Arc` per
+/// `det_memory::PAGES_PER_LEAF` (512) pages.
+fn bench_clone(c: &mut Criterion) {
+    use det_memory::PAGES_PER_LEAF;
+    const LEAF_BYTES: u64 = (PAGES_PER_LEAF * 4096) as u64;
+    // A leaf-aligned 4 MiB region (2 whole leaves), fully written.
+    let aligned = Region {
+        start: 4 * LEAF_BYTES,
+        end: 4 * LEAF_BYTES + 4 * 1024 * 1024,
+    };
+    let mut src = AddressSpace::new();
+    src.map_zero(aligned, Perm::RW).unwrap();
+    for i in 0..1024u64 {
+        src.write_u64(aligned.start + i * 4096, i).unwrap();
+    }
+
+    let mut g = c.benchmark_group("clone");
+    // Snapshot: clones the root spine only (2 Arc bumps for 4 MiB).
+    g.bench_function("snapshot_4MiB_aligned", |b| {
+        b.iter(|| black_box(src.snapshot().page_count()))
+    });
+    // Leaf-congruent virtual copy: zero boundary pages.
+    g.bench_function("virtual_copy_4MiB_aligned", |b| {
+        b.iter(|| {
+            let mut dst = AddressSpace::new();
+            let stats = dst
+                .copy_from_counted(black_box(&src), aligned, aligned.start)
+                .unwrap();
+            assert_eq!(stats.leaves_shared, 2);
+            black_box(stats)
+        })
+    });
+    // Deep fork chain: 64 generations, each forking from the last and
+    // dirtying one page — the cost each generation pays must track the
+    // single touched page, not the 1024 mapped ones.
+    g.bench_function("deep_fork_chain_64", |b| {
+        b.iter(|| {
+            let mut gen0 = src.clone();
+            for i in 0..64u64 {
+                let mut child = AddressSpace::new();
+                child.copy_from(&gen0, aligned, aligned.start).unwrap();
+                child
+                    .write_u64(aligned.start + (i % 1024) * 4096, i)
+                    .unwrap();
+                gen0 = child;
+            }
+            black_box(gen0.page_count())
+        })
+    });
+    // 64-way fan-out: the fork half of the paper's fork/join pattern at
+    // high fan-out, each child touching one private page.
+    g.bench_function("fanout_64_children", |b| {
+        b.iter(|| {
+            let children: Vec<AddressSpace> = (0..64u64)
+                .map(|i| {
+                    let mut ch = AddressSpace::new();
+                    ch.copy_from(&src, aligned, aligned.start).unwrap();
+                    ch.write_u64(aligned.start + i * 4096, i + 1).unwrap();
+                    ch
+                })
+                .collect();
+            black_box(children.len())
+        })
+    });
+    g.finish();
+}
+
 /// Builds a 4 MiB parent, a forked child with snapshot, and applies
-/// `dirty` to the child.
+/// `dirty` to the child (the fork idiom of PAPER.md §3.2: virtual copy
+/// plus reference snapshot).
 fn fork_4mib(dirty: impl Fn(&mut AddressSpace)) -> (AddressSpace, AddressSpace, AddressSpace) {
     let mut parent = AddressSpace::new();
     parent.map_zero(MB4, Perm::RW).unwrap();
@@ -259,6 +330,6 @@ fn bench_vm(c: &mut Criterion) {
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_cow_copy, bench_merge, bench_syscall_rendezvous, bench_vm
+    targets = bench_cow_copy, bench_clone, bench_merge, bench_syscall_rendezvous, bench_vm
 }
 criterion_main!(substrate);

@@ -7,7 +7,8 @@
 //! ```
 
 use det_bench::{
-    Scale, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation, table3, vm_mips,
+    Scale, clone_table, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation, table3,
+    vm_mips,
 };
 
 fn main() {
@@ -59,6 +60,9 @@ fn main() {
     }
     if want("vmmips") {
         print!("{}", vm_mips(scale).to_markdown());
+    }
+    if want("clone") {
+        print!("{}", clone_table(scale).to_markdown());
     }
     if want("table3") {
         let root = std::env::var("CARGO_MANIFEST_DIR")

@@ -1,4 +1,4 @@
-//! Figure/table regeneration harness for the paper's evaluation (§6).
+//! Figure/table regeneration harness for the paper's evaluation (PAPER.md §6).
 //!
 //! Each `fig*` function computes one figure's series in virtual time
 //! and returns printable rows; the `report` binary drives them. The
@@ -414,7 +414,7 @@ pub fn fig12(scale: Scale) -> Table {
     }
 }
 
-/// The blackscholes quantum ablation (§6.2's fixed ~35 % cost at the
+/// The blackscholes quantum ablation (PAPER.md §6.2's fixed ~35 % cost at the
 /// 10 M-instruction quantum, falling with larger quanta).
 pub fn quantum_ablation(scale: Scale) -> Table {
     let options = match scale {
@@ -450,7 +450,8 @@ pub fn quantum_ablation(scale: Scale) -> Table {
         })
         .collect();
     Table {
-        title: "Quantum ablation — blackscholes dsched overhead vs quantum size (§6.2)".into(),
+        title: "Quantum ablation — blackscholes dsched overhead vs quantum size (PAPER.md §6.2)"
+            .into(),
         headers: vec!["quantum".into(), "overhead vs pthreads".into()],
         rows,
     }
@@ -547,6 +548,130 @@ pub fn vm_mips(scale: Scale) -> Table {
             "speedup".into(),
             "cache hit rate".into(),
             "walks / kinsn".into(),
+        ],
+        rows,
+    }
+}
+
+/// The structural-clone cost table (`report -- clone`): how much
+/// page-table work fork/snapshot actually performs under the two-level
+/// shared table, per operation shape. The work counts (leaves shared,
+/// boundary pages) are deterministic; the host ns column is indicative
+/// (shim criterion caveat) and the virtual-time column is what the
+/// kernel charges via `CostModel::calibrated()` — the O(touched)
+/// fork/snapshot cost of PAPER.md §3.2/§8.
+pub fn clone_table(scale: Scale) -> Table {
+    use det_kernel::CostModel;
+    use det_memory::{AddressSpace, PAGES_PER_LEAF, Perm, Region};
+
+    const PAGE: u64 = 4096;
+    let leaf_bytes = PAGES_PER_LEAF as u64 * PAGE;
+    let costs = CostModel::calibrated();
+    let reps = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 2_000,
+    };
+
+    let build = |bytes: u64, start: u64| -> AddressSpace {
+        let mut s = AddressSpace::new();
+        let r = Region::sized(start, bytes);
+        s.map_zero(r, Perm::RW).unwrap();
+        for vpn in 0..bytes / PAGE {
+            s.write_u64(start + vpn * PAGE, vpn + 1).unwrap();
+        }
+        s
+    };
+
+    let mut rows = Vec::new();
+    let mut add = |name: &str, src: &mut AddressSpace, region: Region, dst: Option<u64>| {
+        // One counted run for the deterministic work split…
+        let (stats, pages) = match dst {
+            Some(d) => {
+                let mut t = AddressSpace::new();
+                let cs = t.copy_from_counted(src, region, d).unwrap();
+                (Some(cs), cs.pages)
+            }
+            None => (None, src.snapshot().page_count() as u64),
+        };
+        // …then repeated runs for an indicative host cost.
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            match dst {
+                Some(d) => {
+                    let mut t = AddressSpace::new();
+                    std::hint::black_box(t.copy_from_counted(src, region, d).unwrap());
+                }
+                None => {
+                    std::hint::black_box(src.snapshot().page_count());
+                }
+            }
+        }
+        let host_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+        // A snapshot's structural work is its spine: all leaves
+        // shared, no boundary pages. Using CloneStats + the kernel's
+        // own copy_cost_ps keeps this column equal to what the kernel
+        // actually charges.
+        let cs = stats.unwrap_or(det_memory::CloneStats {
+            pages,
+            leaves_shared: src.leaf_count() as u64,
+            boundary_pages: 0,
+        });
+        let virt_ps = costs.copy_cost_ps(&cs);
+        rows.push(vec![
+            name.to_string(),
+            pages.to_string(),
+            cs.leaves_shared.to_string(),
+            cs.boundary_pages.to_string(),
+            format!("{host_ns:.0}"),
+            format!("{:.1}", virt_ps as f64 / 1000.0),
+        ]);
+    };
+
+    let mb4 = 4 * 1024 * 1024;
+    let mut aligned = build(mb4, 4 * leaf_bytes);
+    let aligned_r = Region::sized(4 * leaf_bytes, mb4);
+    add("snapshot 4 MiB", &mut aligned, aligned_r, None);
+    add(
+        "virtual copy 4 MiB, leaf-congruent",
+        &mut aligned,
+        aligned_r,
+        Some(4 * leaf_bytes),
+    );
+    add(
+        "virtual copy 4 MiB, page-shifted (no sharing)",
+        &mut aligned,
+        aligned_r,
+        Some(4 * leaf_bytes + PAGE),
+    );
+    let mut unaligned = build(mb4, 4 * leaf_bytes + 16 * PAGE);
+    add(
+        "virtual copy 4 MiB, mid-leaf range",
+        &mut unaligned,
+        Region::sized(4 * leaf_bytes + 16 * PAGE, mb4),
+        Some(4 * leaf_bytes + 16 * PAGE),
+    );
+    let mb64 = 64 * 1024 * 1024;
+    let mut big = build(mb64, 8 * leaf_bytes);
+    let big_r = Region::sized(8 * leaf_bytes, mb64);
+    add("snapshot 64 MiB", &mut big, big_r, None);
+    add(
+        "virtual copy 64 MiB, leaf-congruent",
+        &mut big,
+        big_r,
+        Some(8 * leaf_bytes),
+    );
+
+    Table {
+        title: "Structural clone — fork/snapshot page-table work under the shared two-level \
+                table (PAPER.md §3.2, §8)"
+            .into(),
+        headers: vec![
+            "operation".into(),
+            "pages".into(),
+            "leaves shared".into(),
+            "boundary pages".into(),
+            "host ns/op".into(),
+            "virtual ns/op".into(),
         ],
         rows,
     }

@@ -28,9 +28,15 @@ pub struct CostModel {
     /// Cost of resuming an already-live space (`Start` on a parked
     /// space; scheduler dispatch analogue).
     pub resume_ps: u64,
-    /// Per-page cost of copy-on-write mapping (virtual copy, zero-fill,
-    /// snapshot page-table cloning).
+    /// Per-page cost of copy-on-write mapping (zero-fill, and the
+    /// boundary pages a virtual copy walks individually).
     pub page_map_ps: u64,
+    /// Per-leaf cost of a structural clone: sharing one 512-page
+    /// page-table leaf during a snapshot or a leaf-congruent virtual
+    /// copy (`det_memory::PAGES_PER_LEAF` pages per unit). This is
+    /// what makes fork/snapshot O(pages-touched) in virtual time too —
+    /// a 4 MiB snapshot charges 2 leaves, not 1024 pages.
+    pub space_clone_ps: u64,
     /// Per-page cost of scanning a page table entry during merge.
     pub page_scan_ps: u64,
     /// Per-chunk cost of an 8-byte word comparison during merge
@@ -58,17 +64,21 @@ pub struct CostModel {
 impl CostModel {
     /// Calibration resembling the paper's 2.2 GHz Opteron testbed:
     /// ~0.5 µs syscalls, ~25 µs space creation, ~30 ns/page of
-    /// page-table work for COW mapping and snapshots, ~1 cycle
-    /// (~0.45 ns) per 8-byte word compare on the merge fast path,
-    /// memcpy/memcmp-class per-byte costs (~0.25–0.3 ns/byte) for the
-    /// byte-granularity slow path, and a ~20 ns TLB fill (a software
-    /// page-table walk, same order as `page_scan_ps`).
+    /// page-table work for individually COW-mapped pages, ~300 ns per
+    /// structurally-shared page-table leaf (copying one page-directory
+    /// entry plus refcount work — the per-512-pages unit of snapshot
+    /// and virtual-copy cost), ~1 cycle (~0.45 ns) per 8-byte word
+    /// compare on the merge fast path, memcpy/memcmp-class per-byte
+    /// costs (~0.25–0.3 ns/byte) for the byte-granularity slow path,
+    /// and a ~20 ns TLB fill (a software page-table walk, same order
+    /// as `page_scan_ps`).
     pub fn calibrated() -> CostModel {
         CostModel {
             syscall_ps: 500_000,
             spawn_ps: 25_000_000,
             resume_ps: 2_000_000,
             page_map_ps: 30_000,
+            space_clone_ps: 300_000,
             page_scan_ps: 20_000,
             word_compare_ps: 450,
             byte_compare_ps: 250,
@@ -87,6 +97,7 @@ impl CostModel {
             spawn_ps: 0,
             resume_ps: 0,
             page_map_ps: 0,
+            space_clone_ps: 0,
             page_scan_ps: 0,
             word_compare_ps: 0,
             byte_compare_ps: 0,
@@ -96,14 +107,31 @@ impl CostModel {
         }
     }
 
-    /// Cost of copy-on-write mapping `pages` pages.
+    /// Cost of copy-on-write mapping `pages` pages individually.
     pub fn map_cost_ps(&self, pages: u64) -> u64 {
         self.page_map_ps.saturating_mul(pages)
     }
 
+    /// Cost of structurally sharing `leaves` page-table leaves (one
+    /// snapshot or leaf-congruent virtual copy charges this per leaf
+    /// instead of `page_map_ps` per mapped page).
+    pub fn clone_cost_ps(&self, leaves: u64) -> u64 {
+        self.space_clone_ps.saturating_mul(leaves)
+    }
+
+    /// Cost of a virtual copy with the given structural-clone counts:
+    /// shared leaves at the per-leaf rate, boundary pages at the
+    /// per-page rate.
+    pub fn copy_cost_ps(&self, stats: &det_memory::CloneStats) -> u64 {
+        self.clone_cost_ps(stats.leaves_shared)
+            .saturating_add(self.map_cost_ps(stats.boundary_pages))
+    }
+
     /// Cost of a merge with the given statistics. Pages skipped via
-    /// the dirty write-set (`pages_skipped_clean`) are free — that is
-    /// the optimization the stats exist to prove out.
+    /// the dirty write-set (`pages_skipped_clean`) and via a
+    /// structurally-shared leaf (`pages_skipped_shared`, one pointer
+    /// compare per 512-page block) are free — those are the
+    /// optimizations the stats exist to prove out.
     pub fn merge_cost_ps(&self, stats: &MergeStats) -> u64 {
         self.page_scan_ps
             .saturating_mul(stats.pages_scanned)
@@ -140,6 +168,7 @@ mod tests {
             spawn_ps: 0,
             resume_ps: 0,
             page_map_ps: 0,
+            space_clone_ps: 0,
             page_scan_ps: 10,
             word_compare_ps: 5,
             byte_compare_ps: 2,
@@ -173,7 +202,28 @@ mod tests {
     fn zero_model_is_free() {
         let m = CostModel::zero();
         assert_eq!(m.map_cost_ps(1000), 0);
+        assert_eq!(m.clone_cost_ps(1000), 0);
         assert_eq!(m.merge_cost_ps(&MergeStats::default()), 0);
+    }
+
+    #[test]
+    fn structural_clone_charges_leaves_not_pages() {
+        let m = CostModel::calibrated();
+        // A 4 MiB snapshot is 2 leaves: orders of magnitude cheaper in
+        // virtual time than 1024 individually mapped pages.
+        assert!(m.clone_cost_ps(2) < m.map_cost_ps(1024) / 10);
+        let stats = det_memory::CloneStats {
+            pages: 1024,
+            leaves_shared: 2,
+            boundary_pages: 0,
+        };
+        assert_eq!(m.copy_cost_ps(&stats), m.clone_cost_ps(2));
+        let stats = det_memory::CloneStats {
+            pages: 16,
+            leaves_shared: 0,
+            boundary_pages: 16,
+        };
+        assert_eq!(m.copy_cost_ps(&stats), m.map_cost_ps(16));
     }
 
     #[test]

@@ -237,13 +237,15 @@ impl SpaceCtx {
             let src_mem = &self.st().mem;
             let child_slot = &mut g.slots[child_id.0 as usize];
             let child_st = child_slot.state.as_mut().expect("idle");
-            let installed = child_st.mem.copy_from(src_mem, c.src, c.dst)?;
-            // COW copy walks only mapped source entries.
-            let pages = installed as u64;
-            g.stats.pages_copied += pages;
-            charge_after += self.shared.costs.map_cost_ps(pages);
+            let cs = child_st.mem.copy_from_counted(src_mem, c.src, c.dst)?;
+            // Structural clone: whole leaves are shared in O(1) and
+            // charged per leaf; only range-boundary pages pay the
+            // per-page COW mapping cost.
+            g.stats.pages_copied += cs.pages;
+            g.stats.leaves_cloned += cs.leaves_shared;
+            charge_after += self.shared.costs.copy_cost_ps(&cs);
             if let Some(hooks) = self.shared.cluster.as_ref() {
-                hooks.on_copy(self.id, child_id, c.src.start >> 12, c.dst >> 12, pages);
+                hooks.on_copy(self.id, child_id, c.src.start >> 12, c.dst >> 12, cs.pages);
             }
         }
         if let Some(r) = spec.zero {
@@ -263,9 +265,13 @@ impl SpaceCtx {
         if spec.snap {
             let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
             child_st.snap = Some(child_st.mem.snapshot());
-            let pages = child_st.mem.page_count() as u64;
-            g.stats.pages_snapped += pages;
-            charge_after += self.shared.costs.map_cost_ps(pages);
+            // A snapshot clones only the root spine: charged per
+            // page-table leaf, not per mapped page (the O(touched)
+            // fork cost of PAPER.md §8).
+            let leaves = child_st.mem.leaf_count() as u64;
+            g.stats.pages_snapped += child_st.mem.page_count() as u64;
+            g.stats.leaves_cloned += leaves;
+            charge_after += self.shared.costs.clone_cost_ps(leaves);
         }
         // Kernel work is charged to the caller; limits may preempt
         // only at the *next* kernel entry (we hold the child idle now).
@@ -336,14 +342,17 @@ impl SpaceCtx {
                 .state
                 .take()
                 .expect("idle child has state");
-            let res = self.st_mut().mem.copy_from(&child_st.mem, c.src, c.dst);
+            let res = self
+                .st_mut()
+                .mem
+                .copy_from_counted(&child_st.mem, c.src, c.dst);
             g.slots[child_id.0 as usize].state = Some(child_st);
-            let installed = res?;
-            let pages = installed as u64;
-            g.stats.pages_copied += pages;
-            charge_after += self.shared.costs.map_cost_ps(pages);
+            let cs = res?;
+            g.stats.pages_copied += cs.pages;
+            g.stats.leaves_cloned += cs.leaves_shared;
+            charge_after += self.shared.costs.copy_cost_ps(&cs);
             if let Some(hooks) = self.shared.cluster.as_ref() {
-                hooks.on_copy(child_id, self.id, c.src.start >> 12, c.dst >> 12, pages);
+                hooks.on_copy(child_id, self.id, c.src.start >> 12, c.dst >> 12, cs.pages);
             }
         }
         let mut merge_stats = None;

@@ -71,6 +71,8 @@
 //! assert_eq!(outcome.exit, Ok(0));
 //! ```
 
+#![warn(missing_docs)]
+
 mod cost;
 mod ctx;
 mod device;

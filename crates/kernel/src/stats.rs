@@ -30,6 +30,11 @@ pub struct KernelStats {
     pub pages_copied: u64,
     /// Pages cloned into snapshots by `Snap`.
     pub pages_snapped: u64,
+    /// Page-table leaves shared structurally by `Copy` and `Snap`
+    /// (each covers up to `det_memory::PAGES_PER_LEAF` pages in O(1));
+    /// `leaves_cloned` vs `pages_copied + pages_snapped` is the
+    /// page-table-work reduction the structurally-shared table buys.
+    pub leaves_cloned: u64,
     /// Merge operations performed.
     pub merges: u64,
     /// Accumulated merge statistics.

@@ -902,3 +902,40 @@ fn root_trap_reported_in_outcome() {
     });
     assert!(matches!(out.exit, Err(TrapKind::Mem(_))));
 }
+
+#[test]
+fn fork_charges_leaves_not_pages() {
+    // The structural-clone cost rule: a Put with Copy+Snap over a
+    // leaf-congruent 4 MiB region charges per shared page-table leaf
+    // (2 for 4 MiB), not per mapped page (1024) — the O(touched) fork
+    // of PAPER.md §3.2/§8. The stats expose the split so the reduction
+    // is locked in as deterministic counters.
+    use det_memory::PAGES_PER_LEAF;
+    let leaf_bytes = (PAGES_PER_LEAF * 4096) as u64;
+    let big = Region::sized(4 * leaf_bytes, 4 * 1024 * 1024);
+    let out = kernel().run(move |ctx| {
+        ctx.mem_mut().map_zero(big, Perm::RW)?;
+        for vpn in 0..big.page_count() {
+            ctx.mem_mut().write_u64(big.start + vpn * 4096, vpn)?;
+        }
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|_| Ok(0)))
+                .copy(CopySpec::mirror(big))
+                .snap()
+                .start(),
+        )?;
+        ctx.get(0, GetSpec::new())?;
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    // Copy shared 2 leaves; Snap cloned the child's 2-leaf spine.
+    assert_eq!(out.stats.leaves_cloned, 4);
+    assert_eq!(out.stats.pages_copied, 1024);
+    assert_eq!(out.stats.pages_snapped, 1024);
+    // The virtual-time charge for the whole fork must be far below the
+    // per-page cost it replaced (1024 pages × page_map_ps twice).
+    let costs = det_kernel::CostModel::calibrated();
+    assert!(costs.clone_cost_ps(4) * 5 < costs.map_cost_ps(2 * 1024));
+}

@@ -1,0 +1,154 @@
+//! The dirty write-set, stored at page-table-leaf granularity.
+//!
+//! PR 2 introduced the dirty set as a `BTreeSet<u64>` of VPNs; with
+//! the structurally-shared page table (DESIGN.md §5), bulk operations
+//! matter: a leaf-congruent virtual copy installs up to 512 pages with
+//! one `Arc` clone, and its dirty marks must be just as cheap or the
+//! bookkeeping would re-introduce the O(pages) cost the sharing
+//! removed. So the set is a map from leaf index to a 512-bit bitmap:
+//! per-page marks are one bit flip, whole-leaf marks are one 8-word
+//! assignment.
+
+use std::collections::BTreeMap;
+
+use crate::space::{LEAF_BITS, LEAF_MASK, LEAF_WORDS as WORDS};
+
+/// Set of dirty VPNs, bitmap-chunked by page-table leaf.
+///
+/// Invariant: no stored bitmap is all-zero (empty leaves are removed),
+/// and `count` equals the total number of set bits.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DirtySet {
+    leaves: BTreeMap<u64, [u64; WORDS]>,
+    count: usize,
+}
+
+impl DirtySet {
+    /// Marks `vpn` dirty.
+    pub(crate) fn insert(&mut self, vpn: u64) {
+        let bits = self.leaves.entry(vpn >> LEAF_BITS).or_insert([0; WORDS]);
+        let idx = (vpn & LEAF_MASK) as usize;
+        let bit = 1u64 << (idx % 64);
+        if bits[idx / 64] & bit == 0 {
+            bits[idx / 64] |= bit;
+            self.count += 1;
+        }
+    }
+
+    /// Clears `vpn`'s dirty mark, if set.
+    pub(crate) fn remove(&mut self, vpn: u64) {
+        let base = vpn >> LEAF_BITS;
+        let Some(bits) = self.leaves.get_mut(&base) else {
+            return;
+        };
+        let idx = (vpn & LEAF_MASK) as usize;
+        let bit = 1u64 << (idx % 64);
+        if bits[idx / 64] & bit != 0 {
+            bits[idx / 64] &= !bit;
+            self.count -= 1;
+            if bits.iter().all(|&w| w == 0) {
+                self.leaves.remove(&base);
+            }
+        }
+    }
+
+    /// Sets the dirty bitmap of leaf `base` to exactly `bits` — the
+    /// bulk form of insert-every-mapped-page / remove-every-hole a
+    /// wholesale leaf install needs (O(1) per 512 pages).
+    pub(crate) fn assign_leaf(&mut self, base: u64, bits: &[u64; WORDS]) {
+        let new: usize = bits.iter().map(|w| w.count_ones() as usize).sum();
+        if new == 0 {
+            self.clear_leaf(base);
+            return;
+        }
+        let old = match self.leaves.insert(base, *bits) {
+            Some(prev) => prev.iter().map(|w| w.count_ones() as usize).sum(),
+            None => 0,
+        };
+        self.count = self.count - old + new;
+    }
+
+    /// Clears every dirty bit of leaf `base` (O(1)).
+    pub(crate) fn clear_leaf(&mut self, base: u64) {
+        if let Some(prev) = self.leaves.remove(&base) {
+            self.count -= prev.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        }
+    }
+
+    /// Clears the whole set.
+    pub(crate) fn clear(&mut self) {
+        self.leaves.clear();
+        self.count = 0;
+    }
+
+    /// Number of dirty pages.
+    pub(crate) fn len(&self) -> usize {
+        self.count
+    }
+
+    /// The sorted dirty VPNs in `first..=last`.
+    pub(crate) fn vpns_in(&self, first: u64, last: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (&base, bits) in self.leaves.range(first >> LEAF_BITS..=last >> LEAF_BITS) {
+            for (w, &word) in bits.iter().enumerate() {
+                let mut b = word;
+                while b != 0 {
+                    let i = b.trailing_zeros() as u64;
+                    b &= b - 1;
+                    let vpn = (base << LEAF_BITS) + w as u64 * 64 + i;
+                    if vpn >= first && vpn <= last {
+                        out.push(vpn);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_count() {
+        let mut d = DirtySet::default();
+        d.insert(5);
+        d.insert(5);
+        d.insert(513);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.vpns_in(0, u64::MAX - 1), vec![5, 513]);
+        d.remove(5);
+        d.remove(5);
+        assert_eq!(d.len(), 1);
+        d.remove(513);
+        assert_eq!(d.len(), 0);
+        assert!(d.leaves.is_empty(), "empty bitmaps must be dropped");
+    }
+
+    #[test]
+    fn assign_and_clear_leaf_adjust_count() {
+        let mut d = DirtySet::default();
+        d.insert(3);
+        let mut bits = [0u64; WORDS];
+        bits[0] = 0b1010;
+        d.assign_leaf(0, &bits);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.vpns_in(0, 511), vec![1, 3]);
+        d.assign_leaf(0, &[0; WORDS]);
+        assert_eq!(d.len(), 0);
+        d.insert(700);
+        d.clear_leaf(1);
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn range_filters_within_leaf() {
+        let mut d = DirtySet::default();
+        for vpn in [0, 100, 511, 512, 1024] {
+            d.insert(vpn);
+        }
+        assert_eq!(d.vpns_in(100, 512), vec![100, 511, 512]);
+        assert_eq!(d.vpns_in(513, 1023), Vec::<u64>::new());
+    }
+}

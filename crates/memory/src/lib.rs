@@ -4,10 +4,17 @@
 //! Determinator kernel (OSDI 2010) relies on:
 //!
 //! * an [`AddressSpace`] is a sparse map from virtual page numbers to
-//!   reference-counted page frames with per-page permissions;
-//! * *virtual copy* ([`AddressSpace::copy_from`]) shares frames
-//!   copy-on-write, so replicating a whole file system image or a
-//!   multi-megabyte heap is O(pages) pointer work, not O(bytes);
+//!   reference-counted page frames with per-page permissions, stored as
+//!   a two-level *structurally shared* table: a root spine over
+//!   `Arc`-counted 512-entry leaves ([`PAGES_PER_LEAF`]), so cloning a
+//!   space copies only the spine — O(leaves), not O(mapped pages) —
+//!   and the first write into a shared leaf clones just that leaf
+//!   (DESIGN.md §5);
+//! * *virtual copy* ([`AddressSpace::copy_from`]) shares whole leaves
+//!   when source and destination are leaf-congruent and frames
+//!   copy-on-write otherwise, so replicating a whole file system image
+//!   or a multi-megabyte heap is O(leaves + boundary pages) pointer
+//!   work, not O(bytes) — [`CloneStats`] reports the split;
 //! * [`AddressSpace::snapshot`] captures the reference state used by
 //!   [`AddressSpace::merge_from`], which copies only bytes the child
 //!   changed since the snapshot and reports a *conflict* when a byte
@@ -59,7 +66,10 @@
 //! assert!(stats.pages_skipped_clean >= 1);
 //! ```
 
+#![warn(missing_docs)]
+
 mod digest;
+mod dirty;
 mod error;
 mod merge;
 mod page;
@@ -75,7 +85,7 @@ pub use merge::{ConflictPolicy, MergeConflict, MergeStats};
 pub use page::{Frame, PAGE_SHIFT, PAGE_SIZE};
 pub use perm::Perm;
 pub use region::Region;
-pub use space::{AddressSpace, PageInfo, Translation};
+pub use space::{AddressSpace, CloneStats, PAGES_PER_LEAF, PageInfo, Translation};
 pub use tracker::AccessTracker;
 
 /// Result alias for memory operations.

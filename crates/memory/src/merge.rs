@@ -16,6 +16,11 @@
 //!   byte granularity only inside a mismatching word. `words_compared`
 //!   counts chunk compares; `bytes_compared` counts only the bytes
 //!   examined individually — together they are the work actually done.
+//! * **Leaf-granular subtree skipping**: when child and snapshot still
+//!   hold the same structurally-shared page-table leaf
+//!   ([`crate::PAGES_PER_LEAF`] pages), every candidate inside it is
+//!   unchanged by construction — one `Arc` pointer compare covers the
+//!   whole 512-page block (DESIGN.md §5).
 
 use std::sync::Arc;
 
@@ -74,6 +79,12 @@ pub struct MergeStats {
     /// Examined pages skipped in O(1) because child and snapshot share
     /// the frame (or a fresh zero page matches a missing snapshot page).
     pub pages_unchanged: u64,
+    /// Candidate pages skipped because child and snapshot still share
+    /// the whole structurally-shared page-table leaf — one pointer
+    /// compare per [`crate::PAGES_PER_LEAF`]-page block, so these are
+    /// free in the cost model (no per-page scan charge), unlike
+    /// `pages_unchanged`, whose frame-identity test is per-page work.
+    pub pages_skipped_shared: u64,
     /// Examined pages skipped in O(1) because the parent already holds
     /// the child's exact frame (self-merge of a previously adopted
     /// page); only possible under non-strict policies.
@@ -97,6 +108,7 @@ impl MergeStats {
         self.pages_scanned += other.pages_scanned;
         self.pages_skipped_clean += other.pages_skipped_clean;
         self.pages_unchanged += other.pages_unchanged;
+        self.pages_skipped_shared += other.pages_skipped_shared;
         self.pages_aliased += other.pages_aliased;
         self.pages_diffed += other.pages_diffed;
         self.words_compared += other.words_compared;
@@ -203,7 +215,33 @@ impl AddressSpace {
         // detecting conflicts and permission violations without
         // mutating the parent.
         let mut apply: Vec<u64> = Vec::new();
+        // Leaf-granular unchanged-subtree skip: one pointer compare per
+        // 512-page leaf transition. A structurally-shared leaf means
+        // every page it covers is frame-identical to the snapshot, so
+        // candidates inside it are unchanged without touching their
+        // entries (DESIGN.md §5 — this compounds the §3 dirty-set skip
+        // whenever the dirty marks over-approximate, e.g. after a
+        // wholesale virtual copy).
+        let leaf_shift = crate::PAGES_PER_LEAF.trailing_zeros();
+        let mut cur_leaf: Option<(u64, bool)> = None;
         for vpn in candidates {
+            let leaf = vpn >> leaf_shift;
+            let leaf_shared = match cur_leaf {
+                Some((l, shared)) if l == leaf => shared,
+                _ => {
+                    let shared = child.shares_leaf_with(snap, vpn);
+                    cur_leaf = Some((leaf, shared));
+                    shared
+                }
+            };
+            if leaf_shared {
+                // Free in the cost model: the work here is one pointer
+                // compare per leaf transition, not per page — counting
+                // these as scanned would charge page_scan_ps for work
+                // the structural sharing eliminated.
+                stats.pages_skipped_shared += 1;
+                continue;
+            }
             let (child_frame, _) = child.entry_frame(vpn).expect("retained mapped");
             stats.pages_scanned += 1;
             let snap_frame = snap.entry_frame(vpn).map(|(f, _)| f);
@@ -705,6 +743,32 @@ mod tests {
             parent.merge_from(&child, &snap2, r, ConflictPolicy::Strict),
             Err(MemError::Conflict { addr: 0x6000 })
         ));
+    }
+
+    #[test]
+    fn shared_leaf_candidates_skip_free() {
+        // A wholesale leaf-congruent self-copy marks every page dirty
+        // (sound over-approximation) while the leaf stays Arc-shared
+        // with the snapshot. The merge must skip all 512 candidates
+        // via the leaf pointer compare — no scan charge, no byte work.
+        let ppl = crate::PAGES_PER_LEAF as u64;
+        let r = Region::sized(4 * ppl * 4096, ppl * 4096);
+        let mut parent = AddressSpace::new();
+        parent.map_zero(r, Perm::RW).unwrap();
+        let mut child = AddressSpace::new();
+        child.copy_from(&parent, r, r.start).unwrap();
+        let snap = child.snapshot();
+        let aliased = child.clone();
+        child.copy_from(&aliased, r, r.start).unwrap();
+        assert_eq!(child.dirty_page_count(), ppl as usize);
+        assert!(child.shares_leaf_with(&snap, 4 * ppl));
+        let stats = parent
+            .merge_from(&child, &snap, r, ConflictPolicy::Strict)
+            .unwrap();
+        assert_eq!(stats.pages_skipped_shared, ppl);
+        assert_eq!(stats.pages_scanned, 0);
+        assert_eq!(stats.words_compared, 0);
+        assert_eq!(stats.bytes_copied, 0);
     }
 
     #[test]

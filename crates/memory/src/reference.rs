@@ -1,6 +1,7 @@
 //! The *reference merge oracle*: a deliberately naive implementation
 //! of the §3.2 merge semantics, kept for differential testing and
-//! benchmarking of the optimized engine in [`crate::merge`].
+//! benchmarking of the optimized engine
+//! ([`AddressSpace::try_merge_from`]).
 //!
 //! [`merge_from_reference`] walks **every mapped child page** in the
 //! region and compares **every byte individually** — no dirty

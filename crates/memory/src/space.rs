@@ -1,20 +1,141 @@
-//! Sparse paged address spaces with copy-on-write sharing.
+//! Sparse paged address spaces with two-level, structurally-shared
+//! copy-on-write page tables.
 
-use std::collections::btree_map::Entry as BEntry;
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::digest::ContentDigest;
+use crate::dirty::DirtySet;
 use crate::page::{Frame, PAGE_SIZE, offset_of, vpn_of, zero_frame};
 use crate::tracker::AccessTracker;
 use crate::{MemError, Perm, Region, Result};
 
+/// Log2 of [`PAGES_PER_LEAF`].
+pub(crate) const LEAF_BITS: u32 = 9;
+
+/// Pages covered by one page-table leaf (512 pages = 2 MiB).
+///
+/// The page table is a two-level tree: a root *spine* of
+/// `Arc`-reference-counted 512-entry leaves. Cloning a space
+/// ([`AddressSpace::snapshot`], [`AddressSpace::copy_from`] over
+/// leaf-congruent ranges, `clone`) copies only the spine and shares the
+/// leaves, so forking is O(leaves), not O(mapped pages); the first
+/// write into a shared leaf clones that one leaf (see DESIGN.md §5).
+pub const PAGES_PER_LEAF: usize = 1 << LEAF_BITS;
+
+/// Mask extracting the within-leaf index from a vpn.
+pub(crate) const LEAF_MASK: u64 = PAGES_PER_LEAF as u64 - 1;
+
+/// `u64` words in a per-leaf bitmap (one bit per page).
+pub(crate) const LEAF_WORDS: usize = PAGES_PER_LEAF / 64;
+
 /// One page-table entry: a shared frame plus its permissions.
 #[derive(Clone, Debug)]
-struct PageEntry {
-    frame: Arc<Frame>,
-    perm: Perm,
+pub(crate) struct PageEntry {
+    pub(crate) frame: Arc<Frame>,
+    pub(crate) perm: Perm,
+}
+
+/// One 512-entry page-table leaf. Leaves are immutable while shared
+/// (`Arc::make_mut` clones on first write), which is what makes whole
+/// address spaces cheap to duplicate: a snapshot or leaf-congruent
+/// virtual copy shares leaves the way individual writes share frames —
+/// the same copy-on-write trick, one level up.
+#[derive(Clone)]
+pub(crate) struct Leaf {
+    /// Dense entry array indexed by `vpn & LEAF_MASK`.
+    entries: [Option<PageEntry>; PAGES_PER_LEAF],
+    /// Bitmap of `Some` entries (one bit per page, 8×64 = 512).
+    present: [u64; LEAF_WORDS],
+    /// Number of `Some` entries (== ones in `present`).
+    mapped: u32,
+}
+
+impl Leaf {
+    fn empty() -> Leaf {
+        Leaf {
+            entries: [const { None }; PAGES_PER_LEAF],
+            present: [0; PAGES_PER_LEAF / 64],
+            mapped: 0,
+        }
+    }
+
+    #[inline]
+    fn is_present(&self, idx: usize) -> bool {
+        self.present[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Installs `e` at `idx`; returns true if the slot was empty.
+    fn set(&mut self, idx: usize, e: PageEntry) -> bool {
+        let fresh = self.entries[idx].replace(e).is_none();
+        if fresh {
+            self.present[idx / 64] |= 1u64 << (idx % 64);
+            self.mapped += 1;
+        }
+        fresh
+    }
+
+    /// Clears the entry at `idx`; returns true if it was mapped.
+    fn clear(&mut self, idx: usize) -> bool {
+        if self.entries[idx].take().is_some() {
+            self.present[idx / 64] &= !(1u64 << (idx % 64));
+            self.mapped -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn present_bits(&self) -> &[u64; LEAF_WORDS] {
+        &self.present
+    }
+
+    /// Iterates the indices of mapped entries in ascending order.
+    fn present_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.present.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut b = bits;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let i = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(w * 64 + i)
+                }
+            })
+        })
+    }
+
+    /// Number of mapped entries with index in `lo..=hi`.
+    fn mapped_in(&self, lo: usize, hi: usize) -> u32 {
+        let mut n = 0;
+        for (w, &bits) in self.present.iter().enumerate() {
+            let first = w * 64;
+            if first > hi || first + 63 < lo {
+                continue;
+            }
+            let mut mask = u64::MAX;
+            if lo > first {
+                mask &= u64::MAX << (lo - first);
+            }
+            if hi < first + 63 {
+                mask &= u64::MAX >> (63 - (hi - first));
+            }
+            n += (bits & mask).count_ones();
+        }
+        n
+    }
+}
+
+/// One root-spine slot: a leaf plus the leaf index it covers
+/// (`vpn >> LEAF_BITS`). The spine is a `Vec` sorted by `base`; slot
+/// positions are stable between generation bumps (every structural
+/// mutation bumps the generation), which is what lets a [`Translation`]
+/// carry a spine position and still be redeemed in O(1).
+#[derive(Clone)]
+struct RootSlot {
+    base: u64,
+    leaf: Arc<Leaf>,
 }
 
 /// Public, read-only view of one mapped page (for inspection tools and
@@ -26,9 +147,31 @@ pub struct PageInfo {
     /// Page permissions.
     pub perm: Perm,
     /// Number of address spaces (and snapshots) sharing the frame.
+    ///
+    /// This counts *direct* frame references only: a space holding the
+    /// frame through a structurally-shared leaf contributes one
+    /// reference via the leaf, not one per space.
     pub frame_refs: usize,
     /// True if the page still aliases the global zero frame.
     pub is_zero_frame: bool,
+}
+
+/// Operation counts from a structural clone
+/// ([`AddressSpace::copy_from_counted`]), consumed by the kernel's
+/// virtual-time cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CloneStats {
+    /// Pages now mapped in the destination range (the semantic count —
+    /// what [`AddressSpace::copy_from`] returns).
+    pub pages: u64,
+    /// Whole 512-page leaves shared wholesale by cloning one `Arc` on
+    /// the root spine — O(1) each, regardless of how many pages the
+    /// leaf maps.
+    pub leaves_shared: u64,
+    /// Pages handled individually: range-boundary partial leaves, plus
+    /// every page of a copy whose source/destination offsets are not
+    /// congruent modulo [`PAGES_PER_LEAF`].
+    pub boundary_pages: u64,
 }
 
 /// A generation-validated translation of one virtual page, minted by
@@ -49,7 +192,10 @@ pub struct PageInfo {
 pub struct Translation {
     space_id: u64,
     generation: u64,
+    /// Root-spine position of the page's leaf.
     slot: u32,
+    /// Entry index within the leaf.
+    entry: u16,
     writable: bool,
 }
 
@@ -59,6 +205,7 @@ impl Translation {
         space_id: 0, // Real space ids start at 1.
         generation: 0,
         slot: 0,
+        entry: 0,
         writable: false,
     };
 }
@@ -81,30 +228,31 @@ fn fresh_space_id() -> u64 {
 }
 
 /// A private virtual address space: the memory half of a Determinator
-/// *space* (§3.1).
+/// *space* (PAPER.md §3.1).
 ///
 /// The map is sparse: untouched addresses are unmapped and fault.
 /// Cloning an `AddressSpace` (or taking a [`snapshot`]) copies only the
-/// page table; frames are shared and cloned lazily on first write
-/// (copy-on-write), which is what makes the paper's fork/snapshot/merge
-/// cycle affordable.
+/// root spine of the two-level page table; leaves and frames are shared
+/// and cloned lazily on first write (copy-on-write at both levels),
+/// which is what makes the paper's fork/snapshot/merge cycle
+/// O(pages-touched) rather than O(pages-mapped).
 ///
-/// Internally the page table is split in two: a `vpn → slot` B-tree
-/// (`table`) for ordered walks, and a dense slot arena (`slots`)
-/// holding the entries themselves. The arena gives the VM's software
-/// TLB an O(1), bounds-checked redemption path for cached
-/// [`Translation`]s without any raw pointers; the `generation` counter
-/// (bumped by every mutation that could make a cached translation or a
-/// decoded instruction stale) is what keeps those translations honest.
+/// Internally the page table is a root spine (`Vec` of
+/// `(leaf index, Arc<Leaf>)`, sorted) over 512-entry leaves
+/// ([`PAGES_PER_LEAF`]). The spine gives the VM's software TLB an O(1),
+/// bounds-checked redemption path for cached [`Translation`]s without
+/// any raw pointers; the `generation` counter (bumped by every mutation
+/// that could make a cached translation or a decoded instruction stale)
+/// is what keeps those translations honest, and `Arc::get_mut` on the
+/// leaf — checked *before* the frame — is what keeps a cached write
+/// from leaking through a structurally-shared leaf (DESIGN.md §5).
 ///
 /// [`snapshot`]: AddressSpace::snapshot
 pub struct AddressSpace {
-    /// Ordered index: virtual page number → slot in `slots`.
-    table: BTreeMap<u64, u32>,
-    /// Slot arena; `None` slots are free and listed in `free`.
-    slots: Vec<Option<PageEntry>>,
-    /// Free slot indices available for reuse.
-    free: Vec<u32>,
+    /// Root spine, sorted by leaf index.
+    root: Vec<RootSlot>,
+    /// Total mapped pages (sum of leaf `mapped` counts).
+    pages: usize,
     /// The *dirty write-set*: VPNs whose contents may have changed
     /// since the last [`snapshot`](AddressSpace::snapshot) (which
     /// clears it). Every mutation path — `write`, `map_zero`,
@@ -115,7 +263,7 @@ pub struct AddressSpace {
     /// sound (extra entries are rediscovered clean by frame identity or
     /// byte diffing); a missed entry would lose writes, so every
     /// content-mutating path below must mark it.
-    dirty: BTreeSet<u64>,
+    dirty: DirtySet,
     /// Bumped by every page-table or content mutation that could
     /// invalidate an outstanding [`Translation`] or a decoded
     /// instruction (see DESIGN.md §4 for the exact rule). Monotonic.
@@ -129,10 +277,9 @@ pub struct AddressSpace {
 impl Default for AddressSpace {
     fn default() -> AddressSpace {
         AddressSpace {
-            table: BTreeMap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            dirty: BTreeSet::new(),
+            root: Vec::new(),
+            pages: 0,
+            dirty: DirtySet::default(),
             generation: 0,
             space_id: fresh_space_id(),
             tracker: None,
@@ -143,9 +290,9 @@ impl Default for AddressSpace {
 impl Clone for AddressSpace {
     fn clone(&self) -> AddressSpace {
         AddressSpace {
-            table: self.table.clone(),
-            slots: self.slots.clone(),
-            free: self.free.clone(),
+            // O(leaves): the spine is copied, every leaf is shared.
+            root: self.root.clone(),
+            pages: self.pages,
             dirty: self.dirty.clone(),
             generation: self.generation,
             // A clone is a different space: translations minted from
@@ -182,99 +329,202 @@ impl AddressSpace {
 
     /// Returns the number of mapped pages.
     pub fn page_count(&self) -> usize {
-        self.table.len()
+        self.pages
+    }
+
+    /// Returns the number of page-table leaves the root spine holds —
+    /// the unit of structural-clone work ([`snapshot`] and leaf-
+    /// congruent [`copy_from`] cost O(leaves), and the kernel charges
+    /// `space_clone_ps` per leaf).
+    ///
+    /// [`snapshot`]: AddressSpace::snapshot
+    /// [`copy_from`]: AddressSpace::copy_from
+    pub fn leaf_count(&self) -> usize {
+        self.root.len()
     }
 
     /// Returns the total mapped size in bytes.
     pub fn mapped_bytes(&self) -> u64 {
-        (self.table.len() as u64) << crate::PAGE_SHIFT
+        (self.pages as u64) << crate::PAGE_SHIFT
     }
 
     // ------------------------------------------------------------------
-    // Slot arena plumbing
+    // Two-level table plumbing
     // ------------------------------------------------------------------
+
+    /// Binary search for the spine position of leaf `base`
+    /// (`Err` = insertion point).
+    #[inline]
+    fn leaf_pos(&self, base: u64) -> std::result::Result<usize, usize> {
+        self.root.binary_search_by_key(&base, |rs| rs.base)
+    }
+
+    /// The leaf covering `vpn`, if present on the spine.
+    #[inline]
+    pub(crate) fn leaf_for(&self, vpn: u64) -> Option<&Arc<Leaf>> {
+        let pos = self.leaf_pos(vpn >> LEAF_BITS).ok()?;
+        Some(&self.root[pos].leaf)
+    }
 
     #[inline]
     fn entry(&self, vpn: u64) -> Option<&PageEntry> {
-        let &slot = self.table.get(&vpn)?;
-        self.slots[slot as usize].as_ref()
+        self.leaf_for(vpn)?.entries[(vpn & LEAF_MASK) as usize].as_ref()
     }
 
+    /// Mutable entry access; clones the leaf first if shared. Checks
+    /// presence *before* `Arc::make_mut` so probing an unmapped page
+    /// never breaks sharing.
     #[inline]
     fn entry_mut(&mut self, vpn: u64) -> Option<&mut PageEntry> {
-        let &slot = self.table.get(&vpn)?;
-        self.slots[slot as usize].as_mut()
+        let pos = self.leaf_pos(vpn >> LEAF_BITS).ok()?;
+        let idx = (vpn & LEAF_MASK) as usize;
+        if !self.root[pos].leaf.is_present(idx) {
+            return None;
+        }
+        Arc::make_mut(&mut self.root[pos].leaf).entries[idx].as_mut()
     }
 
     fn insert_entry(&mut self, vpn: u64, e: PageEntry) {
-        match self.table.entry(vpn) {
-            BEntry::Occupied(o) => {
-                self.slots[*o.get() as usize] = Some(e);
+        let base = vpn >> LEAF_BITS;
+        let pos = match self.leaf_pos(base) {
+            Ok(p) => p,
+            Err(p) => {
+                self.root.insert(
+                    p,
+                    RootSlot {
+                        base,
+                        leaf: Arc::new(Leaf::empty()),
+                    },
+                );
+                p
             }
-            BEntry::Vacant(v) => {
-                let slot = match self.free.pop() {
-                    Some(s) => {
-                        self.slots[s as usize] = Some(e);
-                        s
-                    }
-                    None => {
-                        self.slots.push(Some(e));
-                        (self.slots.len() - 1) as u32
-                    }
-                };
-                v.insert(slot);
-            }
+        };
+        let leaf = Arc::make_mut(&mut self.root[pos].leaf);
+        if leaf.set((vpn & LEAF_MASK) as usize, e) {
+            self.pages += 1;
         }
     }
 
     fn remove_entry(&mut self, vpn: u64) -> bool {
-        match self.table.remove(&vpn) {
-            Some(slot) => {
-                self.slots[slot as usize] = None;
-                self.free.push(slot);
+        let Ok(pos) = self.leaf_pos(vpn >> LEAF_BITS) else {
+            return false;
+        };
+        let idx = (vpn & LEAF_MASK) as usize;
+        if !self.root[pos].leaf.is_present(idx) {
+            return false;
+        }
+        if self.root[pos].leaf.mapped == 1 {
+            // Last page: drop the whole leaf without cloning it (the
+            // clone a `make_mut` on a shared leaf would do is wasted
+            // work when the result is immediately empty).
+            self.root.remove(pos);
+        } else {
+            Arc::make_mut(&mut self.root[pos].leaf).clear(idx);
+        }
+        self.pages -= 1;
+        true
+    }
+
+    /// Installs `leaf` wholesale at leaf index `base`, replacing any
+    /// existing leaf (the structural-sharing fast path).
+    fn set_leaf(&mut self, base: u64, leaf: Arc<Leaf>) {
+        match self.leaf_pos(base) {
+            Ok(pos) => {
+                self.pages =
+                    self.pages - self.root[pos].leaf.mapped as usize + leaf.mapped as usize;
+                self.root[pos].leaf = leaf;
+            }
+            Err(pos) => {
+                self.pages += leaf.mapped as usize;
+                self.root.insert(pos, RootSlot { base, leaf });
+            }
+        }
+    }
+
+    /// Drops the whole leaf at leaf index `base`; returns true if one
+    /// was present.
+    fn remove_leaf(&mut self, base: u64) -> bool {
+        match self.leaf_pos(base) {
+            Ok(pos) => {
+                self.pages -= self.root[pos].leaf.mapped as usize;
+                self.root.remove(pos);
                 true
             }
-            None => false,
+            Err(_) => false,
         }
     }
 
     /// Iterates information about every mapped page, in address order.
     pub fn iter_pages(&self) -> impl Iterator<Item = PageInfo> + '_ {
         let zero = zero_frame();
-        self.table.iter().map(move |(&vpn, &slot)| {
-            let e = self.slots[slot as usize].as_ref().expect("mapped slot");
-            PageInfo {
-                vpn,
-                perm: e.perm,
-                frame_refs: Arc::strong_count(&e.frame),
-                is_zero_frame: Arc::ptr_eq(&e.frame, &zero),
-            }
+        self.root.iter().flat_map(move |rs| {
+            let zero = zero.clone();
+            rs.leaf.present_indices().map(move |idx| {
+                let e = rs.leaf.entries[idx].as_ref().expect("present bit set");
+                PageInfo {
+                    vpn: (rs.base << LEAF_BITS) + idx as u64,
+                    perm: e.perm,
+                    frame_refs: Arc::strong_count(&e.frame),
+                    is_zero_frame: Arc::ptr_eq(&e.frame, &zero),
+                }
+            })
         })
     }
 
     /// Maps `region` as zero-filled pages with permissions `perm`.
     ///
     /// Already-mapped pages in the range are replaced by zero pages.
-    /// The zero frame is shared, so this is O(pages) regardless of size.
-    /// The region must be page-aligned.
+    /// The zero frame is shared, so no bytes are written regardless of
+    /// size; spans covering whole leaves are filled by sharing one
+    /// prebuilt zero leaf per call (O(1) per 512 pages after the
+    /// first). The region must be page-aligned.
     pub fn map_zero(&mut self, region: Region, perm: Perm) -> Result<()> {
         region.check_page_aligned()?;
+        if region.is_empty() {
+            return Ok(());
+        }
         let zero = zero_frame();
-        let mut changed = false;
-        for vpn in region.vpns() {
-            self.insert_entry(
-                vpn,
-                PageEntry {
-                    frame: zero.clone(),
-                    perm,
-                },
-            );
-            self.dirty.insert(vpn);
-            changed = true;
+        let first = vpn_of(region.start);
+        let last = vpn_of(region.end - 1);
+        // Built on first use, shared across every full leaf in the
+        // region (and with the destination: later writes COW it).
+        let mut zero_leaf: Option<Arc<Leaf>> = None;
+        let mut vpn = first;
+        while vpn <= last {
+            let base = vpn >> LEAF_BITS;
+            let leaf_last = ((base + 1) << LEAF_BITS) - 1;
+            let chunk_last = leaf_last.min(last);
+            if vpn & LEAF_MASK == 0 && chunk_last == leaf_last {
+                let l = zero_leaf.get_or_insert_with(|| {
+                    let mut l = Leaf::empty();
+                    for i in 0..PAGES_PER_LEAF {
+                        l.set(
+                            i,
+                            PageEntry {
+                                frame: zero.clone(),
+                                perm,
+                            },
+                        );
+                    }
+                    Arc::new(l)
+                });
+                self.set_leaf(base, l.clone());
+                self.dirty.assign_leaf(base, &[u64::MAX; LEAF_WORDS]);
+            } else {
+                for v in vpn..=chunk_last {
+                    self.insert_entry(
+                        v,
+                        PageEntry {
+                            frame: zero.clone(),
+                            perm,
+                        },
+                    );
+                    self.dirty.insert(v);
+                }
+            }
+            vpn = chunk_last + 1;
         }
-        if changed {
-            self.generation += 1;
-        }
+        self.generation += 1;
         Ok(())
     }
 
@@ -294,7 +544,7 @@ impl AddressSpace {
         let zero = zero_frame();
         let mut added = 0;
         for vpn in region.vpns() {
-            if self.table.contains_key(&vpn) {
+            if self.entry(vpn).is_some() {
                 continue;
             }
             self.insert_entry(
@@ -314,14 +564,36 @@ impl AddressSpace {
     }
 
     /// Removes all mappings in the page-aligned `region`.
+    ///
+    /// Spans covering whole leaves drop the leaf in O(1) (no
+    /// copy-on-write clone of a shared leaf just to empty it).
     pub fn unmap(&mut self, region: Region) -> Result<()> {
         region.check_page_aligned()?;
+        if region.is_empty() {
+            return Ok(());
+        }
+        let first = vpn_of(region.start);
+        let last = vpn_of(region.end - 1);
         let mut changed = false;
-        for vpn in region.vpns() {
-            if self.remove_entry(vpn) {
-                changed = true;
+        let mut vpn = first;
+        while vpn <= last {
+            let base = vpn >> LEAF_BITS;
+            let leaf_last = ((base + 1) << LEAF_BITS) - 1;
+            let chunk_last = leaf_last.min(last);
+            if vpn & LEAF_MASK == 0 && chunk_last == leaf_last {
+                if self.remove_leaf(base) {
+                    changed = true;
+                }
+                self.dirty.clear_leaf(base);
+            } else {
+                for v in vpn..=chunk_last {
+                    if self.remove_entry(v) {
+                        changed = true;
+                    }
+                    self.dirty.remove(v);
+                }
             }
-            self.dirty.remove(&vpn);
+            vpn = chunk_last + 1;
         }
         if changed {
             self.generation += 1;
@@ -358,49 +630,135 @@ impl AddressSpace {
     /// writes. Pages unmapped in the source become unmapped in the
     /// destination, making the copy an exact replica of the range.
     /// Returns the number of pages installed.
+    ///
+    /// When source and destination are congruent modulo
+    /// [`PAGES_PER_LEAF`], whole leaves inside the range are shared
+    /// structurally — O(1) per 512 pages — and only the partial leaves
+    /// at the range boundaries are walked page by page; see
+    /// [`copy_from_counted`](AddressSpace::copy_from_counted) for the
+    /// work breakdown.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det_memory::{AddressSpace, Perm, Region};
+    ///
+    /// let mut parent = AddressSpace::new();
+    /// parent.map_zero(Region::new(0x1000, 0x3000), Perm::RW).unwrap();
+    /// parent.write(0x1000, b"shared").unwrap();
+    ///
+    /// let mut child = AddressSpace::new();
+    /// let installed = child
+    ///     .copy_from(&parent, Region::new(0x1000, 0x3000), 0x1000)
+    ///     .unwrap();
+    /// assert_eq!(installed, 2);
+    /// assert_eq!(child.read_vec(0x1000, 6).unwrap(), b"shared");
+    ///
+    /// // Copy-on-write: the child's writes never reach the parent.
+    /// child.write(0x1000, b"mine").unwrap();
+    /// assert_eq!(parent.read_vec(0x1000, 6).unwrap(), b"shared");
+    /// ```
     pub fn copy_from(
         &mut self,
         src: &AddressSpace,
         src_region: Region,
         dst_start: u64,
     ) -> Result<usize> {
+        self.copy_from_counted(src, src_region, dst_start)
+            .map(|s| s.pages as usize)
+    }
+
+    /// Like [`copy_from`](AddressSpace::copy_from) but reports the
+    /// structural work performed: how many whole leaves were shared in
+    /// O(1) versus pages walked individually. The kernel charges
+    /// `space_clone_ps` per shared leaf and `page_map_ps` per boundary
+    /// page from these counts.
+    pub fn copy_from_counted(
+        &mut self,
+        src: &AddressSpace,
+        src_region: Region,
+        dst_start: u64,
+    ) -> Result<CloneStats> {
         src_region.check_page_aligned()?;
         if dst_start & (PAGE_SIZE as u64 - 1) != 0 {
             return Err(MemError::Misaligned { addr: dst_start });
         }
+        let mut stats = CloneStats::default();
+        if src_region.is_empty() {
+            return Ok(stats);
+        }
         let delta = (dst_start >> crate::PAGE_SHIFT) as i128 - vpn_of(src_region.start) as i128;
-        let mut installed = 0;
+        let congruent = delta.rem_euclid(PAGES_PER_LEAF as i128) == 0;
+        let first = vpn_of(src_region.start);
+        let last = vpn_of(src_region.end - 1);
         let mut changed = false;
-        for vpn in src_region.vpns() {
-            let dst_vpn = (vpn as i128 + delta) as u64;
-            match src.entry(vpn) {
-                Some(e) => {
-                    self.insert_entry(dst_vpn, e.clone());
-                    self.dirty.insert(dst_vpn);
-                    installed += 1;
-                    changed = true;
-                }
-                None => {
-                    if self.remove_entry(dst_vpn) {
+        let mut vpn = first;
+        while vpn <= last {
+            let base = vpn >> LEAF_BITS;
+            let leaf_last = ((base + 1) << LEAF_BITS) - 1;
+            let chunk_last = leaf_last.min(last);
+            let whole = congruent && vpn & LEAF_MASK == 0 && chunk_last == leaf_last;
+            if whole {
+                // Structural share: one Arc clone replaces up to 512
+                // page installs, and the destination's dirty bits for
+                // the leaf become exactly the source's present bits
+                // (installed pages dirty, holes cleared) — the same
+                // marks the per-page path would leave.
+                let dst_base = (base as i128 + delta / PAGES_PER_LEAF as i128) as u64;
+                match src.leaf_for(vpn) {
+                    Some(l) if l.mapped > 0 => {
+                        stats.leaves_shared += 1;
+                        stats.pages += l.mapped as u64;
+                        self.dirty.assign_leaf(dst_base, l.present_bits());
+                        self.set_leaf(dst_base, Arc::clone(l));
                         changed = true;
                     }
-                    self.dirty.remove(&dst_vpn);
+                    _ => {
+                        if self.remove_leaf(dst_base) {
+                            changed = true;
+                        }
+                        self.dirty.clear_leaf(dst_base);
+                    }
+                }
+            } else {
+                for v in vpn..=chunk_last {
+                    let dst_vpn = (v as i128 + delta) as u64;
+                    match src.entry(v) {
+                        Some(e) => {
+                            self.insert_entry(dst_vpn, e.clone());
+                            self.dirty.insert(dst_vpn);
+                            stats.pages += 1;
+                            stats.boundary_pages += 1;
+                            changed = true;
+                        }
+                        None => {
+                            if self.remove_entry(dst_vpn) {
+                                changed = true;
+                            }
+                            self.dirty.remove(dst_vpn);
+                        }
+                    }
                 }
             }
+            vpn = chunk_last + 1;
         }
         if changed {
             self.generation += 1;
         }
-        Ok(installed)
+        Ok(stats)
     }
 
-    /// Takes a snapshot: a cheap page-table copy whose frames are
-    /// shared with `self` until either side writes.
+    /// Takes a snapshot: a structural page-table copy whose leaves and
+    /// frames are shared with `self` until either side writes.
+    ///
+    /// The copy clones only the root spine — O(leaves), ~one `Arc`
+    /// clone per 512 mapped pages — which is what makes the paper's
+    /// `Snap` option near-free (PAPER.md §3.2, §8: fork/snapshot cost
+    /// proportional to pages *touched*, not pages *mapped*).
     ///
     /// The snapshot is the *reference state* against which
-    /// [`merge_from`](AddressSpace::merge_from) computes changes, as
-    /// the kernel's `Snap` option does (§3.2). Trackers are not
-    /// inherited by snapshots.
+    /// [`merge_from`](AddressSpace::merge_from) computes changes.
+    /// Trackers are not inherited by snapshots.
     ///
     /// Taking a snapshot **clears this space's dirty write-set**: the
     /// returned snapshot is byte-identical to `self` at this instant,
@@ -414,17 +772,31 @@ impl AddressSpace {
     /// Snapshots also bump the generation: a cached write translation
     /// pre-dates the dirty-set clear, so redeeming it would skip a
     /// dirty mark the merge engine depends on. (The refcount bump the
-    /// snapshot puts on every frame would already force such writes
-    /// back to the slow path while the snapshot lives, but the
+    /// snapshot puts on every *leaf* would already force such writes
+    /// back to the slow path while the snapshot lives — redemption
+    /// checks leaf exclusivity before frame exclusivity — but the
     /// generation bump keeps them out even after it is dropped.)
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det_memory::{AddressSpace, Perm, Region};
+    ///
+    /// let mut s = AddressSpace::new();
+    /// s.map_zero(Region::new(0x1000, 0x2000), Perm::RW).unwrap();
+    /// s.write_u64(0x1000, 1).unwrap();
+    /// let snap = s.snapshot();
+    /// s.write_u64(0x1000, 2).unwrap();
+    /// assert_eq!(snap.read_u64(0x1000).unwrap(), 1); // frozen
+    /// assert_eq!(s.read_u64(0x1000).unwrap(), 2);
+    /// ```
     pub fn snapshot(&mut self) -> AddressSpace {
         self.dirty.clear();
         self.generation += 1;
         AddressSpace {
-            table: self.table.clone(),
-            slots: self.slots.clone(),
-            free: self.free.clone(),
-            dirty: BTreeSet::new(),
+            root: self.root.clone(),
+            pages: self.pages,
+            dirty: DirtySet::default(),
             generation: 0,
             space_id: fresh_space_id(),
             tracker: None,
@@ -433,10 +805,28 @@ impl AddressSpace {
 
     /// Returns true if the page frames backing `vpn` are the identical
     /// physical frame in `self` and `other` (O(1) unchanged-page test).
+    ///
+    /// A structurally-shared leaf short-circuits the test: if both
+    /// spaces hold the same leaf `Arc`, every page it covers is
+    /// trivially identical (mapped or not).
     pub fn same_frame(&self, other: &AddressSpace, vpn: u64) -> bool {
+        if self.shares_leaf_with(other, vpn) {
+            return true;
+        }
         match (self.entry(vpn), other.entry(vpn)) {
             (Some(a), Some(b)) => Arc::ptr_eq(&a.frame, &b.frame),
             (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Returns true if `self` and `other` hold the *same page-table
+    /// leaf* for the 512-page aligned block containing `vpn` — the O(1)
+    /// unchanged-subtree test the merge engine uses to skip whole
+    /// blocks (one pointer compare covers [`PAGES_PER_LEAF`] pages).
+    pub fn shares_leaf_with(&self, other: &AddressSpace, vpn: u64) -> bool {
+        match (self.leaf_for(vpn), other.leaf_for(vpn)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
     }
@@ -469,15 +859,18 @@ impl AddressSpace {
         if self.tracker.is_some() {
             return None;
         }
-        let &slot = self.table.get(&vpn_of(addr))?;
-        let e = self.slots[slot as usize].as_ref()?;
+        let vpn = vpn_of(addr);
+        let slot = self.leaf_pos(vpn >> LEAF_BITS).ok()?;
+        let entry = (vpn & LEAF_MASK) as usize;
+        let e = self.root[slot].leaf.entries[entry].as_ref()?;
         if !e.perm.allows(Perm::R) {
             return None;
         }
         Some(Translation {
             space_id: self.space_id,
             generation: self.generation,
-            slot,
+            slot: slot as u32,
+            entry: entry as u16,
             writable: false,
         })
     }
@@ -486,29 +879,39 @@ impl AddressSpace {
     /// `None` if the page is unmapped, not writable, or a tracker is
     /// installed.
     ///
-    /// The page is made exclusively owned now (copy-on-write clone if
-    /// shared) and marked dirty, so redeeming the translation via
+    /// The page is made exclusively owned now (copy-on-write clone of
+    /// a shared leaf *and* a shared frame, if needed) and marked dirty,
+    /// so redeeming the translation via
     /// [`translated_bytes_mut`](AddressSpace::translated_bytes_mut) can
     /// write in place with no per-store permission check, dirty-set
     /// insert, or `Arc::make_mut`. This mints without bumping the
-    /// generation: the slot mapping, permissions, and dirty set only
+    /// generation: the table structure, permissions, and dirty set only
     /// gained information, so no outstanding translation went stale.
     pub fn translate_write(&mut self, addr: u64) -> Option<Translation> {
         if self.tracker.is_some() {
             return None;
         }
         let vpn = vpn_of(addr);
-        let &slot = self.table.get(&vpn)?;
-        let e = self.slots[slot as usize].as_mut()?;
-        if !e.perm.allows(Perm::W) {
+        let slot = self.leaf_pos(vpn >> LEAF_BITS).ok()?;
+        let entry = (vpn & LEAF_MASK) as usize;
+        // Refuse through the *shared* leaf: un-sharing it for a store
+        // that will be denied anyway would pay a 512-entry clone and
+        // needlessly break structural sharing with a live snapshot.
+        if !self.root[slot].leaf.entries[entry]
+            .as_ref()
+            .is_some_and(|e| e.perm.allows(Perm::W))
+        {
             return None;
         }
+        let leaf = Arc::make_mut(&mut self.root[slot].leaf);
+        let e = leaf.entries[entry].as_mut().expect("checked above");
         Arc::make_mut(&mut e.frame);
         self.dirty.insert(vpn);
         Some(Translation {
             space_id: self.space_id,
             generation: self.generation,
-            slot,
+            slot: slot as u32,
+            entry: entry as u16,
             writable: true,
         })
     }
@@ -521,18 +924,27 @@ impl AddressSpace {
         if t.space_id != self.space_id || t.generation != self.generation {
             return None;
         }
-        self.slots
+        self.root
             .get(t.slot as usize)?
+            .leaf
+            .entries
+            .get(t.entry as usize)?
             .as_ref()
             .map(|e| e.frame.bytes())
     }
 
     /// Redeems a write translation: the translated page's bytes,
     /// mutably, or `None` if the translation is stale, was minted for
-    /// reading, or the frame has been shared again since minting (a
-    /// snapshot or virtual copy took a reference — writing in place
-    /// would leak through the copy-on-write boundary, so the caller
-    /// must fall back to the slow path).
+    /// reading, or the page has been shared again since minting — at
+    /// *either* level: a snapshot or leaf-congruent virtual copy
+    /// shares the whole leaf, a per-page copy shares the frame. Writing
+    /// in place through either kind of sharing would leak through the
+    /// copy-on-write boundary, so redemption checks leaf exclusivity
+    /// (`Arc::get_mut` on the leaf) **before** frame exclusivity — a
+    /// frame inside a structurally-shared leaf has a refcount of one,
+    /// and only the leaf check can see that it is reachable from two
+    /// spaces. Any failure is a miss: the caller falls back to the
+    /// slow path, which clones properly.
     ///
     /// **Single-executor contract**: in-place writes through a
     /// redeemed translation deliberately do *not* bump the generation
@@ -549,7 +961,8 @@ impl AddressSpace {
         if !t.writable || t.space_id != self.space_id || t.generation != self.generation {
             return None;
         }
-        let e = self.slots.get_mut(t.slot as usize)?.as_mut()?;
+        let leaf = Arc::get_mut(&mut self.root.get_mut(t.slot as usize)?.leaf)?;
+        let e = leaf.entries.get_mut(t.entry as usize)?.as_mut()?;
         Arc::get_mut(&mut e.frame).map(Frame::bytes_mut)
     }
 
@@ -562,6 +975,20 @@ impl AddressSpace {
     /// Fails with [`MemError::Unmapped`] or [`MemError::PermDenied`] at
     /// the first inaccessible byte; earlier bytes may already have been
     /// copied into `buf` (the kernel aborts the faulting space anyway).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det_memory::{AddressSpace, MemError, Perm, Region};
+    ///
+    /// let mut s = AddressSpace::new();
+    /// s.map_zero(Region::new(0x1000, 0x2000), Perm::RW).unwrap();
+    /// s.write(0x1000, b"abc").unwrap();
+    /// let mut buf = [0u8; 3];
+    /// s.read(0x1000, &mut buf).unwrap();
+    /// assert_eq!(&buf, b"abc");
+    /// assert_eq!(s.read(0x9000, &mut buf), Err(MemError::Unmapped { addr: 0x9000 }));
+    /// ```
     pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
         self.access(addr, buf.len(), Perm::R, |off, frame_bytes, chunk| {
             buf[off..off + chunk.len()].copy_from_slice(chunk);
@@ -569,17 +996,16 @@ impl AddressSpace {
         })
     }
 
-    /// Writes `data` starting at `addr`, cloning shared frames first
-    /// (copy-on-write).
+    /// Writes `data` starting at `addr`, cloning shared leaves and
+    /// frames first (copy-on-write).
     ///
-    /// The page table is walked **once**: a single range cursor
-    /// validates every page (so a failed write is still all-or-nothing
-    /// — nothing is dirtied or copied unless the whole range is
-    /// writable) while collecting the slot of each page, and the copy
-    /// loop then runs over the collected slots without re-walking the
-    /// map. External content writes bump the generation: the bytes
-    /// under any outstanding translation (and any decoded instruction)
-    /// may have changed.
+    /// The range is validated up front — every page mapped and
+    /// writable — so a failed write is still all-or-nothing: nothing is
+    /// dirtied or copied unless the whole range is writable. The copy
+    /// loop then works leaf by leaf, un-sharing each leaf at most once.
+    /// External content writes bump the generation: the bytes under any
+    /// outstanding translation (and any decoded instruction) may have
+    /// changed.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<()> {
         if data.is_empty() {
             return Ok(());
@@ -589,41 +1015,36 @@ impl AddressSpace {
             .ok_or(MemError::AddressOverflow)?;
         let first_vpn = vpn_of(addr);
         let last_vpn = vpn_of(end - 1);
-        let npages = (last_vpn - first_vpn + 1) as usize;
 
-        // Single validation pass over the mapped range: a B-tree range
-        // cursor yields mapped vpns in order, so any gap is the first
-        // unmapped page. Slots are stashed inline for the common small
-        // write; large image writes spill to a Vec.
-        let mut inline = [0u32; 8];
-        let mut spill: Vec<u32>;
-        let page_slots: &mut [u32] = if npages <= inline.len() {
-            &mut inline[..npages]
-        } else {
-            spill = vec![0; npages];
-            &mut spill
-        };
-        let mut expect = first_vpn;
-        for (&vpn, &slot) in self.table.range(first_vpn..=last_vpn) {
-            if vpn != expect {
-                return Err(MemError::Unmapped {
-                    addr: expect << crate::PAGE_SHIFT,
-                });
+        // Validation pass: every page present and writable, reported
+        // in ascending address order. Walked leaf by leaf — one spine
+        // lookup per 512 pages, not per page — so staging a large
+        // image validates in O(pages) array probes.
+        let mut vpn = first_vpn;
+        while vpn <= last_vpn {
+            let base = vpn >> LEAF_BITS;
+            let pos = self.leaf_pos(base).map_err(|_| MemError::Unmapped {
+                addr: vpn << crate::PAGE_SHIFT,
+            })?;
+            let leaf = &self.root[pos].leaf;
+            let chunk_last = (((base + 1) << LEAF_BITS) - 1).min(last_vpn);
+            for v in vpn..=chunk_last {
+                match leaf.entries[(v & LEAF_MASK) as usize].as_ref() {
+                    None => {
+                        return Err(MemError::Unmapped {
+                            addr: v << crate::PAGE_SHIFT,
+                        });
+                    }
+                    Some(e) if !e.perm.allows(Perm::W) => {
+                        return Err(MemError::PermDenied {
+                            addr: v << crate::PAGE_SHIFT,
+                            need: Perm::W,
+                        });
+                    }
+                    Some(_) => {}
+                }
             }
-            let e = self.slots[slot as usize].as_ref().expect("mapped slot");
-            if !e.perm.allows(Perm::W) {
-                return Err(MemError::PermDenied {
-                    addr: vpn << crate::PAGE_SHIFT,
-                    need: Perm::W,
-                });
-            }
-            page_slots[(vpn - first_vpn) as usize] = slot;
-            expect = vpn + 1;
-        }
-        if expect != last_vpn + 1 {
-            return Err(MemError::Unmapped {
-                addr: expect << crate::PAGE_SHIFT,
-            });
+            vpn = chunk_last + 1;
         }
 
         if let Some(t) = &self.tracker {
@@ -632,16 +1053,27 @@ impl AddressSpace {
         self.generation += 1;
         let mut cursor = addr;
         let mut remaining = data;
-        for (i, &slot) in page_slots.iter().enumerate() {
-            self.dirty.insert(first_vpn + i as u64);
-            let off = offset_of(cursor);
-            let chunk = remaining.len().min(PAGE_SIZE - off);
-            let entry = self.slots[slot as usize].as_mut().expect("validated above");
-            // Copy-on-write: clone the frame if it is shared.
-            let frame = Arc::make_mut(&mut entry.frame);
-            frame.bytes_mut()[off..off + chunk].copy_from_slice(&remaining[..chunk]);
-            cursor += chunk as u64;
-            remaining = &remaining[chunk..];
+        let mut vpn = first_vpn;
+        while vpn <= last_vpn {
+            let base = vpn >> LEAF_BITS;
+            let pos = self.leaf_pos(base).expect("validated above");
+            let chunk_last = (((base + 1) << LEAF_BITS) - 1).min(last_vpn);
+            // One un-share per leaf, then in-place stores.
+            let leaf = Arc::make_mut(&mut self.root[pos].leaf);
+            for v in vpn..=chunk_last {
+                self.dirty.insert(v);
+                let off = offset_of(cursor);
+                let n = remaining.len().min(PAGE_SIZE - off);
+                let e = leaf.entries[(v & LEAF_MASK) as usize]
+                    .as_mut()
+                    .expect("validated above");
+                // Copy-on-write: clone the frame if it is shared.
+                let frame = Arc::make_mut(&mut e.frame);
+                frame.bytes_mut()[off..off + n].copy_from_slice(&remaining[..n]);
+                cursor += n as u64;
+                remaining = &remaining[n..];
+            }
+            vpn = chunk_last + 1;
         }
         Ok(())
     }
@@ -781,12 +1213,14 @@ impl AddressSpace {
     /// memory contents.
     pub fn content_digest(&self) -> ContentDigest {
         let mut d = ContentDigest::new();
-        for (&vpn, &slot) in &self.table {
-            let e = self.slots[slot as usize].as_ref().expect("mapped slot");
-            d.update_u64(vpn);
-            d.update_u64(if e.perm.allows(Perm::R) { 1 } else { 0 });
-            d.update_u64(if e.perm.allows(Perm::W) { 1 } else { 0 });
-            d.update(e.frame.bytes());
+        for rs in &self.root {
+            for idx in rs.leaf.present_indices() {
+                let e = rs.leaf.entries[idx].as_ref().expect("present bit set");
+                d.update_u64((rs.base << LEAF_BITS) + idx as u64);
+                d.update_u64(if e.perm.allows(Perm::R) { 1 } else { 0 });
+                d.update_u64(if e.perm.allows(Perm::W) { 1 } else { 0 });
+                d.update(e.frame.bytes());
+            }
         }
         d
     }
@@ -803,26 +1237,37 @@ impl AddressSpace {
         self.generation += 1;
     }
 
-    /// Returns a mutable reference to the frame at `vpn`, cloning it
-    /// first if shared (crate-internal, used by merge).
+    /// Returns a mutable reference to the frame at `vpn`, cloning leaf
+    /// and frame first if shared (crate-internal, used by merge).
     pub(crate) fn frame_mut(&mut self, vpn: u64) -> Option<&mut Frame> {
         self.dirty.insert(vpn);
         self.generation += 1;
-        let &slot = self.table.get(&vpn)?;
-        self.slots[slot as usize]
-            .as_mut()
-            .map(|e| Arc::make_mut(&mut e.frame))
+        self.entry_mut(vpn).map(|e| Arc::make_mut(&mut e.frame))
     }
 
     /// Returns the sorted list of mapped vpns intersecting `region`.
     pub(crate) fn vpns_in(&self, region: Region) -> Vec<u64> {
-        let first = vpn_of(region.start);
-        let last = if region.is_empty() {
+        if region.is_empty() {
             return Vec::new();
-        } else {
-            vpn_of(region.end - 1)
-        };
-        self.table.range(first..=last).map(|(&v, _)| v).collect()
+        }
+        let first = vpn_of(region.start);
+        let last = vpn_of(region.end - 1);
+        let mut out = Vec::new();
+        let start_pos = self
+            .root
+            .partition_point(|rs| rs.base < (first >> LEAF_BITS));
+        for rs in &self.root[start_pos..] {
+            if rs.base > (last >> LEAF_BITS) {
+                break;
+            }
+            for idx in rs.leaf.present_indices() {
+                let vpn = (rs.base << LEAF_BITS) + idx as u64;
+                if vpn >= first && vpn <= last {
+                    out.push(vpn);
+                }
+            }
+        }
+        out
     }
 
     /// Returns the sorted dirty VPNs intersecting `region` — the
@@ -832,20 +1277,36 @@ impl AddressSpace {
         if region.is_empty() {
             return Vec::new();
         }
-        let first = vpn_of(region.start);
-        let last = vpn_of(region.end - 1);
-        self.dirty.range(first..=last).copied().collect()
+        self.dirty
+            .vpns_in(vpn_of(region.start), vpn_of(region.end - 1))
     }
 
-    /// Counts mapped pages intersecting `region` (a B-tree cursor walk
-    /// over mapped entries only; no frame bytes are touched).
+    /// Counts mapped pages intersecting `region` — O(leaves) popcount
+    /// work on the present bitmaps, no per-page iteration.
     pub(crate) fn mapped_pages_in(&self, region: Region) -> u64 {
         if region.is_empty() {
             return 0;
         }
         let first = vpn_of(region.start);
         let last = vpn_of(region.end - 1);
-        self.table.range(first..=last).count() as u64
+        let mut n = 0u64;
+        let start_pos = self
+            .root
+            .partition_point(|rs| rs.base < (first >> LEAF_BITS));
+        for rs in &self.root[start_pos..] {
+            if rs.base > (last >> LEAF_BITS) {
+                break;
+            }
+            let leaf_first = rs.base << LEAF_BITS;
+            let lo = first.max(leaf_first) - leaf_first;
+            let hi = last.min(leaf_first + LEAF_MASK) - leaf_first;
+            if lo == 0 && hi == LEAF_MASK {
+                n += rs.leaf.mapped as u64;
+            } else {
+                n += rs.leaf.mapped_in(lo as usize, hi as usize) as u64;
+            }
+        }
+        n
     }
 
     /// Number of pages currently in the dirty write-set (pages whose
@@ -860,8 +1321,9 @@ impl std::fmt::Debug for AddressSpace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "AddressSpace {{ pages: {}, bytes: {} }}",
-            self.table.len(),
+            "AddressSpace {{ pages: {}, leaves: {}, bytes: {} }}",
+            self.pages,
+            self.root.len(),
             self.mapped_bytes()
         )
     }
@@ -922,12 +1384,26 @@ mod tests {
     }
 
     #[test]
-    fn write_spanning_many_pages_spills() {
-        // More pages than the inline slot buffer holds.
+    fn write_spanning_many_pages() {
         let mut s = rw_space(0x1000, 0x10000);
         let data: Vec<u8> = (0..0xa000u32).map(|i| i as u8).collect();
         s.write(0x1800, &data).unwrap();
         assert_eq!(s.read_vec(0x1800, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn write_spanning_leaves() {
+        // A write crossing a 512-page leaf boundary un-shares both
+        // leaves and lands byte-exactly.
+        let base = (PAGES_PER_LEAF as u64 - 1) << crate::PAGE_SHIFT;
+        let mut s = rw_space(base, 2 * PAGE_SIZE as u64);
+        assert_eq!(s.leaf_count(), 2);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        s.write(base + PAGE_SIZE as u64 - 100, &data).unwrap();
+        assert_eq!(
+            s.read_vec(base + PAGE_SIZE as u64 - 100, 200).unwrap(),
+            data
+        );
     }
 
     #[test]
@@ -1058,13 +1534,15 @@ mod tests {
     }
 
     #[test]
-    fn slot_reuse_after_unmap() {
+    fn empty_leaves_are_dropped() {
         let mut s = rw_space(0x1000, 0x3000);
+        assert_eq!(s.leaf_count(), 1);
         s.unmap(Region::new(0x1000, 0x4000)).unwrap();
-        // Remapping reuses freed slots instead of growing the arena.
-        let arena = s.slots.len();
+        // Unmapping the last page of a leaf removes the leaf itself,
+        // so the spine never accumulates empty leaves.
+        assert_eq!(s.leaf_count(), 0);
         s.map_zero(Region::new(0x8000, 0xa000), Perm::RW).unwrap();
-        assert_eq!(s.slots.len(), arena);
+        assert_eq!(s.leaf_count(), 1);
         s.write_u8(0x8000, 7).unwrap();
         assert_eq!(s.read_u8(0x8000).unwrap(), 7);
         assert_eq!(s.page_count(), 2);
@@ -1088,6 +1566,7 @@ mod tests {
     fn zero_fill_shares_global_frame() {
         let s = rw_space(0x1000, 0x100000);
         assert!(s.iter_pages().all(|p| p.is_zero_frame));
+        assert_eq!(s.page_count(), 0x100);
     }
 
     #[test]
@@ -1130,6 +1609,131 @@ mod tests {
         // The existing page's contents survived; the new page is zero.
         assert_eq!(s.read_u8(0x1000).unwrap(), 7);
         assert_eq!(s.read_u8(0x2000).unwrap(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Structural sharing (leaf-level copy-on-write)
+    // ------------------------------------------------------------------
+
+    /// A leaf-aligned region of `leaves` full leaves starting at leaf
+    /// index `base`.
+    fn leaf_region(base: u64, leaves: u64) -> Region {
+        let start = base << (LEAF_BITS + crate::PAGE_SHIFT);
+        Region::sized(start, leaves * (PAGES_PER_LEAF * PAGE_SIZE) as u64)
+    }
+
+    #[test]
+    fn snapshot_shares_leaves_structurally() {
+        let mut s = AddressSpace::new();
+        s.map_zero(leaf_region(1, 2), Perm::RW).unwrap();
+        for i in 0..2 * PAGES_PER_LEAF as u64 {
+            s.write_u64(leaf_region(1, 2).start + i * PAGE_SIZE as u64, i)
+                .unwrap();
+        }
+        let snap = s.snapshot();
+        // Every leaf is shared, no frame was copied.
+        assert!(s.shares_leaf_with(&snap, PAGES_PER_LEAF as u64));
+        assert!(s.shares_leaf_with(&snap, 2 * PAGES_PER_LEAF as u64));
+        // One write un-shares exactly one leaf.
+        s.write_u64(leaf_region(1, 1).start, 999).unwrap();
+        assert!(!s.shares_leaf_with(&snap, PAGES_PER_LEAF as u64));
+        assert!(s.shares_leaf_with(&snap, 2 * PAGES_PER_LEAF as u64));
+        // The snapshot still reads the old value; frames of the
+        // un-shared leaf are still frame-shared except the written one.
+        assert_eq!(snap.read_u64(leaf_region(1, 1).start).unwrap(), 0);
+        assert_eq!(s.read_u64(leaf_region(1, 1).start).unwrap(), 999);
+        assert!(s.same_frame(&snap, PAGES_PER_LEAF as u64 + 1));
+    }
+
+    #[test]
+    fn leaf_congruent_copy_shares_wholesale() {
+        let r = leaf_region(2, 2);
+        let mut src = AddressSpace::new();
+        src.map_zero(r, Perm::RW).unwrap();
+        src.write(r.start, b"payload").unwrap();
+        let mut dst = AddressSpace::new();
+        // Same offset: fully congruent, zero boundary pages.
+        let stats = dst.copy_from_counted(&src, r, r.start).unwrap();
+        assert_eq!(stats.leaves_shared, 2);
+        assert_eq!(stats.boundary_pages, 0);
+        assert_eq!(stats.pages, 2 * PAGES_PER_LEAF as u64);
+        assert!(dst.shares_leaf_with(&src, 2 * PAGES_PER_LEAF as u64));
+        assert_eq!(dst.read_vec(r.start, 7).unwrap(), b"payload");
+        // A congruent but shifted destination still shares.
+        let mut dst2 = AddressSpace::new();
+        let shifted = leaf_region(10, 1).start;
+        let stats = dst2.copy_from_counted(&src, r, shifted).unwrap();
+        assert_eq!(stats.leaves_shared, 2);
+        assert_eq!(dst2.read_vec(shifted, 7).unwrap(), b"payload");
+        // Writes through a shared leaf COW and never leak back.
+        dst2.write(shifted, b"other!!").unwrap();
+        assert_eq!(src.read_vec(r.start, 7).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn incongruent_copy_falls_back_to_pages() {
+        let r = leaf_region(2, 1);
+        let mut src = AddressSpace::new();
+        src.map_zero(r, Perm::RW).unwrap();
+        let mut dst = AddressSpace::new();
+        // Destination shifted by one page: no leaf can be shared.
+        let stats = dst
+            .copy_from_counted(&src, r, r.start + PAGE_SIZE as u64)
+            .unwrap();
+        assert_eq!(stats.leaves_shared, 0);
+        assert_eq!(stats.boundary_pages, PAGES_PER_LEAF as u64);
+        assert_eq!(dst.page_count(), PAGES_PER_LEAF);
+    }
+
+    #[test]
+    fn partial_leaf_ranges_use_boundary_pages() {
+        // Range starts mid-leaf: head and tail are walked per page,
+        // the interior leaf is shared.
+        let start = leaf_region(1, 1).start + 16 * PAGE_SIZE as u64;
+        let r = Region::sized(start, (2 * PAGES_PER_LEAF * PAGE_SIZE) as u64);
+        let mut src = AddressSpace::new();
+        src.map_zero(r, Perm::RW).unwrap();
+        let mut dst = AddressSpace::new();
+        let stats = dst.copy_from_counted(&src, r, r.start).unwrap();
+        assert_eq!(stats.leaves_shared, 1);
+        assert_eq!(stats.boundary_pages, (PAGES_PER_LEAF - 16) as u64 + 16);
+        assert_eq!(stats.pages, 2 * PAGES_PER_LEAF as u64);
+    }
+
+    #[test]
+    fn wholesale_copy_propagates_leaf_holes() {
+        // An interior leaf absent from the source must erase the
+        // destination's leaf in O(1), exactly like per-page hole
+        // propagation would.
+        let r = leaf_region(4, 3);
+        let mut src = AddressSpace::new();
+        src.map_zero(leaf_region(4, 1), Perm::RW).unwrap(); // Leaf 4 only.
+        src.map_zero(leaf_region(6, 1), Perm::RW).unwrap(); // Leaf 6 only.
+        let mut dst = AddressSpace::new();
+        dst.map_zero(r, Perm::RW).unwrap(); // All three leaves mapped.
+        dst.copy_from(&src, r, r.start).unwrap();
+        assert_eq!(dst.page_count(), 2 * PAGES_PER_LEAF);
+        assert!(dst.read_u8(leaf_region(4, 1).start).is_ok());
+        assert!(matches!(
+            dst.read_u8(leaf_region(5, 1).start),
+            Err(MemError::Unmapped { .. })
+        ));
+        assert!(dst.read_u8(leaf_region(6, 1).start).is_ok());
+        // Dirty marks mirror the source's present set.
+        assert_eq!(dst.dirty_page_count(), 2 * PAGES_PER_LEAF);
+    }
+
+    #[test]
+    fn unmap_drops_whole_leaves_without_cow() {
+        let r = leaf_region(1, 2);
+        let mut s = AddressSpace::new();
+        s.map_zero(r, Perm::RW).unwrap();
+        let snap = s.snapshot();
+        // Unmapping a whole shared leaf must not clone it first.
+        s.unmap(leaf_region(1, 1)).unwrap();
+        assert_eq!(s.page_count(), PAGES_PER_LEAF);
+        assert_eq!(snap.page_count(), 2 * PAGES_PER_LEAF);
+        assert!(snap.read_u8(r.start).is_ok());
     }
 
     // ------------------------------------------------------------------
@@ -1223,7 +1827,7 @@ mod tests {
         s.write_u8(0x1000, 1).unwrap(); // Own the frame exclusively.
         let t = s.translate_write(0x1000).unwrap();
         assert!(s.translated_bytes_mut(t).is_some());
-        // A snapshot shares every frame again (and bumps generation).
+        // A snapshot shares every leaf again (and bumps generation).
         let snap = s.snapshot();
         assert!(s.translated_bytes_mut(t).is_none());
         // Even a fresh write translation COWs first, so writing through
@@ -1232,6 +1836,43 @@ mod tests {
         s.translated_bytes_mut(t2).unwrap()[0] = 9;
         assert_eq!(snap.read_u8(0x1000).unwrap(), 1);
         assert_eq!(s.read_u8(0x1000).unwrap(), 9);
+    }
+
+    #[test]
+    fn write_translation_refused_once_leaf_shared() {
+        // The structural analogue of the frame-sharing test: using this
+        // space as the *source* of a leaf-congruent copy bumps only the
+        // leaf's refcount (the frames inside keep refcount 1), and
+        // redemption must detect that sharing via the leaf check alone.
+        let r = leaf_region(1, 1);
+        let mut s = AddressSpace::new();
+        s.map_zero(r, Perm::RW).unwrap();
+        s.write_u8(r.start, 1).unwrap();
+        let t = s.translate_write(r.start).unwrap();
+        assert!(s.translated_bytes_mut(t).is_some());
+        let mut other = AddressSpace::new();
+        other.copy_from(&s, r, r.start).unwrap();
+        assert!(other.shares_leaf_with(&s, PAGES_PER_LEAF as u64));
+        // No generation bump happened on the source, but the in-place
+        // write path must still refuse: the leaf is no longer exclusive.
+        assert!(s.translated_bytes_mut(t).is_none());
+        // The slow path COWs properly and the copy keeps the old byte.
+        s.write_u8(r.start, 2).unwrap();
+        assert_eq!(other.read_u8(r.start).unwrap(), 1);
+        assert_eq!(s.read_u8(r.start).unwrap(), 2);
+    }
+
+    #[test]
+    fn refused_write_translation_keeps_leaf_shared() {
+        // A denied store must be refused through the *shared* leaf:
+        // un-sharing it first would pay a 512-entry clone and break
+        // structural sharing with the snapshot for nothing.
+        let r = leaf_region(1, 1);
+        let mut s = AddressSpace::new();
+        s.map_zero(r, Perm::R).unwrap();
+        let snap = s.snapshot();
+        assert!(s.translate_write(r.start).is_none());
+        assert!(s.shares_leaf_with(&snap, PAGES_PER_LEAF as u64));
     }
 
     #[test]

@@ -294,13 +294,14 @@ fn assert_engines_agree(
     parent: &AddressSpace,
     child: &AddressSpace,
     snap: &AddressSpace,
+    region: Region,
     policy: ConflictPolicy,
 ) -> Result<(), TestCaseError> {
     let before = parent.content_digest();
     let mut p_opt = parent.clone();
     let mut p_ref = parent.clone();
-    let opt = p_opt.try_merge_from(child, snap, DREGION, policy);
-    let refr = reference::merge_from_reference(&mut p_ref, child, snap, DREGION, policy);
+    let opt = p_opt.try_merge_from(child, snap, region, policy);
+    let refr = reference::merge_from_reference(&mut p_ref, child, snap, region, policy);
     match (opt, refr) {
         (Ok((s_opt, c_opt)), Ok((s_ref, c_ref))) => {
             prop_assert_eq!(c_opt, c_ref, "conflict detail diverged ({:?})", policy);
@@ -374,7 +375,7 @@ proptest! {
             ConflictPolicy::BenignSameValue,
             ConflictPolicy::ChildWins,
         ] {
-            assert_engines_agree(&parent, &child, &snap, policy)?;
+            assert_engines_agree(&parent, &child, &snap, DREGION, policy)?;
         }
     }
 
@@ -390,11 +391,150 @@ proptest! {
             ConflictPolicy::BenignSameValue,
             ConflictPolicy::ChildWins,
         ] {
-            assert_engines_agree(&parent, &child, &snap, policy)?;
+            assert_engines_agree(&parent, &child, &snap, DREGION, policy)?;
             let mut p = parent.clone();
             let stats = p.merge_from(&child, &snap, DREGION, policy).unwrap();
             prop_assert_eq!(stats.bytes_copied, 0);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural-sharing differential suite: schedules at page-table-leaf
+// scale (512-page leaves), so snapshot/copy_from share, COW, and merge
+// *whole leaves* — the DESIGN.md §5 invariant — against the oracle.
+// ---------------------------------------------------------------------
+
+const PPL: u64 = det_memory::PAGES_PER_LEAF as u64;
+/// Leaf-aligned test region: 2 whole leaves starting at leaf index 4.
+const LBASE: u64 = 4 * PPL * PAGE;
+const LLEN: u64 = 2 * PPL * PAGE;
+const LREGION: Region = Region {
+    start: LBASE,
+    end: LBASE + LLEN,
+};
+
+/// One step of a leaf-scale child schedule. Every constructor keeps
+/// the schedule inside `LREGION`'s two leaves (indices 0 and 1).
+#[derive(Clone, Debug)]
+enum LOp {
+    /// Byte write anywhere in the region (faults on unmapped pages are
+    /// swallowed, like a trapping space).
+    Write { off: u64, val: u8 },
+    /// 64-byte fill at a page start.
+    FillPage { page: u64, val: u8 },
+    /// Leaf-congruent self-aliasing copy: leaf `src` over leaf `dst`
+    /// (wholesale `Arc` share of a 512-page leaf).
+    CopyLeaf { src: u64, dst: u64 },
+    /// Incongruent copy of leaf `src` to an 8-page-shifted offset:
+    /// forces the per-page boundary path over shared leaves.
+    CopyShifted { src: u64 },
+    /// Fresh zero mapping over a whole leaf (shares one zero leaf).
+    MapZeroLeaf { leaf: u64 },
+    /// Unmap a whole leaf (drops it from the spine in O(1)).
+    UnmapLeaf { leaf: u64 },
+    /// Replace the reference snapshot, as the kernel's `Snap` option
+    /// does — clears the dirty set while every leaf becomes shared.
+    Snap,
+    /// Fold the child into the parent mid-schedule under `ChildWins`
+    /// (never conflicts): afterwards parent and child alias adopted
+    /// frames and leaves, the `pages_aliased` state at leaf scale.
+    Premerge,
+}
+
+fn leaf_region(leaf: u64) -> Region {
+    Region::sized(LBASE + leaf * PPL * PAGE, PPL * PAGE)
+}
+
+fn leaf_ops(max: usize) -> impl Strategy<Value = Vec<LOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..LLEN, any::<u8>()).prop_map(|(off, val)| LOp::Write { off, val }),
+            (0..2 * PPL, any::<u8>()).prop_map(|(page, val)| LOp::FillPage { page, val }),
+            (0..2u64, 0..2u64).prop_map(|(src, dst)| LOp::CopyLeaf { src, dst }),
+            (0..2u64).prop_map(|src| LOp::CopyShifted { src }),
+            (0..2u64).prop_map(|leaf| LOp::MapZeroLeaf { leaf }),
+            (0..2u64).prop_map(|leaf| LOp::UnmapLeaf { leaf }),
+            Just(LOp::Snap),
+            Just(LOp::Premerge),
+        ],
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of snapshot / leaf-congruent copy_from /
+    /// write / merge over whole 512-page leaves: the optimized engine
+    /// (leaf short-circuit, dirty bitmaps, structural sharing) must
+    /// stay observationally identical to the naive oracle, and the
+    /// parent must never see a torn or leaked page through a shared
+    /// leaf.
+    #[test]
+    fn differential_leaf_scale_interleavings(
+        init_stride in 1u64..64,
+        ops in leaf_ops(20),
+        pws in proptest::collection::vec((0..LLEN, any::<u8>()), 0..12),
+        pol in 0u8..3,
+    ) {
+        let policy = match pol {
+            0 => ConflictPolicy::Strict,
+            1 => ConflictPolicy::BenignSameValue,
+            _ => ConflictPolicy::ChildWins,
+        };
+        let mut parent = AddressSpace::new();
+        parent.map_zero(LREGION, Perm::RW).unwrap();
+        // Sparse recognizable content so merges move real bytes.
+        let mut vpn = 0;
+        while vpn < 2 * PPL {
+            parent.write_u64(LBASE + vpn * PAGE, vpn + 1).unwrap();
+            vpn += init_stride;
+        }
+        // Fork: wholesale leaf share plus reference snapshot.
+        let mut child = AddressSpace::new();
+        child.copy_from(&parent, LREGION, LBASE).unwrap();
+        prop_assert!(child.shares_leaf_with(&parent, LBASE / PAGE));
+        let mut snap = child.snapshot();
+        for op in &ops {
+            match op {
+                LOp::Write { off, val } => {
+                    let _ = child.write_u8(LBASE + off, *val);
+                }
+                LOp::FillPage { page, val } => {
+                    let _ = child.write(LBASE + page * PAGE, &[*val; 64]);
+                }
+                LOp::CopyLeaf { src, dst } => {
+                    let aliased = child.clone();
+                    child
+                        .copy_from(&aliased, leaf_region(*src), leaf_region(*dst).start)
+                        .unwrap();
+                }
+                LOp::CopyShifted { src } => {
+                    let aliased = child.clone();
+                    // Shift by 8 pages but stay inside the region.
+                    let r = leaf_region(*src);
+                    let r = Region::new(r.start, r.end - 8 * PAGE);
+                    child.copy_from(&aliased, r, r.start + 8 * PAGE).unwrap();
+                }
+                LOp::MapZeroLeaf { leaf } => {
+                    child.map_zero(leaf_region(*leaf), Perm::RW).unwrap();
+                }
+                LOp::UnmapLeaf { leaf } => {
+                    child.unmap(leaf_region(*leaf)).unwrap();
+                }
+                LOp::Snap => snap = child.snapshot(),
+                LOp::Premerge => {
+                    parent
+                        .merge_from(&child, &snap, LREGION, ConflictPolicy::ChildWins)
+                        .unwrap();
+                }
+            }
+        }
+        for (off, val) in &pws {
+            parent.write_u8(LBASE + off, *val).unwrap();
+        }
+        assert_engines_agree(&parent, &child, &snap, LREGION, policy)?;
     }
 }
 

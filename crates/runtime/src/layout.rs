@@ -14,6 +14,13 @@ pub const SHARED_BASE: u64 = 0x1000_0000;
 pub const SHARED_SIZE: u64 = 0x1000_0000;
 
 /// Region where a process's file-system replica image is serialized.
+///
+/// Base and size are multiples of the page-table leaf span
+/// (`det_memory::PAGES_PER_LEAF` pages), so the fork/reconcile copies
+/// (`CopySpec::mirror`, and the image→scratch copy whose bases differ
+/// by a whole number of leaves) are leaf-congruent and share page
+/// tables structurally — O(leaves) per fork, not O(pages); see
+/// DESIGN.md §5. The layout test locks this in.
 pub const FS_IMAGE_BASE: u64 = 0x4000_0000;
 /// Maximum serialized file-system image (64 MiB), the paper's
 /// "file system size limited by address space" constraint (§4.2),
@@ -54,6 +61,19 @@ pub fn dsched_mailbox_region() -> Region {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fork_copies_are_leaf_congruent() {
+        // The process runtime's hot copies (fs image mirror at fork and
+        // rendezvous, image→scratch at reconcile, shared-heap mirror)
+        // must stay congruent modulo the page-table leaf span so they
+        // take the structural-sharing fast path.
+        let leaf_bytes = (det_memory::PAGES_PER_LEAF as u64) << 12;
+        for r in [shared_region(), fs_image_region(), fs_scratch_region()] {
+            assert_eq!(r.start % leaf_bytes, 0, "{r:?} start not leaf-aligned");
+        }
+        assert_eq!((FS_SCRATCH_BASE - FS_IMAGE_BASE) % leaf_bytes, 0);
+    }
 
     #[test]
     fn regions_are_disjoint_and_aligned() {

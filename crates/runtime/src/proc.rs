@@ -423,7 +423,9 @@ impl<'a> Proc<'a> {
 
         // Stage the child's inherited replica in our own image region,
         // then virtually copy it into the child (COW: no bytes move
-        // until modified).
+        // until modified). The mirror copy is leaf-congruent (see
+        // layout.rs), so the kernel shares whole page-table leaves —
+        // the fork costs O(leaves), not O(image pages) (DESIGN.md §5).
         let image = self.fs.fork_image();
         store_fs_image_raw(self.ctx, &image, layout::FS_IMAGE_BASE)?;
         let registry = Arc::clone(&self.registry);

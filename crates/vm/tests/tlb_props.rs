@@ -139,8 +139,22 @@ fn build(words: &[u32]) -> (Cpu, AddressSpace) {
 /// One externally-applied kernel operation between quanta. Applied
 /// identically to both executions; returns a digest-like summary so
 /// the test can also assert the *operation's* outcome matched.
-fn apply_op(op: u8, mem: &mut AddressSpace, policy: ConflictPolicy) -> String {
-    match op % 6 {
+///
+/// `sibling` is a structurally-shared fork of the space that persists
+/// across quanta: while it lives, every page-table leaf of `mem` is
+/// shared (`AddressSpace::clone` bumps leaf refcounts without bumping
+/// the generation), so the VM's cached *write* translations stay
+/// tag-valid but must dynamically miss on redemption — the DESIGN.md
+/// §5 leaf-exclusivity rule. A fast path that wrote in place anyway
+/// would corrupt the sibling, which the caller detects by comparing
+/// sibling digests between the fast and slow executions.
+fn apply_op(
+    op: u8,
+    mem: &mut AddressSpace,
+    sibling: &mut Option<AddressSpace>,
+    policy: ConflictPolicy,
+) -> String {
+    match op % 8 {
         // External content write (device staging, parent copy-out).
         // May fail if an earlier op write-protected the page; the
         // outcome (either way) must match between executions.
@@ -180,11 +194,36 @@ fn apply_op(op: u8, mem: &mut AddressSpace, policy: ConflictPolicy) -> String {
             mem.map_zero(Region::new(0xa000, 0xb000), Perm::RW).unwrap();
             "map".into()
         }
-        // Virtual copy aliasing the data pages over the code region's
-        // tail: frames become shared, write translations must COW.
+        // Virtual copy: either a page-granular alias of the data pages
+        // over the code region's tail (frames become shared, write
+        // translations must COW), or — for high op bytes — a
+        // leaf-congruent wholesale self-copy that swaps in the clone's
+        // identical 512-page leaf (structural-sharing fast path:
+        // generation bump, bulk dirty reassignment).
+        5 => {
+            if op >= 128 {
+                let leaf = Region::new(0, (det_memory::PAGES_PER_LEAF * 4096) as u64);
+                let installed = mem.copy_from(&mem.clone(), leaf, 0).unwrap();
+                format!("leafcopy {installed}")
+            } else {
+                let installed = mem.copy_from(&mem.clone(), DATA, 0x6000).unwrap();
+                format!("copy {installed}")
+            }
+        }
+        // Fork a long-lived sibling: all leaves shared from here on,
+        // with *no* generation bump — cached write translations must
+        // start missing via the leaf-exclusivity check alone.
+        6 => {
+            *sibling = Some(mem.clone());
+            format!("fork {}", mem.page_count())
+        }
+        // Drop the sibling, reporting its digest: it must be identical
+        // between the fast and slow executions (it was forked at the
+        // same point and never written — any difference means a cached
+        // write leaked through a shared leaf).
         _ => {
-            let installed = mem.copy_from(&mem.clone(), DATA, 0x6000).unwrap();
-            format!("copy {installed}")
+            let d = sibling.take().map(|s| format!("{:?}", s.content_digest()));
+            format!("drop {d:?}")
         }
     }
 }
@@ -208,6 +247,7 @@ fn differential_run(
         mem_f.set_tracker(Some(tf.clone()));
         mem_s.set_tracker(Some(ts.clone()));
     }
+    let (mut sib_f, mut sib_s) = (None, None);
     for (i, &q) in quanta.iter().enumerate() {
         let ef = fast.run(&mut mem_f, Some(q));
         let es = slow.run(&mut mem_s, Some(q));
@@ -218,13 +258,21 @@ fn differential_run(
             break;
         }
         if let Some(&op) = ops.get(i) {
-            let rf = apply_op(op, &mut mem_f, policy);
-            let rs = apply_op(op, &mut mem_s, policy);
+            let rf = apply_op(op, &mut mem_f, &mut sib_f, policy);
+            let rs = apply_op(op, &mut mem_s, &mut sib_s, policy);
             prop_assert_eq!(rf, rs, "kernel op diverged at quantum {}", i);
         }
     }
     prop_assert_eq!(mem_f.content_digest(), mem_s.content_digest());
     prop_assert_eq!(mem_f.dirty_vpns_in(WORLD), mem_s.dirty_vpns_in(WORLD));
+    // A surviving sibling shares leaves with the executed space; its
+    // contents must be unperturbed by the fast path (identical to the
+    // slow execution's sibling).
+    match (sib_f, sib_s) {
+        (Some(a), Some(b)) => prop_assert_eq!(a.content_digest(), b.content_digest()),
+        (None, None) => {}
+        _ => unreachable!("identical schedules fork identically"),
+    }
     if tracked {
         prop_assert_eq!(tf.pages_read(), ts.pages_read());
         prop_assert_eq!(tf.pages_written(), ts.pages_written());

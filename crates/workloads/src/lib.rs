@@ -58,6 +58,7 @@ pub fn baseline_costs() -> CostModel {
         spawn_ps: 15_000_000,
         resume_ps: 1_000_000,
         page_map_ps: 0,
+        space_clone_ps: 0,
         page_scan_ps: 0,
         word_compare_ps: 0,
         byte_compare_ps: 0,

@@ -1,4 +1,4 @@
-//! Distributed md5 cracking via space migration (§3.3, §6.3): the same
+//! Distributed md5 cracking via space migration (PAPER.md §3.3, §6.3): the same
 //! shared-memory program, spread across simulated cluster nodes by
 //! nothing more than node numbers in child ids.
 //!

@@ -1,4 +1,4 @@
-//! Figure 4 + §4.2: a parallel `make` on the process runtime — forked
+//! Figure 4 + PAPER.md §4.2: a parallel `make` on the process runtime — forked
 //! compiler processes write .o files into private file-system
 //! replicas, reconciled at wait(); the deterministic wait() schedule
 //! trade-off is printed.

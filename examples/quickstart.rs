@@ -1,5 +1,5 @@
 //! Quickstart: private workspaces, race-free swap, and conflict
-//! detection (paper §2.2).
+//! detection (PAPER.md §2.2).
 //!
 //! ```sh
 //! cargo run --release --example quickstart

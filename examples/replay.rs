@@ -1,4 +1,4 @@
-//! Record/replay (§2.1): all nondeterministic inputs are explicit
+//! Record/replay (PAPER.md §2.1): all nondeterministic inputs are explicit
 //! device events at the root, so logging them suffices to reproduce an
 //! entire parallel execution bit-for-bit — no internal event logging.
 //!

@@ -1,5 +1,5 @@
-//! The scripted Determinator shell (§5): pipelines, redirection, and
-//! byte-identical reruns (§4.3).
+//! The scripted Determinator shell (PAPER.md §5): pipelines, redirection, and
+//! byte-identical reruns (PAPER.md §4.3).
 //!
 //! ```sh
 //! cargo run --release --example shell_demo

@@ -1,4 +1,4 @@
-//! System-enforced determinism on untrusted code (§3.2): an assembly
+//! System-enforced determinism on untrusted code (PAPER.md §3.2): an assembly
 //! program runs inside a VM space under an exact instruction limit —
 //! it cannot observe time, scheduling, or anything nondeterministic,
 //! and the kernel preempts it mid-loop at a precise instruction count.
