@@ -7,7 +7,7 @@
 use criterion::{Criterion, criterion_group, criterion_main};
 use std::hint::black_box;
 
-use det_kernel::{GetSpec, Kernel, KernelConfig, Program, PutSpec};
+use det_kernel::{CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec};
 use det_memory::{AddressSpace, ConflictPolicy, Perm, Region};
 use det_vm::{Cpu, VmExit, assemble};
 
@@ -231,8 +231,113 @@ fn bench_merge(c: &mut Criterion) {
     g.finish();
 }
 
+/// The rendezvous bench group: the put/get/park hot path under the
+/// targeted-wakeup engine (DESIGN.md §6).
+///
+/// The headline `put_get_rendezvous_roundtrip` keeps its PR 1 name so
+/// the trajectory stays comparable (PR 4 baseline on the build host:
+/// ~7.7 µs/roundtrip, notify-all engine, native child). Since PR 5 it
+/// drives a VM child — the mode in which the kernel enforces
+/// determinism on arbitrary code — which the engine executes *inline*
+/// on the waiting parent, so a roundtrip pays zero host context
+/// switches. The threaded/native variants below keep the
+/// context-switch-bound paths measured.
 fn bench_syscall_rendezvous(c: &mut Criterion) {
-    c.bench_function("put_get_rendezvous_roundtrip", |b| {
+    use det_kernel::{Regs, VmDispatch};
+    use det_memory::Perm;
+
+    // Two VM instructions per rendezvous roundtrip.
+    const RET_LOOP: &str = "
+    loop:
+        sys 0
+        beq r0, r0, loop
+    ";
+    let code = Region::new(0, 0x1000);
+    let image = assemble(RET_LOOP).unwrap();
+    let vm_child =
+        move |image: &det_vm::Image, ctx: &mut det_kernel::SpaceCtx| -> det_kernel::Result<()> {
+            ctx.mem_mut().map_zero(code, Perm::RW)?;
+            ctx.mem_mut().write(0, &image.bytes)?;
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::Vm)
+                    .copy(CopySpec::mirror(code))
+                    .regs(Regs::at_entry(0))
+                    .start(),
+            )?;
+            Ok(())
+        };
+
+    {
+        let image = image.clone();
+        c.bench_function("put_get_rendezvous_roundtrip", move |b| {
+            b.iter_custom(|iters| {
+                let image = image.clone();
+                let start = std::time::Instant::now();
+                Kernel::new(KernelConfig::default()).run(move |ctx| {
+                    vm_child(&image, ctx)?;
+                    for _ in 0..iters {
+                        ctx.get(0, GetSpec::new())?;
+                        ctx.put(0, PutSpec::new().start())?;
+                    }
+                    ctx.get(0, GetSpec::new())?;
+                    Ok(0)
+                });
+                start.elapsed()
+            })
+        });
+    }
+
+    let mut g = c.benchmark_group("rendezvous");
+    // The fused exchange: one kernel entry per roundtrip.
+    {
+        let image = image.clone();
+        g.bench_function("vm_fused_put_get", move |b| {
+            b.iter_custom(|iters| {
+                let image = image.clone();
+                let start = std::time::Instant::now();
+                Kernel::new(KernelConfig::default()).run(move |ctx| {
+                    vm_child(&image, ctx)?;
+                    ctx.get(0, GetSpec::new())?;
+                    for _ in 0..iters {
+                        ctx.put_get(0, PutSpec::new().start(), GetSpec::new())?;
+                    }
+                    Ok(0)
+                });
+                start.elapsed()
+            })
+        });
+    }
+    // The same roundtrip with the VM child on its own host thread:
+    // what every rendezvous cost before inline dispatch, minus the
+    // old engine's broadcast wakeups.
+    {
+        let image = image.clone();
+        g.bench_function("vm_threaded_roundtrip", move |b| {
+            b.iter_custom(|iters| {
+                let image = image.clone();
+                let start = std::time::Instant::now();
+                Kernel::new(KernelConfig {
+                    vm_dispatch: VmDispatch::Threaded,
+                    ..Default::default()
+                })
+                .run(move |ctx| {
+                    vm_child(&image, ctx)?;
+                    for _ in 0..iters {
+                        ctx.get(0, GetSpec::new())?;
+                        ctx.put(0, PutSpec::new().start())?;
+                    }
+                    ctx.get(0, GetSpec::new())?;
+                    Ok(0)
+                });
+                start.elapsed()
+            })
+        });
+    }
+    // Native-closure child (the pre-PR 5 headline shape): park/wake
+    // context switches bound this one.
+    g.bench_function("native_thread_roundtrip", |b| {
         b.iter_custom(|iters| {
             let start = std::time::Instant::now();
             Kernel::new(KernelConfig::default()).run(move |ctx| {
@@ -257,6 +362,42 @@ fn bench_syscall_rendezvous(c: &mut Criterion) {
             start.elapsed()
         })
     });
+    // Parked bystanders must be invisible: with targeted wakeups a
+    // roundtrip wakes only its own participants, so this must track
+    // the bystander-free number (the notify-all engine woke every
+    // parked space per event).
+    {
+        let image = image.clone();
+        g.bench_function("vm_roundtrip_8_parked_bystanders", move |b| {
+            b.iter_custom(|iters| {
+                let image = image.clone();
+                let start = std::time::Instant::now();
+                Kernel::new(KernelConfig::default()).run(move |ctx| {
+                    for i in 1..=8u64 {
+                        ctx.put(
+                            i,
+                            PutSpec::new()
+                                .program(Program::native(|cc| {
+                                    cc.ret(0)?;
+                                    Ok(0)
+                                }))
+                                .start(),
+                        )?;
+                        ctx.get(i, GetSpec::new())?;
+                    }
+                    vm_child(&image, ctx)?;
+                    for _ in 0..iters {
+                        ctx.get(0, GetSpec::new())?;
+                        ctx.put(0, PutSpec::new().start())?;
+                    }
+                    ctx.get(0, GetSpec::new())?;
+                    Ok(0)
+                });
+                start.elapsed()
+            })
+        });
+    }
+    g.finish();
 }
 
 fn bench_vm(c: &mut Criterion) {

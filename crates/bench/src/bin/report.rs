@@ -7,8 +7,8 @@
 //! ```
 
 use det_bench::{
-    Scale, clone_table, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation, table3,
-    vm_mips,
+    Scale, clone_table, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation,
+    rendezvous_table, table3, vm_mips,
 };
 
 fn main() {
@@ -63,6 +63,9 @@ fn main() {
     }
     if want("clone") {
         print!("{}", clone_table(scale).to_markdown());
+    }
+    if want("rendezvous") {
+        print!("{}", rendezvous_table(scale).to_markdown());
     }
     if want("table3") {
         let root = std::env::var("CARGO_MANIFEST_DIR")

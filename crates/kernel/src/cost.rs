@@ -28,6 +28,12 @@ pub struct CostModel {
     /// Cost of resuming an already-live space (`Start` on a parked
     /// space; scheduler dispatch analogue).
     pub resume_ps: u64,
+    /// Cost a space pays to park at a rendezvous (`Ret`, a trap, or a
+    /// limit preemption): checking its state in and handing control to
+    /// the waiting side. Charged once per resumable check-in,
+    /// regardless of how the host dispatches the space (threaded or
+    /// inline), so virtual time is execution-vehicle-invariant.
+    pub rendezvous_ps: u64,
     /// Per-page cost of copy-on-write mapping (zero-fill, and the
     /// boundary pages a virtual copy walks individually).
     pub page_map_ps: u64,
@@ -71,12 +77,16 @@ impl CostModel {
     /// compare on the merge fast path, memcpy/memcmp-class per-byte
     /// costs (~0.25–0.3 ns/byte) for the byte-granularity slow path,
     /// and a ~20 ns TLB fill (a software page-table walk, same order
-    /// as `page_scan_ps`).
+    /// as `page_scan_ps`). A rendezvous park costs ~1 µs (check-in
+    /// plus a targeted wake of the one waiting side — a context-
+    /// switch-class cost, checked against the `rendezvous` bench
+    /// group's threaded path).
     pub fn calibrated() -> CostModel {
         CostModel {
             syscall_ps: 500_000,
             spawn_ps: 25_000_000,
             resume_ps: 2_000_000,
+            rendezvous_ps: 1_000_000,
             page_map_ps: 30_000,
             space_clone_ps: 300_000,
             page_scan_ps: 20_000,
@@ -96,6 +106,7 @@ impl CostModel {
             syscall_ps: 0,
             spawn_ps: 0,
             resume_ps: 0,
+            rendezvous_ps: 0,
             page_map_ps: 0,
             space_clone_ps: 0,
             page_scan_ps: 0,
@@ -167,6 +178,7 @@ mod tests {
             syscall_ps: 0,
             spawn_ps: 0,
             resume_ps: 0,
+            rendezvous_ps: 0,
             page_map_ps: 0,
             space_clone_ps: 0,
             page_scan_ps: 10,

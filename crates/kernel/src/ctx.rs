@@ -1,13 +1,21 @@
 //! The capability handle through which a space's program acts.
 //!
 //! A [`SpaceCtx`] is the *entire* interface between user code and the
-//! world: private registers and memory, the three system calls, a
+//! world: private registers and memory, the system calls, a
 //! virtual-time charge meter, and (for the root space only) device
 //! access. This is the enforcement boundary of §3.1 — native programs
 //! hold no other handles, and VM programs cannot even express anything
 //! else.
+//!
+//! Rendezvous syscalls resolve their child through the space's own
+//! children map, which stores each child's slot cell alongside its id
+//! ([`crate::kernel::ChildRef`]) — one uncontended lock of the
+//! caller's own slot, never a walk of the kernel-global space table
+//! (DESIGN.md §6).
 
 use std::sync::Arc;
+
+use parking_lot::MutexGuard;
 
 use det_memory::{AddressSpace, Region};
 use det_vm::Regs;
@@ -15,23 +23,33 @@ use det_vm::Regs;
 use crate::cost::{ns_to_ps, ps_to_ns};
 use crate::device::DeviceId;
 use crate::error::{KernelError, Result};
-use crate::ids::{ChildNum, SpaceId, child_index, node_field};
-use crate::kernel::{RunState, Shared, Slot, SpaceState};
+use crate::ids::{ChildNum, SpaceId, node_field};
+use crate::kernel::{ChildRef, RunState, Shared, Slot, SlotCell, SpaceState};
 use crate::syscall::{GetResult, GetSpec, PutResult, PutSpec, StopReason};
+
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Execution context of a running space.
 pub struct SpaceCtx {
     shared: Arc<Shared>,
     id: SpaceId,
+    /// This space's own slot cell.
+    cell: Arc<SlotCell>,
     st: Option<Box<SpaceState>>,
     destroyed: bool,
 }
 
 impl SpaceCtx {
-    pub(crate) fn new(shared: Arc<Shared>, id: SpaceId, st: Box<SpaceState>) -> SpaceCtx {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        id: SpaceId,
+        cell: Arc<SlotCell>,
+        st: Box<SpaceState>,
+    ) -> SpaceCtx {
         SpaceCtx {
             shared,
             id,
+            cell,
             st: Some(st),
             destroyed: false,
         }
@@ -39,6 +57,13 @@ impl SpaceCtx {
 
     pub(crate) fn into_state(self) -> Option<Box<SpaceState>> {
         self.st
+    }
+
+    /// True if the *kernel* destroyed this space (shutdown teardown or
+    /// a park raced by destruction) — as opposed to the program merely
+    /// returning a fabricated `Destroyed` error.
+    pub(crate) fn destroyed_by_kernel(&self) -> bool {
+        self.destroyed
     }
 
     fn st(&self) -> &SpaceState {
@@ -134,7 +159,8 @@ impl SpaceCtx {
     /// restarts it.
     fn park(&mut self, reason: StopReason) -> Result<()> {
         let st = self.st.take().expect("parking requires live state");
-        match self.shared.park(self.id, st, reason) {
+        let cell = Arc::clone(&self.cell);
+        match self.shared.park(&cell, st, reason) {
             Ok(st) => {
                 self.st = Some(st);
                 Ok(())
@@ -148,17 +174,10 @@ impl SpaceCtx {
 
     /// Invokes the cluster rendezvous hook on a stopped child,
     /// charging demand-paging costs to this caller.
-    fn rendezvous_hook(
-        &mut self,
-        g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
-        child_id: SpaceId,
-    ) {
+    fn rendezvous_hook(&mut self, g: &mut MutexGuard<'_, Slot>, child_id: SpaceId) {
         if let Some(hooks) = self.shared.cluster.as_ref() {
             let parent_node = self.st().cur_node;
-            let child_st = g.slots[child_id.0 as usize]
-                .state
-                .as_mut()
-                .expect("idle child has state");
+            let child_st = g.state.as_mut().expect("idle child has state");
             let ps =
                 hooks.on_rendezvous(child_id, child_st.cur_node, parent_node, &mut child_st.mem);
             let st = self.st_mut();
@@ -182,95 +201,149 @@ impl SpaceCtx {
         Ok(())
     }
 
-    /// The `Put` system call: copy state into a child (creating it on
-    /// first reference) and optionally start it (§3.2, Tables 1–2).
+    /// Finds or creates the slot for `child` under this space.
     ///
-    /// Blocks while the child is running — spaces synchronize only at
-    /// well-defined rendezvous points.
-    pub fn put(&mut self, child: ChildNum, spec: PutSpec) -> Result<PutResult> {
-        self.charge_ps(self.shared.costs.syscall_ps)?;
-        self.route(child)?;
-        let shared = Arc::clone(&self.shared);
-        let mut g = shared.state.lock();
-        g.stats.puts += 1;
-        let child_id = ensure_child(&mut g, self.id, child, self.st().cur_node);
-        let was = shared.wait_idle(&mut g, child_id)?;
-
-        // Rendezvous clock rule: the caller observes the child's stop.
-        let child_v = g.slots[child_id.0 as usize]
-            .state
-            .as_ref()
-            .expect("idle child has state")
-            .vclock_ps;
-        {
-            let st = self.st_mut();
-            st.vclock_ps = st.vclock_ps.max(child_v);
+    /// The children map is read under this space's own (uncontended)
+    /// slot lock, so a `Tree` copy that rewrites the map while this
+    /// space is parked is authoritative the moment it resumes. The
+    /// global table lock is taken only on first creation, and never
+    /// while a slot lock is held.
+    fn ensure_child(&mut self, child: ChildNum) -> ChildRef {
+        if let Some((id, cell)) = self.cell.m.lock().children.get(&child) {
+            return (*id, Arc::clone(cell));
         }
-        self.rendezvous_hook(&mut g, child_id);
+        // Only this space's own thread creates its children, and a
+        // parent can only Tree-rewrite the map while this space is
+        // parked — so the miss above cannot race an insert.
+        let node = self.st().cur_node;
+        let (id, cell) = self.shared.new_slot(node);
+        self.cell
+            .m
+            .lock()
+            .children
+            .insert(child, (id, Arc::clone(&cell)));
+        (id, cell)
+    }
 
+    /// Looks a child up without creating it.
+    fn lookup_child(&mut self, child: ChildNum) -> Option<ChildRef> {
+        self.cell
+            .m
+            .lock()
+            .children
+            .get(&child)
+            .map(|(id, cell)| (*id, Arc::clone(cell)))
+    }
+
+    /// Rendezvous clock rule: the caller observes the child's stop and
+    /// takes the later of the two clocks. Returns the child's clock.
+    fn sync_clocks(&mut self, g: &mut MutexGuard<'_, Slot>) -> u64 {
+        let child_v = g.state.as_ref().expect("idle child has state").vclock_ps;
+        let st = self.st_mut();
+        st.vclock_ps = st.vclock_ps.max(child_v);
+        child_v
+    }
+
+    /// Applies the `Put` options (everything but `Start`) to a stopped
+    /// child whose slot guard the caller holds. Returns the guard
+    /// (released and re-acquired around `Tree` copies) and whether a
+    /// program was installed.
+    fn apply_put_options<'a>(
+        &mut self,
+        cell: &'a Arc<SlotCell>,
+        mut g: MutexGuard<'a, Slot>,
+        child_id: SpaceId,
+        spec: PutSpec,
+        was: StopReason,
+    ) -> Result<(MutexGuard<'a, Slot>, bool)> {
         if let Some(r) = spec.regs {
-            g.slots[child_id.0 as usize]
-                .state
-                .as_mut()
-                .expect("idle")
-                .regs = r;
+            g.state.as_mut().expect("idle").regs = r;
         }
         let installed_program = spec.program.is_some();
         if let Some(p) = spec.program {
-            let slot = &mut g.slots[child_id.0 as usize];
             match was {
                 StopReason::Unstarted => {}
-                StopReason::Halted | StopReason::Trap(_) if slot.thread.is_some() => {
-                    // The old program finished; reap its thread so a
-                    // fresh one can be spawned (child-slot reuse).
-                    let h = slot.thread.take().expect("checked");
-                    let _ = h.join();
+                StopReason::Halted | StopReason::Trap(_) => {
+                    // A resumable trap still has a live program (a
+                    // parked thread, or an inline VM state the parent
+                    // could restart): installing over it is installing
+                    // over a live child — identically in every
+                    // dispatch mode.
+                    if matches!(was, StopReason::Trap(_)) && !g.terminal {
+                        return Err(KernelError::ChildActive);
+                    }
+                    if let Some(h) = g.thread.take() {
+                        // The old program finished; reap its vehicle
+                        // so a fresh one can start (child-slot reuse).
+                        let _ = h.join();
+                    }
+                    // A fresh program gets a fresh CPU identity.
+                    g.cpu = None;
+                    g.inline_vm = false;
                 }
-                StopReason::Halted | StopReason::Trap(_) => {}
                 _ => return Err(KernelError::ChildActive),
             }
-            slot.pending = Some(p);
-            slot.run = RunState::Idle(StopReason::Unstarted);
+            g.terminal = false;
+            g.pending = Some(p);
+            g.run = RunState::Idle(StopReason::Unstarted);
         }
         let mut charge_after = 0u64;
         if let Some(c) = spec.copy {
             let src_mem = &self.st().mem;
-            let child_slot = &mut g.slots[child_id.0 as usize];
-            let child_st = child_slot.state.as_mut().expect("idle");
+            let child_st = g.state.as_mut().expect("idle");
             let cs = child_st.mem.copy_from_counted(src_mem, c.src, c.dst)?;
             // Structural clone: whole leaves are shared in O(1) and
             // charged per leaf; only range-boundary pages pay the
             // per-page COW mapping cost.
-            g.stats.pages_copied += cs.pages;
-            g.stats.leaves_cloned += cs.leaves_shared;
+            self.shared.hot.pages_copied.fetch_add(cs.pages, Relaxed);
+            self.shared
+                .hot
+                .leaves_cloned
+                .fetch_add(cs.leaves_shared, Relaxed);
             charge_after += self.shared.costs.copy_cost_ps(&cs);
             if let Some(hooks) = self.shared.cluster.as_ref() {
                 hooks.on_copy(self.id, child_id, c.src.start >> 12, c.dst >> 12, cs.pages);
             }
         }
         if let Some(r) = spec.zero {
-            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            let child_st = g.state.as_mut().expect("idle");
             child_st.mem.map_zero(r, det_memory::Perm::RW)?;
             let pages = r.page_count();
-            g.stats.pages_copied += pages;
+            self.shared.hot.pages_copied.fetch_add(pages, Relaxed);
             charge_after += self.shared.costs.map_cost_ps(pages);
         }
         if let Some((r, p)) = spec.perm {
-            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            let child_st = g.state.as_mut().expect("idle");
             child_st.mem.set_perm(r, p)?;
         }
         if let Some(src_child) = spec.tree_from {
-            copy_tree(&mut g, self.id, src_child, child_id)?;
+            let (src_id, src_cell) = self
+                .lookup_child(src_child)
+                .ok_or(KernelError::InvalidSpec("tree source child does not exist"))?;
+            if src_id == child_id {
+                return Err(KernelError::InvalidSpec("tree source equals destination"));
+            }
+            // A tree copy walks other slots; release this child's lock
+            // so slot locks are only ever taken one at a time.
+            drop(g);
+            clone_into(&self.shared, &src_cell, cell)?;
+            g = cell.m.lock();
+            if matches!(g.run, RunState::Destroyed) {
+                return Err(KernelError::Destroyed);
+            }
         }
         if spec.snap {
-            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            let child_st = g.state.as_mut().expect("idle");
             child_st.snap = Some(child_st.mem.snapshot());
             // A snapshot clones only the root spine: charged per
             // page-table leaf, not per mapped page (the O(touched)
             // fork cost of PAPER.md §8).
             let leaves = child_st.mem.leaf_count() as u64;
-            g.stats.pages_snapped += child_st.mem.page_count() as u64;
-            g.stats.leaves_cloned += leaves;
+            self.shared
+                .hot
+                .pages_snapped
+                .fetch_add(child_st.mem.page_count() as u64, Relaxed);
+            self.shared.hot.leaves_cloned.fetch_add(leaves, Relaxed);
             charge_after += self.shared.costs.clone_cost_ps(leaves);
         }
         // Kernel work is charged to the caller; limits may preempt
@@ -279,58 +352,49 @@ impl SpaceCtx {
             let st = self.st_mut();
             st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
         }
-        if let Some(start) = spec.start {
-            // Fresh program dispatch is a spawn (thread creation);
-            // waking a parked space is a cheap resume.
-            let fresh = installed_program || was == StopReason::Unstarted;
-            let start_ps = if fresh {
-                self.shared.costs.spawn_ps
-            } else {
-                self.shared.costs.resume_ps
-            };
-            let st_v = {
-                let st = self.st_mut();
-                st.vclock_ps = st.vclock_ps.saturating_add(start_ps);
-                st.vclock_ps
-            };
-            shared.start_child(&mut g, child_id, start.limit_ns, st_v, was)?;
-        }
-        Ok(PutResult { child_was: was })
+        Ok((g, installed_program))
     }
 
-    /// The `Get` system call: synchronize with a child and copy or
-    /// merge state out of it (§3.2, Tables 1–2).
-    ///
-    /// With `merge`, bytes the child changed since its snapshot are
-    /// folded into this space; concurrent changes to the same byte
-    /// raise [`KernelError::Conflict`] and leave this space untouched.
-    pub fn get(&mut self, child: ChildNum, spec: GetSpec) -> Result<GetResult> {
-        self.charge_ps(self.shared.costs.syscall_ps)?;
-        self.route(child)?;
-        let shared = Arc::clone(&self.shared);
-        let mut g = shared.state.lock();
-        g.stats.gets += 1;
-        let child_id = ensure_child(&mut g, self.id, child, self.st().cur_node);
-        let stop = shared.wait_idle(&mut g, child_id)?;
-
-        let (child_v, code) = {
-            let st = g.slots[child_id.0 as usize].state.as_ref().expect("idle");
-            (st.vclock_ps, st.regs.gpr[1])
+    /// Applies `Start`, charging spawn or resume cost to the caller.
+    fn apply_start(
+        &mut self,
+        g: &mut MutexGuard<'_, Slot>,
+        cell: &Arc<SlotCell>,
+        child_id: SpaceId,
+        limit_ns: Option<u64>,
+        installed_program: bool,
+        was: StopReason,
+    ) -> Result<()> {
+        // Fresh program dispatch is a spawn (vehicle creation);
+        // waking a parked space is a cheap resume.
+        let fresh = installed_program || was == StopReason::Unstarted;
+        let start_ps = if fresh {
+            self.shared.costs.spawn_ps
+        } else {
+            self.shared.costs.resume_ps
         };
-        {
+        let st_v = {
             let st = self.st_mut();
-            st.vclock_ps = st.vclock_ps.max(child_v);
-        }
-        self.rendezvous_hook(&mut g, child_id);
+            st.vclock_ps = st.vclock_ps.saturating_add(start_ps);
+            st.vclock_ps
+        };
+        self.shared
+            .start_child(g, cell, child_id, limit_ns, st_v, was)
+    }
 
+    /// Applies the `Get` options to a stopped child whose slot guard
+    /// the caller holds.
+    fn apply_get_options(
+        &mut self,
+        g: &mut MutexGuard<'_, Slot>,
+        child_id: SpaceId,
+        spec: &GetSpec,
+        stop: StopReason,
+        child_v: u64,
+    ) -> Result<GetResult> {
+        let code = g.state.as_ref().expect("idle").regs.gpr[1];
         let regs = if spec.regs {
-            Some(
-                g.slots[child_id.0 as usize]
-                    .state
-                    .as_ref()
-                    .expect("idle")
-                    .regs,
-            )
+            Some(g.state.as_ref().expect("idle").regs)
         } else {
             None
         };
@@ -338,18 +402,18 @@ impl SpaceCtx {
         if let Some(c) = spec.copy {
             // Copy child → parent: take the child's state out briefly
             // so both sides can be borrowed.
-            let child_st = g.slots[child_id.0 as usize]
-                .state
-                .take()
-                .expect("idle child has state");
+            let child_st = g.state.take().expect("idle child has state");
             let res = self
                 .st_mut()
                 .mem
                 .copy_from_counted(&child_st.mem, c.src, c.dst);
-            g.slots[child_id.0 as usize].state = Some(child_st);
+            g.state = Some(child_st);
             let cs = res?;
-            g.stats.pages_copied += cs.pages;
-            g.stats.leaves_cloned += cs.leaves_shared;
+            self.shared.hot.pages_copied.fetch_add(cs.pages, Relaxed);
+            self.shared
+                .hot
+                .leaves_cloned
+                .fetch_add(cs.leaves_shared, Relaxed);
             charge_after += self.shared.costs.copy_cost_ps(&cs);
             if let Some(hooks) = self.shared.cluster.as_ref() {
                 hooks.on_copy(child_id, self.id, c.src.start >> 12, c.dst >> 12, cs.pages);
@@ -357,14 +421,11 @@ impl SpaceCtx {
         }
         let mut merge_stats = None;
         if let Some(region) = spec.merge {
-            let child_st = g.slots[child_id.0 as usize]
-                .state
-                .take()
-                .expect("idle child has state");
+            let child_st = g.state.take().expect("idle child has state");
             let snap = match child_st.snap.as_ref() {
                 Some(s) => s,
                 None => {
-                    g.slots[child_id.0 as usize].state = Some(child_st);
+                    g.state = Some(child_st);
                     return Err(KernelError::NoSnapshot);
                 }
             };
@@ -373,12 +434,12 @@ impl SpaceCtx {
                 .st_mut()
                 .mem
                 .try_merge_from(&child_st.mem, snap, region, policy);
-            g.slots[child_id.0 as usize].state = Some(child_st);
+            g.state = Some(child_st);
             let (stats, conflict) = merged?;
             charge_after += self.shared.costs.merge_cost_ps(&stats);
-            g.stats.record_merge(&stats);
+            self.shared.record_merge(&stats);
             if let Some(c) = conflict {
-                g.stats.conflicts += 1;
+                self.shared.hot.conflicts.fetch_add(1, Relaxed);
                 let st = self.st_mut();
                 st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
                 return Err(KernelError::Conflict(c));
@@ -386,12 +447,12 @@ impl SpaceCtx {
             merge_stats = Some(stats);
         }
         if let Some(r) = spec.zero {
-            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            let child_st = g.state.as_mut().expect("idle");
             child_st.mem.map_zero(r, det_memory::Perm::RW)?;
             charge_after += self.shared.costs.map_cost_ps(r.page_count());
         }
         if let Some((r, p)) = spec.perm {
-            let child_st = g.slots[child_id.0 as usize].state.as_mut().expect("idle");
+            let child_st = g.state.as_mut().expect("idle");
             child_st.mem.set_perm(r, p)?;
         }
         {
@@ -405,6 +466,86 @@ impl SpaceCtx {
             merge: merge_stats,
             child_vclock_ns: ps_to_ns(child_v),
         })
+    }
+
+    /// The `Put` system call: copy state into a child (creating it on
+    /// first reference) and optionally start it (§3.2, Tables 1–2).
+    ///
+    /// Blocks while the child is running — spaces synchronize only at
+    /// well-defined rendezvous points.
+    pub fn put(&mut self, child: ChildNum, spec: PutSpec) -> Result<PutResult> {
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        self.route(child)?;
+        self.shared.hot.puts.fetch_add(1, Relaxed);
+        let (child_id, cell) = self.ensure_child(child);
+        let shared = Arc::clone(&self.shared);
+        let g = cell.m.lock();
+        let (mut g, was) = shared.wait_idle(&cell, child_id, g)?;
+        self.sync_clocks(&mut g);
+        self.rendezvous_hook(&mut g, child_id);
+        let start = spec.start;
+        let (mut g, installed_program) = self.apply_put_options(&cell, g, child_id, spec, was)?;
+        if let Some(s) = start {
+            self.apply_start(&mut g, &cell, child_id, s.limit_ns, installed_program, was)?;
+        }
+        Ok(PutResult { child_was: was })
+    }
+
+    /// The `Get` system call: synchronize with a child and copy or
+    /// merge state out of it (§3.2, Tables 1–2).
+    ///
+    /// With `merge`, bytes the child changed since its snapshot are
+    /// folded into this space; concurrent changes to the same byte
+    /// raise [`KernelError::Conflict`] and leave this space untouched.
+    pub fn get(&mut self, child: ChildNum, spec: GetSpec) -> Result<GetResult> {
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        self.route(child)?;
+        self.shared.hot.gets.fetch_add(1, Relaxed);
+        let (child_id, cell) = self.ensure_child(child);
+        let shared = Arc::clone(&self.shared);
+        let g = cell.m.lock();
+        let (mut g, stop) = shared.wait_idle(&cell, child_id, g)?;
+        let child_v = self.sync_clocks(&mut g);
+        self.rendezvous_hook(&mut g, child_id);
+        self.apply_get_options(&mut g, child_id, &spec, stop, child_v)
+    }
+
+    /// The fused `PutGet` exchange: applies `put` to the child at its
+    /// current stop, starts it, blocks for its *next* stop, and
+    /// collects it with `get` — the runtime's dominant resume→collect
+    /// pattern (fs-image staging in `wait`, quantum driving) as one
+    /// kernel entry instead of two, with a single blocking wait.
+    ///
+    /// `put.start` is required (without it there would be no next stop
+    /// to collect). The returned [`GetResult`] describes the stop the
+    /// child reached *after* the restart.
+    pub fn put_get(&mut self, child: ChildNum, put: PutSpec, get: GetSpec) -> Result<GetResult> {
+        if put.start.is_none() {
+            return Err(KernelError::InvalidSpec(
+                "put_get requires the Start option",
+            ));
+        }
+        self.charge_ps(self.shared.costs.syscall_ps)?;
+        self.route(child)?;
+        self.shared.hot.put_gets.fetch_add(1, Relaxed);
+        let (child_id, cell) = self.ensure_child(child);
+        let shared = Arc::clone(&self.shared);
+        let g = cell.m.lock();
+        // First rendezvous: the stop the Put applies to.
+        let (mut g, was) = shared.wait_idle(&cell, child_id, g)?;
+        self.sync_clocks(&mut g);
+        self.rendezvous_hook(&mut g, child_id);
+        let start = put.start;
+        let (mut g, installed_program) = self.apply_put_options(&cell, g, child_id, put, was)?;
+        let s = start.expect("checked above");
+        self.apply_start(&mut g, &cell, child_id, s.limit_ns, installed_program, was)?;
+        // Second rendezvous: the child's next stop (for an inline VM
+        // child this executes it right here, lock-step, with no
+        // condvar traffic at all).
+        let (mut g, stop) = shared.wait_idle(&cell, child_id, g)?;
+        let child_v = self.sync_clocks(&mut g);
+        self.rendezvous_hook(&mut g, child_id);
+        self.apply_get_options(&mut g, child_id, &get, stop, child_v)
     }
 
     /// The `Ret` system call: stop and wait for the parent (§3.2).
@@ -437,10 +578,8 @@ impl SpaceCtx {
             return Err(KernelError::NotRoot);
         }
         self.charge_ps(self.shared.costs.syscall_ps)?;
-        let shared = Arc::clone(&self.shared);
-        let mut g = shared.state.lock();
-        g.stats.device_reads += 1;
-        g.devices.read(dev)
+        self.shared.hot.device_reads.fetch_add(1, Relaxed);
+        self.shared.devices.lock().read(dev)
     }
 
     /// Writes output bytes to a device (root only).
@@ -449,80 +588,50 @@ impl SpaceCtx {
             return Err(KernelError::NotRoot);
         }
         self.charge_ps(self.shared.costs.syscall_ps)?;
-        let shared = Arc::clone(&self.shared);
-        let mut g = shared.state.lock();
-        g.stats.device_write_bytes += data.len() as u64;
-        g.devices.write(dev, data);
+        self.shared
+            .hot
+            .device_write_bytes
+            .fetch_add(data.len() as u64, Relaxed);
+        self.shared.devices.lock().write(dev, data);
         Ok(())
     }
 }
 
-/// Finds or creates the slot for `child` under `parent`.
-fn ensure_child(
-    g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
-    parent: SpaceId,
-    child: ChildNum,
-    node: u16,
-) -> SpaceId {
-    let key = child_index(child) | ((node_field(child) as u64) << crate::ids::NODE_SHIFT);
-    if let Some(&id) = g.slots[parent.0 as usize].children.get(&key) {
-        return id;
-    }
-    let id = SpaceId(g.slots.len() as u32);
-    g.slots.push(Slot::new_child(node));
-    g.slots[parent.0 as usize].children.insert(key, id);
-    g.stats.spaces_created += 1;
-    id
-}
-
-/// Deep-copies the state of `src_child` (and recursively its
-/// descendants) into `dst` — the `Tree` option.
-fn copy_tree(
-    g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
-    parent: SpaceId,
-    src_child: ChildNum,
-    dst: SpaceId,
-) -> Result<()> {
-    let &src_id = g.slots[parent.0 as usize]
-        .children
-        .get(&src_child)
-        .ok_or(KernelError::InvalidSpec("tree source child does not exist"))?;
-    if src_id == dst {
-        return Err(KernelError::InvalidSpec("tree source equals destination"));
-    }
-    clone_into(g, src_id, dst)
-}
-
-fn clone_into(
-    g: &mut parking_lot::MutexGuard<'_, crate::kernel::KState>,
-    src: SpaceId,
-    dst: SpaceId,
-) -> Result<()> {
+/// Deep-copies the state of `src` (and recursively its descendants)
+/// into `dst` — the `Tree` option. Slot locks are taken one at a time
+/// (clone the image out of the source, then install it), so the walk
+/// can never deadlock against concurrent rendezvous; the children
+/// maps carry each child's cell, so the walk never touches the global
+/// space table except to append fresh slots.
+fn clone_into(shared: &Arc<Shared>, src: &SlotCell, dst: &Arc<SlotCell>) -> Result<()> {
     let (img, kids) = {
-        let slot = &g.slots[src.0 as usize];
-        let st = slot.state.as_ref().ok_or(KernelError::ChildActive)?;
-        (st.clone_image(), slot.children.clone())
+        let g = src.m.lock();
+        let st = g.state.as_ref().ok_or(KernelError::ChildActive)?;
+        (st.clone_image(), g.children.clone())
     };
     {
-        let slot = &mut g.slots[dst.0 as usize];
-        slot.state = Some(Box::new(img));
-        slot.run = RunState::Idle(StopReason::Unstarted);
+        let mut g = dst.m.lock();
+        if matches!(g.run, RunState::Destroyed) {
+            return Err(KernelError::Destroyed);
+        }
+        g.state = Some(Box::new(img));
+        g.run = RunState::Idle(StopReason::Unstarted);
     }
-    for (num, kid_src) in kids {
+    for (num, (_, kid_src)) in kids {
         // Create a matching child under dst and recurse.
-        let kid_dst = {
-            let id = SpaceId(g.slots.len() as u32);
-            let node = g.slots[kid_src.0 as usize]
-                .state
-                .as_ref()
-                .map(|s| s.home_node)
-                .unwrap_or(0);
-            g.slots.push(Slot::new_child(node));
-            g.slots[dst.0 as usize].children.insert(num, id);
-            g.stats.spaces_created += 1;
-            id
-        };
-        clone_into(g, kid_src, kid_dst)?;
+        let node = kid_src
+            .m
+            .lock()
+            .state
+            .as_ref()
+            .map(|s| s.home_node)
+            .unwrap_or(0);
+        let (kid_id, kid_dst) = shared.new_slot(node);
+        dst.m
+            .lock()
+            .children
+            .insert(num, (kid_id, Arc::clone(&kid_dst)));
+        clone_into(shared, &kid_src, &kid_dst)?;
     }
     Ok(())
 }

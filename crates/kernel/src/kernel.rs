@@ -3,25 +3,36 @@
 //! Spaces interact *only* through `Put`/`Get`/`Ret` (§3.2). The
 //! implementation keeps every stopped space's state (registers +
 //! private address space) in the kernel's space table; when a space
-//! runs, its state is checked out to a host thread, making it
+//! runs, its state is checked out to an execution vehicle, making it
 //! physically inaccessible to every other space. `Put`/`Get` on a
 //! running child blocks until the child checks its state back in via
 //! `Ret`, a trap, or a limit preemption — the "rendezvous" semantics
 //! that make the space hierarchy a deterministic Kahn network.
 //!
+//! Rendezvous is a **targeted-wakeup engine** (DESIGN.md §6): each
+//! slot owns its own lock and a pair of condition variables, and every
+//! park, check-in, and resume wakes exactly the one thread known to be
+//! waiting (the slot's parent in `wait_idle`, or the slot's own parked
+//! vehicle) — never a broadcast. Leaf VM spaces go further: they are
+//! executed *inline* on the thread that waits for them, so their
+//! rendezvous costs no host context switch at all.
+//!
 //! Host threads are *execution vehicles only*: all cross-space
 //! communication is kernel-mediated, so results are independent of how
-//! the host schedules the threads (tests assert this empirically).
+//! the host schedules (or lends) the vehicles — tests assert this
+//! empirically, including equality between inline and threaded VM
+//! dispatch.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
-use det_memory::{AddressSpace, ConflictPolicy};
+use det_memory::{AddressSpace, ConflictPolicy, MergeStats};
 use det_vm::{Cpu, Regs, VmExit};
 
 use crate::cost::{CostModel, ps_to_ns};
@@ -80,6 +91,33 @@ pub trait ClusterHooks: Send + Sync {
     }
 }
 
+/// How the kernel executes `Program::Vm` spaces.
+///
+/// VM spaces are always *leaves* of the space hierarchy (the VM ISA
+/// has no `Put`/`Get` surface), so their execution can be deferred to
+/// the one thread that will wait on them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VmDispatch {
+    /// Execute a VM space inline on the thread that waits for it.
+    /// A rendezvous then costs zero host context switches — the
+    /// default, and by far the fastest option on few-core hosts.
+    /// Virtual time is unaffected: each space's clock is a pure
+    /// function of its own work, and rendezvous still takes the max.
+    ///
+    /// Execution is lazy: a started child that *nobody ever waits on*
+    /// performs no work before shutdown. Its effects were
+    /// unobservable anyway — only a rendezvous can publish a child's
+    /// state — and how far such an abandoned child gets under
+    /// [`VmDispatch::Threaded`] was always host-timing-dependent;
+    /// only its host-side observability counters differ.
+    #[default]
+    Inline,
+    /// Give every VM space its own host thread (real wall-clock
+    /// parallelism for VM workloads on multicore hosts, at a
+    /// park/wake context-switch cost per rendezvous).
+    Threaded,
+}
+
 /// Kernel construction parameters.
 #[derive(Debug, Default)]
 pub struct KernelConfig {
@@ -89,13 +127,20 @@ pub struct KernelConfig {
     pub policy: ConflictPolicy,
     /// Record or replay nondeterministic inputs.
     pub io: IoMode,
+    /// Execution-vehicle policy for VM spaces.
+    pub vm_dispatch: VmDispatch,
 }
 
 /// Execution state of a space slot.
 pub(crate) enum RunState {
     /// Stopped; `state` present in the slot.
     Idle(StopReason),
-    /// Checked out to its thread (or handoff pending).
+    /// An inline VM space with pending execution: `state` (and a warm
+    /// `cpu`) present in the slot, waiting to be driven by whichever
+    /// thread next waits on it.
+    Runnable,
+    /// Checked out — to the slot's own thread, or to the parent
+    /// thread currently executing it inline.
     Running,
     /// Gone; threads observing this unwind.
     Destroyed,
@@ -144,12 +189,30 @@ impl SpaceState {
     }
 }
 
+/// A resolved child: its table id plus its slot cell, stored together
+/// in the parent's children map so rendezvous resolution is one
+/// (uncontended) lock of the parent's own slot — never a walk of the
+/// kernel-global space table — and `Tree` copies that rewrite the map
+/// are authoritative immediately.
+pub(crate) type ChildRef = (SpaceId, Arc<SlotCell>);
+
 pub(crate) struct Slot {
-    pub children: BTreeMap<u64, SpaceId>,
+    pub children: BTreeMap<u64, ChildRef>,
     pub run: RunState,
     pub state: Option<Box<SpaceState>>,
     pub pending: Option<Program>,
     pub thread: Option<JoinHandle<()>>,
+    /// Warm CPU (software TLB + decoded-instruction cache) of an
+    /// inline VM space, preserved across stops and resumes.
+    pub cpu: Option<Box<Cpu>>,
+    /// True once the slot runs its program as an inline VM space.
+    pub inline_vm: bool,
+    /// Set by a *final* check-in: the slot's vehicle has exited (or is
+    /// about to), so a resumable-looking stop (e.g. a native trap) has
+    /// nothing left to resume. Cleared when a new program is
+    /// installed. Prevents a `Start` from waking nobody and hanging
+    /// the next `wait_idle` forever.
+    pub terminal: bool,
 }
 
 impl Slot {
@@ -160,74 +223,237 @@ impl Slot {
             state: Some(Box::new(SpaceState::new(node))),
             pending: None,
             thread: None,
+            cpu: None,
+            inline_vm: false,
+            terminal: false,
         }
     }
 }
 
-pub(crate) struct KState {
-    pub slots: Vec<Slot>,
-    pub devices: DeviceHub,
-    pub stats: KernelStats,
+/// One space's slot: its own lock plus the two targeted wait points.
+///
+/// At most one thread ever waits on each condvar — the slot's unique
+/// parent in [`Shared::wait_idle`] on `idle_cv`, and the slot's own
+/// parked vehicle in [`Shared::park`] on `resume_cv` — so every
+/// `notify_one` wakes exactly the intended thread and nobody else.
+pub(crate) struct SlotCell {
+    pub m: Mutex<Slot>,
+    /// Wakes the parent blocked in `wait_idle` on this slot.
+    pub idle_cv: Condvar,
+    /// Wakes this slot's parked vehicle when the parent restarts it.
+    pub resume_cv: Condvar,
 }
 
-/// Counters bumped on hot paths without taking the state lock.
+impl SlotCell {
+    fn new(slot: Slot) -> Arc<SlotCell> {
+        Arc::new(SlotCell {
+            m: Mutex::new(slot),
+            idle_cv: Condvar::new(),
+            resume_cv: Condvar::new(),
+        })
+    }
+}
+
+/// Accumulated merge statistics (cold path; merges do real byte work,
+/// so a mutex here costs nothing measurable).
+#[derive(Default)]
+pub(crate) struct MergeAccum {
+    pub merges: u64,
+    pub totals: MergeStats,
+}
+
+/// Counters bumped on hot paths without taking any slot lock.
 ///
 /// Relaxed atomics: each is an independent event count, folded into
-/// [`KernelStats`] only at collection time (`Kernel::run` shutdown), so
-/// no ordering between them is ever observed mid-run. The *values* are
-/// deterministic — they count kernel-mediated events, not host
-/// scheduling — only the bump itself is lock-free.
+/// [`KernelStats`] only at collection time (`Kernel::run` shutdown,
+/// after every vehicle has been joined), so no ordering between them
+/// is ever observed mid-run. The *values* are deterministic — they
+/// count kernel-mediated events, not host scheduling — only the bump
+/// itself is lock-free. (`spurious_wakeups` is the one exception:
+/// wake races are host timing, and the field is documented as
+/// observability only.)
 #[derive(Default)]
 pub(crate) struct HotStats {
-    pub migrations: std::sync::atomic::AtomicU64,
-    pub vm_instructions: std::sync::atomic::AtomicU64,
-    pub vm_tlb_hits: std::sync::atomic::AtomicU64,
-    pub vm_pages_walked: std::sync::atomic::AtomicU64,
-    pub vm_icache_hits: std::sync::atomic::AtomicU64,
-    pub vm_icache_fills: std::sync::atomic::AtomicU64,
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub put_gets: AtomicU64,
+    pub rets: AtomicU64,
+    pub traps: AtomicU64,
+    pub limit_preemptions: AtomicU64,
+    pub spaces_created: AtomicU64,
+    pub threads_spawned: AtomicU64,
+    pub pages_copied: AtomicU64,
+    pub pages_snapped: AtomicU64,
+    pub leaves_cloned: AtomicU64,
+    pub conflicts: AtomicU64,
+    pub migrations: AtomicU64,
+    pub device_reads: AtomicU64,
+    pub device_write_bytes: AtomicU64,
+    pub vm_instructions: AtomicU64,
+    pub vm_tlb_hits: AtomicU64,
+    pub vm_pages_walked: AtomicU64,
+    pub vm_icache_hits: AtomicU64,
+    pub vm_icache_fills: AtomicU64,
+    pub condvar_wakeups: AtomicU64,
+    pub spurious_wakeups: AtomicU64,
+    pub vm_inline_runs: AtomicU64,
 }
 
 impl HotStats {
     /// Folds the hot counters into a stats record (read-time merge).
     pub(crate) fn fold_into(&self, stats: &mut KernelStats) {
-        use std::sync::atomic::Ordering::Relaxed;
+        stats.puts += self.puts.load(Relaxed);
+        stats.gets += self.gets.load(Relaxed);
+        stats.put_gets += self.put_gets.load(Relaxed);
+        stats.rets += self.rets.load(Relaxed);
+        stats.traps += self.traps.load(Relaxed);
+        stats.limit_preemptions += self.limit_preemptions.load(Relaxed);
+        stats.spaces_created += self.spaces_created.load(Relaxed);
+        stats.threads_spawned += self.threads_spawned.load(Relaxed);
+        stats.pages_copied += self.pages_copied.load(Relaxed);
+        stats.pages_snapped += self.pages_snapped.load(Relaxed);
+        stats.leaves_cloned += self.leaves_cloned.load(Relaxed);
+        stats.conflicts += self.conflicts.load(Relaxed);
         stats.migrations += self.migrations.load(Relaxed);
+        stats.device_reads += self.device_reads.load(Relaxed);
+        stats.device_write_bytes += self.device_write_bytes.load(Relaxed);
         stats.vm_instructions += self.vm_instructions.load(Relaxed);
         stats.vm_tlb_hits += self.vm_tlb_hits.load(Relaxed);
         stats.vm_pages_walked += self.vm_pages_walked.load(Relaxed);
         stats.vm_icache_hits += self.vm_icache_hits.load(Relaxed);
         stats.vm_icache_fills += self.vm_icache_fills.load(Relaxed);
+        stats.condvar_wakeups += self.condvar_wakeups.load(Relaxed);
+        stats.spurious_wakeups += self.spurious_wakeups.load(Relaxed);
+        stats.vm_inline_runs += self.vm_inline_runs.load(Relaxed);
     }
 }
 
 pub(crate) struct Shared {
-    pub state: Mutex<KState>,
-    pub cv: Condvar,
+    /// The space table: append-only; the lock covers growth and
+    /// enumeration only. Rendezvous never touches it — each syscall
+    /// resolves its child's [`SlotCell`] once and caches the `Arc`.
+    pub table: Mutex<Vec<Arc<SlotCell>>>,
+    /// Device hub (root-only I/O; never on the rendezvous path).
+    pub devices: Mutex<DeviceHub>,
     pub costs: CostModel,
     pub policy: ConflictPolicy,
     pub cluster: Option<Arc<dyn ClusterHooks>>,
-    /// Lock-free hot-path counters (folded into `KState::stats` at
-    /// collection time).
+    pub vm_dispatch: VmDispatch,
+    /// Lock-free hot-path counters (folded into the outcome's
+    /// [`KernelStats`] at collection time).
     pub hot: HotStats,
+    /// Accumulated merge statistics (cold path).
+    pub merge_accum: Mutex<MergeAccum>,
     /// Set at kernel shutdown; checked lock-free by hot paths
-    /// (`charge`) so compute-looping programs observe destruction.
-    pub shutdown: std::sync::atomic::AtomicBool,
+    /// (`charge`, the VM chunk loop) so compute-looping programs
+    /// observe destruction.
+    pub shutdown: AtomicBool,
 }
 
 impl Shared {
-    /// Blocks until `child` is stopped with its state checked in;
-    /// returns its stop reason.
-    pub(crate) fn wait_idle(
+    /// Resolves a slot cell by id (table lock held only for the clone).
+    pub(crate) fn cell(&self, id: SpaceId) -> Arc<SlotCell> {
+        Arc::clone(&self.table.lock()[id.0 as usize])
+    }
+
+    /// Appends a fresh child slot to the table.
+    pub(crate) fn new_slot(&self, node: u16) -> (SpaceId, Arc<SlotCell>) {
+        let cell = SlotCell::new(Slot::new_child(node));
+        let mut t = self.table.lock();
+        let id = SpaceId(t.len() as u32);
+        t.push(Arc::clone(&cell));
+        drop(t);
+        self.hot.spaces_created.fetch_add(1, Relaxed);
+        (id, cell)
+    }
+
+    /// Records one merge's statistics.
+    pub(crate) fn record_merge(&self, s: &MergeStats) {
+        let mut acc = self.merge_accum.lock();
+        acc.merges += 1;
+        acc.totals.accumulate(s);
+    }
+
+    /// Checks a stopped space's state into its (locked) slot.
+    ///
+    /// All rendezvous accounting funnels through here, for both
+    /// threaded and inline vehicles: stats count only stops that
+    /// actually materialized (a destroyed slot never reaches this
+    /// point), and resumable stops are charged the park/handoff cost
+    /// so virtual time is identical across dispatch modes.
+    fn check_in_locked(&self, slot: &mut Slot, mut st: Box<SpaceState>, reason: StopReason) {
+        match reason {
+            StopReason::Ret => {
+                self.hot.rets.fetch_add(1, Relaxed);
+            }
+            StopReason::Trap(_) => {
+                self.hot.traps.fetch_add(1, Relaxed);
+            }
+            StopReason::LimitReached => {
+                self.hot.limit_preemptions.fetch_add(1, Relaxed);
+            }
+            _ => {}
+        }
+        if reason.resumable() {
+            st.vclock_ps = st.vclock_ps.saturating_add(self.costs.rendezvous_ps);
+        }
+        slot.state = Some(st);
+        slot.run = RunState::Idle(reason);
+    }
+
+    /// Issues one targeted wakeup (counted; see
+    /// [`KernelStats::condvar_wakeups`]).
+    fn notify_one(&self, cv: &Condvar) {
+        self.hot.condvar_wakeups.fetch_add(1, Relaxed);
+        cv.notify_one();
+    }
+
+    /// Blocks until the slot is stopped with its state checked in;
+    /// returns the guard and the stop reason.
+    ///
+    /// If the slot is a runnable inline VM space, *this thread* (the
+    /// unique waiter) executes it to its next stop — the
+    /// zero-context-switch rendezvous. Otherwise it waits on the
+    /// slot's `idle_cv`, to be woken by exactly one targeted notify
+    /// from the slot's check-in.
+    pub(crate) fn wait_idle<'a>(
         &self,
-        g: &mut parking_lot::MutexGuard<'_, KState>,
-        child: SpaceId,
-    ) -> Result<StopReason> {
+        cell: &'a SlotCell,
+        id: SpaceId,
+        mut g: MutexGuard<'a, Slot>,
+    ) -> Result<(MutexGuard<'a, Slot>, StopReason)> {
         loop {
-            let slot = &g.slots[child.0 as usize];
-            match slot.run {
-                RunState::Idle(r) if slot.state.is_some() => return Ok(r),
+            match g.run {
+                RunState::Idle(r) if g.state.is_some() => return Ok((g, r)),
                 RunState::Destroyed => return Err(KernelError::Destroyed),
-                _ => self.cv.wait(g),
+                RunState::Runnable => {
+                    let mut st = g.state.take().expect("runnable slot has state");
+                    let mut cpu = g.cpu.take().unwrap_or_default();
+                    g.run = RunState::Running;
+                    drop(g);
+                    self.hot.vm_inline_runs.fetch_add(1, Relaxed);
+                    let stop = vm_execute(self, id, &mut st, &mut cpu);
+                    g = cell.m.lock();
+                    match stop {
+                        // Shutdown observed mid-run: the state dies
+                        // with the kernel.
+                        None => return Err(KernelError::Destroyed),
+                        Some(reason) => {
+                            if matches!(g.run, RunState::Destroyed) {
+                                return Err(KernelError::Destroyed);
+                            }
+                            self.check_in_locked(&mut g, st, reason);
+                            g.cpu = Some(cpu);
+                            // No notify: the one waiter is this thread.
+                        }
+                    }
+                }
+                _ => {
+                    cell.idle_cv.wait(&mut g);
+                    if !matches!(g.run, RunState::Idle(_) | RunState::Destroyed) {
+                        self.hot.spurious_wakeups.fetch_add(1, Relaxed);
+                    }
+                }
             }
         }
     }
@@ -236,104 +462,143 @@ impl Shared {
     /// its parent to restart it, and checks the state back out.
     pub(crate) fn park(
         &self,
-        id: SpaceId,
+        cell: &SlotCell,
         st: Box<SpaceState>,
         reason: StopReason,
     ) -> Result<Box<SpaceState>> {
-        let mut g = self.state.lock();
-        {
-            match reason {
-                StopReason::Ret => g.stats.rets += 1,
-                StopReason::Trap(_) => g.stats.traps += 1,
-                StopReason::LimitReached => g.stats.limit_preemptions += 1,
-                _ => {}
-            }
-            let slot = &mut g.slots[id.0 as usize];
-            if matches!(slot.run, RunState::Destroyed) {
-                return Err(KernelError::Destroyed);
-            }
-            slot.state = Some(st);
-            slot.run = RunState::Idle(reason);
+        let mut g = cell.m.lock();
+        // Destroyed check *before* any accounting: a park raced by
+        // destruction is a rendezvous that never happened, and must
+        // not drift the replay-comparable stop counters.
+        if matches!(g.run, RunState::Destroyed) {
+            return Err(KernelError::Destroyed);
         }
-        self.cv.notify_all();
+        self.check_in_locked(&mut g, st, reason);
+        // Exactly one thread can be waiting for this stop: the parent
+        // in `wait_idle`.
+        self.notify_one(&cell.idle_cv);
         loop {
-            let slot = &mut g.slots[id.0 as usize];
-            match slot.run {
+            match g.run {
                 RunState::Running => {
-                    if let Some(st) = slot.state.take() {
+                    if let Some(st) = g.state.take() {
                         return Ok(st);
                     }
-                    self.cv.wait(&mut g);
+                    cell.resume_cv.wait(&mut g);
                 }
                 RunState::Destroyed => return Err(KernelError::Destroyed),
-                RunState::Idle(_) => self.cv.wait(&mut g),
+                _ => {
+                    cell.resume_cv.wait(&mut g);
+                    if !matches!(g.run, RunState::Running | RunState::Destroyed) {
+                        self.hot.spurious_wakeups.fetch_add(1, Relaxed);
+                    }
+                }
             }
         }
     }
 
-    /// Final check-in of a space whose program finished or trapped
-    /// terminally; its thread exits after this.
+    /// Final check-in of a space whose vehicle is exiting: its program
+    /// finished, trapped terminally, or died without state.
+    ///
+    /// `st: None` (a vehicle dying without state on a live slot) is
+    /// checked in as a terminal `Idle(Trap(Panic))` so a parent
+    /// blocked in `wait_idle` observes a deterministic trap instead of
+    /// hanging forever on a slot stuck in `Running`.
     pub(crate) fn final_check_in(
         &self,
-        id: SpaceId,
+        cell: &SlotCell,
         st: Option<Box<SpaceState>>,
         reason: StopReason,
     ) {
-        let mut g = self.state.lock();
-        if matches!(reason, StopReason::Trap(_)) {
-            g.stats.traps += 1;
+        let mut g = cell.m.lock();
+        if matches!(g.run, RunState::Destroyed) {
+            return;
         }
-        let slot = &mut g.slots[id.0 as usize];
-        if !matches!(slot.run, RunState::Destroyed) {
-            if let Some(st) = st {
-                slot.state = Some(st);
-                slot.run = RunState::Idle(reason);
+        let (st, reason) = match st {
+            Some(st) => (st, reason),
+            None => {
+                let reason = if matches!(reason, StopReason::Trap(_)) {
+                    reason
+                } else {
+                    StopReason::Trap(TrapKind::Panic)
+                };
+                (Box::new(SpaceState::new(0)), reason)
             }
-        }
-        self.cv.notify_all();
+        };
+        self.check_in_locked(&mut g, st, reason);
+        g.terminal = true;
+        self.notify_one(&cell.idle_cv);
     }
 
     /// Starts or resumes an idle child whose state is checked in.
     ///
-    /// The caller has already applied the rendezvous clock rules;
-    /// `parent_vclock_ps` stamps the child's resume time.
+    /// The caller holds the child's slot lock and has already applied
+    /// the rendezvous clock rules; `parent_vclock_ps` stamps the
+    /// child's resume time.
     pub(crate) fn start_child(
         self: &Arc<Self>,
-        g: &mut parking_lot::MutexGuard<'_, KState>,
+        g: &mut MutexGuard<'_, Slot>,
+        cell: &Arc<SlotCell>,
         child: SpaceId,
         limit_ns: Option<u64>,
         parent_vclock_ps: u64,
         prior: StopReason,
     ) -> Result<()> {
-        let slot = &mut g.slots[child.0 as usize];
+        if matches!(g.run, RunState::Destroyed)
+            || self.shutdown.load(std::sync::atomic::Ordering::SeqCst)
         {
-            let st = slot
+            // Refusing to dispatch under shutdown keeps the join-then-
+            // collect teardown exhaustive: every vehicle that exists
+            // was visible to the destroy sweep.
+            return Err(KernelError::Destroyed);
+        }
+        {
+            let st = g
                 .state
                 .as_mut()
                 .expect("start_child requires checked-in state");
             st.vclock_ps = st.vclock_ps.max(parent_vclock_ps);
             st.limit_ps = limit_ns.map(crate::cost::ns_to_ps);
         }
-        if slot.thread.is_none() {
-            let program = slot.pending.take().ok_or(KernelError::NoProgram)?;
-            let st = slot.state.take().expect("checked above");
-            slot.run = RunState::Running;
-            g.stats.threads_spawned += 1;
-            let shared = Arc::clone(self);
-            let handle = std::thread::Builder::new()
-                .name(format!("space-{}", child.0))
-                .spawn(move || match program {
-                    Program::Native(entry) => native_thread(shared, child, entry, st),
-                    Program::Vm => vm_thread(shared, child, st),
-                })
-                .expect("spawn space thread");
-            g.slots[child.0 as usize].thread = Some(handle);
+        if g.thread.is_none() && !g.inline_vm {
+            let program = g.pending.take().ok_or(KernelError::NoProgram)?;
+            match program {
+                Program::Vm if self.vm_dispatch == VmDispatch::Inline => {
+                    // A leaf VM space: no vehicle of its own. It runs
+                    // when someone waits for it.
+                    g.inline_vm = true;
+                    g.cpu = Some(Box::default());
+                    g.run = RunState::Runnable;
+                }
+                program => {
+                    let st = g.state.take().expect("checked above");
+                    g.run = RunState::Running;
+                    self.hot.threads_spawned.fetch_add(1, Relaxed);
+                    let shared = Arc::clone(self);
+                    let cell2 = Arc::clone(cell);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("space-{}", child.0))
+                        .spawn(move || match program {
+                            Program::Native(entry) => {
+                                native_thread(shared, cell2, child, entry, st)
+                            }
+                            Program::Vm => vm_thread(shared, cell2, child, st),
+                        })
+                        .expect("spawn space thread");
+                    g.thread = Some(handle);
+                }
+            }
         } else {
-            if !prior.resumable() {
+            if !prior.resumable() || g.terminal {
                 return Err(KernelError::NoProgram);
             }
-            slot.run = RunState::Running;
-            self.cv.notify_all();
+            if g.inline_vm {
+                g.run = RunState::Runnable;
+            } else {
+                g.run = RunState::Running;
+                // Exactly one thread can be waiting for this resume:
+                // the slot's own parked vehicle.
+                self.notify_one(&cell.resume_cv);
+            }
         }
         Ok(())
     }
@@ -354,10 +619,8 @@ impl Shared {
         let cost = hooks.on_migrate(id, st.cur_node, target, &mut st.mem);
         st.vclock_ps = st.vclock_ps.saturating_add(cost);
         st.cur_node = target;
-        // Hot path: a stat bump must not serialize on the state lock.
-        self.hot
-            .migrations
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Hot path: a stat bump must not serialize on any lock.
+        self.hot.migrations.fetch_add(1, Relaxed);
         Ok(())
     }
 }
@@ -427,37 +690,25 @@ impl Kernel {
     }
 
     fn build(config: KernelConfig, cluster: Option<Arc<dyn ClusterHooks>>) -> Kernel {
-        let root = Slot {
-            children: BTreeMap::new(),
-            run: RunState::Idle(StopReason::Unstarted),
-            state: Some(Box::new(SpaceState::new(0))),
-            pending: None,
-            thread: None,
-        };
+        let root = SlotCell::new(Slot::new_child(0));
         Kernel {
             shared: Arc::new(Shared {
-                state: Mutex::new(KState {
-                    slots: vec![root],
-                    devices: DeviceHub::new(config.io),
-                    stats: KernelStats::default(),
-                }),
-                cv: Condvar::new(),
+                table: Mutex::new(vec![root]),
+                devices: Mutex::new(DeviceHub::new(config.io)),
                 costs: config.costs,
                 policy: config.policy,
                 cluster,
+                vm_dispatch: config.vm_dispatch,
                 hot: HotStats::default(),
-                shutdown: std::sync::atomic::AtomicBool::new(false),
+                merge_accum: Mutex::new(MergeAccum::default()),
+                shutdown: AtomicBool::new(false),
             }),
         }
     }
 
     /// Queues input bytes on a device (host side).
     pub fn push_input(&self, dev: DeviceId, data: impl Into<Vec<u8>>) {
-        self.shared
-            .state
-            .lock()
-            .devices
-            .push_input(dev, data.into());
+        self.shared.devices.lock().push_input(dev, data.into());
     }
 
     /// Returns a handle that can push device input while the kernel
@@ -474,13 +725,13 @@ impl Kernel {
     where
         F: FnOnce(&mut SpaceCtx) -> NativeResult,
     {
+        let root_cell = self.shared.cell(SpaceId::ROOT);
         let st = {
-            let mut g = self.shared.state.lock();
-            let slot = &mut g.slots[SpaceId::ROOT.0 as usize];
-            slot.run = RunState::Running;
-            slot.state.take().expect("fresh root state")
+            let mut g = root_cell.m.lock();
+            g.run = RunState::Running;
+            g.state.take().expect("fresh root state")
         };
-        let mut ctx = SpaceCtx::new(Arc::clone(&self.shared), SpaceId::ROOT, st);
+        let mut ctx = SpaceCtx::new(Arc::clone(&self.shared), SpaceId::ROOT, root_cell, st);
         let out = catch_unwind(AssertUnwindSafe(|| root(&mut ctx)));
         let root_st = ctx.into_state();
         let exit = match out {
@@ -490,31 +741,49 @@ impl Kernel {
         };
         let vclock_ns = root_st.as_ref().map(|s| ps_to_ns(s.vclock_ps)).unwrap_or(0);
 
-        // Shutdown: destroy every space, wake parked threads, join.
+        // Shutdown: destroy every space, wake parked vehicles, join
+        // them all, and only then collect stats and device output —
+        // draining vehicles still bump hot counters on their way out,
+        // and collecting first would drop those bumps from the
+        // outcome. (The shutdown flag is published before the table
+        // snapshot, and `start_child` re-checks it, so every vehicle
+        // that exists is visible to this sweep.)
         self.shared
             .shutdown
             .store(true, std::sync::atomic::Ordering::SeqCst);
-        let (handles, stats, outputs, io_log) = {
-            let mut g = self.shared.state.lock();
-            let mut handles = Vec::new();
-            for slot in &mut g.slots {
-                slot.run = RunState::Destroyed;
-                slot.state = None;
-                slot.pending = None;
-                if let Some(h) = slot.thread.take() {
-                    handles.push(h);
-                }
+        let cells: Vec<Arc<SlotCell>> = self.shared.table.lock().clone();
+        let mut handles = Vec::new();
+        for cell in &cells {
+            let mut g = cell.m.lock();
+            g.run = RunState::Destroyed;
+            g.state = None;
+            g.pending = None;
+            g.cpu = None;
+            if let Some(h) = g.thread.take() {
+                handles.push(h);
             }
-            self.shared.cv.notify_all();
-            let mut stats = g.stats.clone();
-            self.shared.hot.fold_into(&mut stats);
-            let devices = std::mem::replace(&mut g.devices, DeviceHub::new(IoMode::Record));
-            let (outputs, io_log) = devices.into_parts();
-            (handles, stats, outputs, io_log)
-        };
+            drop(g);
+            // Broadcast, not targeted: destruction is the one event
+            // with arbitrarily many observers (uncounted; see
+            // `KernelStats::condvar_wakeups`).
+            cell.idle_cv.notify_all();
+            cell.resume_cv.notify_all();
+        }
         for h in handles {
             let _ = h.join();
         }
+        let mut stats = KernelStats::default();
+        self.shared.hot.fold_into(&mut stats);
+        {
+            let acc = self.shared.merge_accum.lock();
+            stats.merges = acc.merges;
+            stats.merge_totals.0 = acc.totals;
+        }
+        let devices = std::mem::replace(
+            &mut *self.shared.devices.lock(),
+            DeviceHub::new(IoMode::Record),
+        );
+        let (outputs, io_log) = devices.into_parts();
         RunOutcome {
             exit,
             vclock_ns,
@@ -534,17 +803,26 @@ pub struct InputHandle {
 impl InputHandle {
     /// Queues input bytes on a device.
     pub fn push(&self, dev: DeviceId, data: impl Into<Vec<u8>>) {
-        self.shared
-            .state
-            .lock()
-            .devices
-            .push_input(dev, data.into());
+        self.shared.devices.lock().push_input(dev, data.into());
     }
 }
 
-fn native_thread(shared: Arc<Shared>, id: SpaceId, entry: NativeEntry, st: Box<SpaceState>) {
-    let mut ctx = SpaceCtx::new(Arc::clone(&shared), id, st);
+fn native_thread(
+    shared: Arc<Shared>,
+    cell: Arc<SlotCell>,
+    id: SpaceId,
+    entry: NativeEntry,
+    st: Box<SpaceState>,
+) {
+    let mut ctx = SpaceCtx::new(Arc::clone(&shared), id, Arc::clone(&cell), st);
     let out = catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
+    if ctx.destroyed_by_kernel() {
+        // The kernel itself tore this space down (shutdown/destroy):
+        // the destroy sweep owns the slot's fate, and checking in here
+        // would race it — the stop counters must not depend on which
+        // side wins.
+        return;
+    }
     let mut st = ctx.into_state();
     let reason = match out {
         Ok(Ok(code)) => {
@@ -553,31 +831,43 @@ fn native_thread(shared: Arc<Shared>, id: SpaceId, entry: NativeEntry, st: Box<S
             }
             StopReason::Halted
         }
-        Ok(Err(KernelError::Destroyed)) => return,
+        // This includes a *fabricated* `Destroyed` error (the kernel
+        // never issued one — see the check above): the slot is live,
+        // so the check-in below traps the parent instead of leaving
+        // it waiting on a slot stuck in `Running` forever.
         Ok(Err(e)) => StopReason::Trap(e.as_trap()),
         Err(_) => StopReason::Trap(TrapKind::Panic),
     };
-    if st.is_none() {
-        // The program lost its state to a destroy but returned anyway.
-        return;
-    }
-    shared.final_check_in(id, st, reason);
+    // Always check in — even with the state lost (`st: None`), the
+    // slot must leave `Running` so a waiting parent observes a
+    // deterministic trap rather than deadlocking.
+    shared.final_check_in(&cell, st, reason);
 }
 
-fn vm_thread(shared: Arc<Shared>, id: SpaceId, mut st: Box<SpaceState>) {
-    use std::sync::atomic::Ordering::Relaxed;
+/// Interprets a VM space's program on the current thread until it
+/// stops. Returns the stop reason, or `None` iff kernel shutdown was
+/// observed mid-run (the caller unwinds and the state dies with the
+/// kernel). Used by both vehicles: the slot's own thread
+/// ([`vm_thread`]) and the waiting parent (inline dispatch).
+fn vm_execute(
+    shared: &Shared,
+    id: SpaceId,
+    st: &mut SpaceState,
+    cpu: &mut Cpu,
+) -> Option<StopReason> {
     let insn_ps = shared.costs.vm_insn_ps.max(1);
     let walk_ps = shared.costs.vm_tlb_fill_ps;
     // Interpret in bounded chunks so unlimited programs still observe
     // kernel shutdown between chunks.
     const CHUNK: u64 = 4_000_000;
-    // One CPU for the space's lifetime: its software TLB and decoded-
-    // instruction cache stay warm across chunk boundaries, preemptions,
-    // and rendezvous. Parent-side mutations while the state is parked
-    // (copy, merge, zero, perm, snap — even a wholesale Tree image
-    // replacement) bump the address space's generation or change its
-    // identity, so stale entries miss instead of lying.
-    let mut cpu = Cpu::new();
+    // The CPU's software TLB and decoded-instruction cache stay warm
+    // across chunk boundaries, preemptions, and rendezvous (the slot
+    // stores the CPU between drives). Parent-side mutations while the
+    // state is parked (copy, merge, zero, perm, snap — even a
+    // wholesale Tree image replacement) bump the address space's
+    // generation or change its identity, so stale entries miss instead
+    // of lying. The parent may also have rewritten the registers at
+    // the rendezvous (Put with regs), so resync them on entry.
     cpu.regs = st.regs;
     let mut cache_mark = cpu.cache_stats;
     loop {
@@ -622,16 +912,15 @@ fn vm_thread(shared: Arc<Shared>, id: SpaceId, mut st: Box<SpaceState>) {
             VmExit::Halt => {
                 // Home-node return before the final stop (§3.3).
                 let home = st.home_node;
-                let _ = shared.migrate(id, &mut st, home);
-                shared.final_check_in(id, Some(st), StopReason::Halted);
-                return;
+                let _ = shared.migrate(id, st, home);
+                return Some(StopReason::Halted);
             }
             VmExit::Sys(0) => StopReason::Ret,
             VmExit::Sys(_) => StopReason::Trap(TrapKind::Fault("undefined syscall")),
             VmExit::Trap(t) => StopReason::Trap(t.into()),
             VmExit::OutOfBudget => {
                 if shared.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
-                    return;
+                    return None;
                 }
                 match st.limit_ps {
                     // Chunk boundary only: keep interpreting.
@@ -644,23 +933,129 @@ fn vm_thread(shared: Arc<Shared>, id: SpaceId, mut st: Box<SpaceState>) {
         };
         if matches!(reason, StopReason::Ret | StopReason::Trap(_)) {
             let home = st.home_node;
-            if shared.migrate(id, &mut st, home).is_err() && st.cur_node != home {
-                // Unreachable home node: treat as fault.
-                shared.final_check_in(
-                    id,
-                    Some(st),
-                    StopReason::Trap(TrapKind::Fault("home node unreachable")),
-                );
-                return;
+            if shared.migrate(id, st, home).is_err() && st.cur_node != home {
+                // Unreachable home node: surfaced as a fault.
+                return Some(StopReason::Trap(TrapKind::Fault("home node unreachable")));
             }
         }
-        st = match shared.park(id, st, reason) {
-            Ok(st) => st,
-            Err(_) => return,
-        };
-        // The parent may have rewritten the registers at the
-        // rendezvous (Put with regs); memory mutations are covered by
-        // generation/space-id validation inside the CPU's caches.
-        cpu.regs = st.regs;
+        return Some(reason);
+    }
+}
+
+/// Dedicated-thread vehicle for a VM space (`VmDispatch::Threaded`).
+fn vm_thread(shared: Arc<Shared>, cell: Arc<SlotCell>, id: SpaceId, mut st: Box<SpaceState>) {
+    // One CPU for the space's lifetime: caches stay warm across
+    // preemptions and rendezvous.
+    let mut cpu = Cpu::new();
+    loop {
+        match vm_execute(&shared, id, &mut st, &mut cpu) {
+            // Shutdown observed: the state dies with the kernel.
+            None => return,
+            Some(StopReason::Halted) => {
+                shared.final_check_in(&cell, Some(st), StopReason::Halted);
+                return;
+            }
+            Some(reason) => {
+                st = match shared.park(&cell, st, reason) {
+                    Ok(st) => st,
+                    Err(_) => return,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> Arc<Shared> {
+        Arc::clone(&Kernel::new(KernelConfig::default()).shared)
+    }
+
+    /// Satellite regression: a vehicle dying *without* state on a live
+    /// slot must still leave `Running` — checked in as a terminal
+    /// deterministic trap — or the waiting parent deadlocks.
+    #[test]
+    fn final_check_in_without_state_synthesizes_terminal_trap() {
+        let sh = shared();
+        let (_, cell) = sh.new_slot(0);
+        {
+            let mut g = cell.m.lock();
+            g.state = None;
+            g.run = RunState::Running;
+        }
+        sh.final_check_in(&cell, None, StopReason::Halted);
+        let g = cell.m.lock();
+        assert!(matches!(
+            g.run,
+            RunState::Idle(StopReason::Trap(TrapKind::Panic))
+        ));
+        assert!(g.state.is_some(), "wait_idle requires checked-in state");
+        assert!(g.terminal, "nothing is left to resume");
+        assert_eq!(sh.hot.traps.load(Relaxed), 1);
+    }
+
+    /// Satellite regression: a park raced by destruction must count
+    /// nothing — the stop never materialized as a rendezvous, and
+    /// replay-comparable counters must not drift.
+    #[test]
+    fn park_after_destroy_counts_nothing() {
+        let sh = shared();
+        let (_, cell) = sh.new_slot(0);
+        {
+            let mut g = cell.m.lock();
+            g.state = None;
+            g.run = RunState::Destroyed;
+        }
+        let st = Box::new(SpaceState::new(0));
+        assert!(matches!(
+            sh.park(&cell, st, StopReason::Ret),
+            Err(KernelError::Destroyed)
+        ));
+        assert_eq!(sh.hot.rets.load(Relaxed), 0);
+        assert_eq!(sh.hot.condvar_wakeups.load(Relaxed), 0);
+    }
+
+    /// Same drift rule for the final check-in of a destroyed slot.
+    #[test]
+    fn final_check_in_on_destroyed_slot_is_noop() {
+        let sh = shared();
+        let (_, cell) = sh.new_slot(0);
+        {
+            let mut g = cell.m.lock();
+            g.state = None;
+            g.run = RunState::Destroyed;
+        }
+        sh.final_check_in(
+            &cell,
+            Some(Box::new(SpaceState::new(0))),
+            StopReason::Trap(TrapKind::Panic),
+        );
+        let g = cell.m.lock();
+        assert!(matches!(g.run, RunState::Destroyed));
+        assert!(g.state.is_none());
+        assert_eq!(sh.hot.traps.load(Relaxed), 0);
+    }
+
+    /// A successful check-in charges the calibrated rendezvous park
+    /// cost exactly once, for resumable stops only.
+    #[test]
+    fn check_in_charges_rendezvous_cost() {
+        let sh = shared();
+        let (_, cell) = sh.new_slot(0);
+        {
+            let mut g = cell.m.lock();
+            let st = g.state.take().expect("fresh slot");
+            g.run = RunState::Running;
+            sh.check_in_locked(&mut g, st, StopReason::Ret);
+            assert_eq!(g.state.as_ref().unwrap().vclock_ps, sh.costs.rendezvous_ps);
+            let st = g.state.take().expect("checked in");
+            g.run = RunState::Running;
+            sh.check_in_locked(&mut g, st, StopReason::Halted);
+            // Halting is final: no park, no park cost.
+            assert_eq!(g.state.as_ref().unwrap().vclock_ps, sh.costs.rendezvous_ps);
+        }
+        assert_eq!(sh.hot.rets.load(Relaxed), 1);
     }
 }

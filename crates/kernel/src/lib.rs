@@ -88,7 +88,7 @@ pub use ctx::{SpaceCtx, full_user_region};
 pub use device::{DeviceId, InputEvent, IoLog, IoMode};
 pub use error::{KernelError, Result, TrapKind};
 pub use ids::{ChildNum, NODE_SHIFT, SpaceId, child_index, child_on_node, node_field};
-pub use kernel::{ClusterHooks, InputHandle, Kernel, KernelConfig, RunOutcome};
+pub use kernel::{ClusterHooks, InputHandle, Kernel, KernelConfig, RunOutcome, VmDispatch};
 pub use program::{NativeEntry, NativeResult, Program};
 pub use stats::{KernelStats, MergeStatsSerde};
 pub use syscall::{CopySpec, GetResult, GetSpec, PutResult, PutSpec, StartSpec, StopReason};

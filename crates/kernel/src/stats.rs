@@ -16,6 +16,10 @@ pub struct KernelStats {
     pub puts: u64,
     /// `Get` calls.
     pub gets: u64,
+    /// Fused `PutGet` exchange calls ([`crate::SpaceCtx::put_get`]):
+    /// one kernel entry performing a resume and the collection of the
+    /// child's next stop. Not double-counted in `puts`/`gets`.
+    pub put_gets: u64,
     /// `Ret` calls (explicit).
     pub rets: u64,
     /// Traps (implicit rets).
@@ -61,6 +65,21 @@ pub struct KernelStats {
     pub vm_icache_hits: u64,
     /// VM decoded-instruction cache fills (full fetch + decode).
     pub vm_icache_fills: u64,
+    /// Condvar notifications issued by the rendezvous engine on the
+    /// park / resume / final-check-in paths (shutdown broadcasts are
+    /// not counted). Every notify targets exactly one known waiter, so
+    /// this is bounded by rendezvous *events* — independent of how
+    /// many other spaces sit parked. A deterministic count: it is a
+    /// pure function of the kernel-mediated event history, and the
+    /// `targeted_wakeups_*` tests lock in the exact value so a
+    /// broadcast (thundering-herd) wakeup can't silently return.
+    pub condvar_wakeups: u64,
+    /// Waits that woke without their predicate holding (spurious or
+    /// raced wakeups). Host-scheduling-dependent; observability only.
+    pub spurious_wakeups: u64,
+    /// Times a leaf VM space was executed inline on the thread waiting
+    /// for it (zero-context-switch rendezvous; see DESIGN.md §6).
+    pub vm_inline_runs: u64,
 }
 
 /// Wrapper keeping [`MergeStats`] (an external type) inside the

@@ -1,4 +1,10 @@
 //! Syscall request and result types: the options of Table 2.
+//!
+//! A [`PutSpec`]/[`GetSpec`] pair can also travel through the fused
+//! `PutGet` exchange ([`crate::SpaceCtx::put_get`]): the Put options
+//! apply at the child's current stop, the child restarts, and the Get
+//! options collect its *next* stop — the runtime's dominant
+//! resume→collect pattern as one kernel entry instead of two.
 
 use det_memory::{MergeStats, Perm, Region};
 use det_vm::Regs;

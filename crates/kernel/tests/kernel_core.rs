@@ -2,11 +2,27 @@
 
 use det_kernel::{
     ConflictPolicy, CopySpec, DeviceId, GetSpec, IoMode, Kernel, KernelConfig, KernelError,
-    MemError, Perm, Program, PutSpec, Region, Regs, SpaceCtx, StopReason, TrapKind,
+    MemError, Perm, Program, PutSpec, Region, Regs, RunOutcome, SpaceCtx, StopReason, TrapKind,
+    VmDispatch,
 };
 
 fn kernel() -> Kernel {
     Kernel::new(KernelConfig::default())
+}
+
+/// Runs a kernel scenario on a helper thread and fails the test if it
+/// does not finish within the deadline — liveness regressions in the
+/// rendezvous protocol must show up as test failures, not CI hangs.
+fn with_watchdog<F>(f: F) -> RunOutcome
+where
+    F: FnOnce() -> RunOutcome + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(60))
+        .expect("rendezvous deadlock: scenario did not finish under the watchdog")
 }
 
 const R: Region = Region {
@@ -901,6 +917,445 @@ fn root_trap_reported_in_outcome() {
         Ok(0)
     });
     assert!(matches!(out.exit, Err(TrapKind::Mem(_))));
+}
+
+// ---------------------------------------------------------------------
+// Targeted-wakeup rendezvous engine (DESIGN.md §6)
+// ---------------------------------------------------------------------
+
+/// A space thread that dies without checking in — here by fabricating
+/// the kernel's own `Destroyed` error — must trap its waiting parent
+/// deterministically instead of leaving the slot stuck in `Running`
+/// and the parent deadlocked in `wait_idle` forever.
+#[test]
+fn fabricated_destroyed_return_traps_parent_not_deadlock() {
+    let out = with_watchdog(|| {
+        kernel().run(|ctx| {
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::native(|_| Err(KernelError::Destroyed)))
+                    .start(),
+            )?;
+            let r = ctx.get(0, GetSpec::new())?;
+            match r.stop {
+                StopReason::Trap(TrapKind::Fault(_)) => Ok(0),
+                other => panic!("expected fault trap, got {other:?}"),
+            }
+        })
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.traps, 1);
+}
+
+/// A child that panics mid-rendezvous-protocol (after a successful
+/// `Ret` round trip) must surface as a trap at the parent's next
+/// rendezvous, never as a hang.
+#[test]
+fn panicking_child_mid_rendezvous_traps_parent() {
+    let out = with_watchdog(|| {
+        kernel().run(|ctx| {
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::native(|c| {
+                        c.ret(1)?;
+                        panic!("child dies between rendezvous");
+                    }))
+                    .start(),
+            )?;
+            let r = ctx.get(0, GetSpec::new())?;
+            assert_eq!((r.stop, r.code), (StopReason::Ret, 1));
+            ctx.put(0, PutSpec::new().start())?;
+            let r = ctx.get(0, GetSpec::new())?;
+            assert_eq!(r.stop, StopReason::Trap(TrapKind::Panic));
+            Ok(0)
+        })
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+/// A native program's trap is terminal (the closure has unwound;
+/// there is no vehicle left to resume): `Start` must fail cleanly
+/// instead of marking the slot `Running` with nobody to wake — which
+/// would deadlock the next `wait_idle`.
+#[test]
+fn resume_after_terminal_native_trap_fails_cleanly() {
+    let out = with_watchdog(|| {
+        kernel().run(|ctx| {
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::native(|_| panic!("boom")))
+                    .start(),
+            )?;
+            let r = ctx.get(0, GetSpec::new())?;
+            assert_eq!(r.stop, StopReason::Trap(TrapKind::Panic));
+            match ctx.put(0, PutSpec::new().start()) {
+                Err(KernelError::NoProgram) => {}
+                other => panic!("expected NoProgram, got {other:?}"),
+            }
+            // The slot is reusable with a fresh program.
+            ctx.put(
+                0,
+                PutSpec::new().program(Program::native(|_| Ok(5))).start(),
+            )?;
+            let r = ctx.get(0, GetSpec::new())?;
+            assert_eq!((r.stop, r.code), (StopReason::Halted, 5));
+            Ok(0)
+        })
+    });
+    assert_eq!(out.exit, Ok(0));
+}
+
+/// Shutdown must join draining vehicles *before* collecting counters:
+/// a threaded VM child left unjoined at root exit still retires its
+/// whole program, and the outcome must include every instruction —
+/// exactly as many as a fully joined run retires.
+#[test]
+fn shutdown_collects_draining_thread_counters() {
+    let image = det_vm::assemble(
+        "
+        ldi r2, 0
+        li  r6, 500
+    loop:
+        addi r2, r2, 1
+        blt r2, r6, loop
+        halt
+        ",
+    )
+    .unwrap();
+    let run = |join: bool| {
+        let image = image.clone();
+        Kernel::new(KernelConfig {
+            vm_dispatch: VmDispatch::Threaded,
+            ..Default::default()
+        })
+        .run(move |ctx| {
+            ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+            ctx.mem_mut().write(0, &image.bytes)?;
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::Vm)
+                    .copy(CopySpec::mirror(Region::new(0, 0x1000)))
+                    .regs(Regs::at_entry(0))
+                    .start(),
+            )?;
+            if join {
+                ctx.get(0, GetSpec::new())?;
+            }
+            Ok(0)
+        })
+    };
+    let joined = run(true);
+    let drained = run(false);
+    assert!(joined.stats.vm_instructions > 500);
+    assert_eq!(
+        drained.stats.vm_instructions, joined.stats.vm_instructions,
+        "draining thread's retired instructions were dropped from the outcome"
+    );
+}
+
+/// The targeted-wakeup lock-in: every park/resume/final check-in
+/// issues exactly one condvar notify aimed at its one known waiter,
+/// so the total is an exact deterministic function of the rendezvous
+/// history — and, critically, *independent of how many other spaces
+/// sit parked*. A broadcast engine (the old `notify_all` herd) cannot
+/// reproduce these counts.
+#[test]
+fn targeted_wakeups_exact_and_independent_of_parked_population() {
+    const R: u64 = 50; // Roundtrips on the active child.
+    let run = |bystanders: u64| {
+        kernel().run(move |ctx| {
+            // Park `bystanders` children at a Ret rendezvous.
+            for b in 0..bystanders {
+                ctx.put(
+                    b,
+                    PutSpec::new()
+                        .program(Program::native(|c| {
+                            c.ret(0)?;
+                            Ok(0)
+                        }))
+                        .start(),
+                )?;
+                ctx.get(b, GetSpec::new())?;
+            }
+            // Drive R rendezvous roundtrips on one more child.
+            ctx.put(
+                100,
+                PutSpec::new()
+                    .program(Program::native(|c| {
+                        for _ in 0..R {
+                            c.ret(0)?;
+                        }
+                        Ok(0)
+                    }))
+                    .start(),
+            )?;
+            for _ in 0..R {
+                ctx.get(100, GetSpec::new())?;
+                ctx.put(100, PutSpec::new().start())?;
+            }
+            ctx.get(100, GetSpec::new())?;
+            Ok(0)
+        })
+    };
+    // Per roundtrip: one park notify + one resume notify. Plus one
+    // park notify per bystander and one final check-in notify for the
+    // active child's halt.
+    let expect = |b: u64| 2 * R + b + 1;
+    for b in [0u64, 6] {
+        let out = run(b);
+        assert_eq!(out.exit, Ok(0));
+        assert_eq!(
+            out.stats.condvar_wakeups,
+            expect(b),
+            "wakeups for {b} parked bystanders"
+        );
+        // Deterministic: an identical rerun reproduces the count.
+        assert_eq!(run(b).stats.condvar_wakeups, expect(b));
+    }
+}
+
+/// Inline VM dispatch: a leaf VM space is executed by the waiting
+/// parent, so its rendezvous issues no condvar traffic and spawns no
+/// vehicle at all.
+#[test]
+fn vm_inline_rendezvous_issues_no_wakeups() {
+    let image = det_vm::assemble(
+        "
+    loop:
+        sys 0
+        beq r0, r0, loop
+        ",
+    )
+    .unwrap();
+    let out = kernel().run(move |ctx| {
+        ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+        ctx.mem_mut().write(0, &image.bytes)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::Vm)
+                .copy(CopySpec::mirror(Region::new(0, 0x1000)))
+                .regs(Regs::at_entry(0))
+                .start(),
+        )?;
+        for _ in 0..40 {
+            let r = ctx.get(0, GetSpec::new())?;
+            assert_eq!(r.stop, StopReason::Ret);
+            ctx.put(0, PutSpec::new().start())?;
+        }
+        ctx.get(0, GetSpec::new())?;
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(
+        out.stats.condvar_wakeups, 0,
+        "inline rendezvous must not touch condvars"
+    );
+    assert_eq!(
+        out.stats.threads_spawned, 0,
+        "leaf VM spaces need no vehicle"
+    );
+    assert!(out.stats.vm_inline_runs > 40);
+    assert_eq!(out.stats.rets, 41);
+}
+
+/// Installing a program over a child parked at a *resumable* trap is
+/// `ChildActive` under every dispatch mode alike — the live program
+/// (a parked thread, or an inline VM state) must not be replaced out
+/// from under a possible resume.
+#[test]
+fn program_replacement_over_resumable_trap_is_child_active_in_both_modes() {
+    let image = det_vm::assemble(
+        "
+        ldi r1, 1
+        ldi r2, 0
+        div r3, r1, r2
+        halt
+        ",
+    )
+    .unwrap();
+    for dispatch in [VmDispatch::Inline, VmDispatch::Threaded] {
+        let image = image.clone();
+        let out = Kernel::new(KernelConfig {
+            vm_dispatch: dispatch,
+            ..Default::default()
+        })
+        .run(move |ctx| {
+            ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+            ctx.mem_mut().write(0, &image.bytes)?;
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::Vm)
+                    .copy(CopySpec::mirror(Region::new(0, 0x1000)))
+                    .regs(Regs::at_entry(0))
+                    .start(),
+            )?;
+            let r = ctx.get(0, GetSpec::new())?;
+            assert_eq!(r.stop, StopReason::Trap(TrapKind::DivideByZero));
+            match ctx.put(0, PutSpec::new().program(Program::Vm)) {
+                Err(KernelError::ChildActive) => Ok(0),
+                other => panic!("expected ChildActive under {dispatch:?}, got {other:?}"),
+            }
+        });
+        assert_eq!(out.exit, Ok(0), "{dispatch:?}");
+    }
+}
+
+/// Inline and threaded VM dispatch are observationally identical:
+/// same results, same deterministic counters, same virtual time.
+#[test]
+fn vm_dispatch_modes_agree() {
+    let image = det_vm::assemble(
+        "
+        ldi r1, 0
+        li  r5, 0x2000
+    loop:
+        addi r1, r1, 1
+        std r1, [r5+0]
+        sys 0
+        li  r6, 5
+        blt r1, r6, loop
+        halt
+        ",
+    )
+    .unwrap();
+    let run = |dispatch: VmDispatch| {
+        let image = image.clone();
+        let out = Kernel::new(KernelConfig {
+            vm_dispatch: dispatch,
+            ..Default::default()
+        })
+        .run(move |ctx| {
+            ctx.mem_mut().map_zero(Region::new(0, 0x3000), Perm::RW)?;
+            ctx.mem_mut().write(0, &image.bytes)?;
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::Vm)
+                    .copy(CopySpec::mirror(Region::new(0, 0x3000)))
+                    .regs(Regs::at_entry(0))
+                    .start(),
+            )?;
+            loop {
+                let r = ctx.get(
+                    0,
+                    GetSpec::new().copy(CopySpec {
+                        src: Region::new(0x2000, 0x3000),
+                        dst: 0x8000,
+                    }),
+                )?;
+                match r.stop {
+                    StopReason::Ret => ctx.put(0, PutSpec::new().start())?,
+                    StopReason::Halted => break,
+                    other => panic!("unexpected stop {other:?}"),
+                };
+            }
+            Ok(ctx.mem().content_digest().value() as i32)
+        });
+        (
+            out.exit,
+            out.vclock_ns,
+            out.stats.vm_instructions,
+            out.stats.rets,
+            out.stats.puts,
+            out.stats.gets,
+        )
+    };
+    assert_eq!(run(VmDispatch::Inline), run(VmDispatch::Threaded));
+}
+
+/// The fused `PutGet` exchange: applies the Put at the current stop,
+/// restarts the child, and collects its *next* stop in one kernel
+/// entry.
+#[test]
+fn put_get_exchange_resumes_and_collects_next_stop() {
+    let out = kernel().run(|ctx| {
+        // Without Start the exchange has no next stop to collect.
+        match ctx.put_get(0, PutSpec::new(), GetSpec::new()) {
+            Err(KernelError::InvalidSpec(_)) => {}
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    for i in 1..=3u64 {
+                        c.ret(i)?;
+                    }
+                    Ok(9)
+                }))
+                .start(),
+        )?;
+        let r = ctx.get(0, GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Ret, 1));
+        let r = ctx.put_get(0, PutSpec::new().start(), GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Ret, 2));
+        let r = ctx.put_get(0, PutSpec::new().start(), GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Ret, 3));
+        let r = ctx.put_get(0, PutSpec::new().start(), GetSpec::new())?;
+        assert_eq!((r.stop, r.code), (StopReason::Halted, 9));
+        // Nothing left to resume.
+        match ctx.put_get(0, PutSpec::new().start(), GetSpec::new()) {
+            Err(KernelError::NoProgram) => {}
+            other => panic!("expected NoProgram, got {other:?}"),
+        }
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    // Counted at kernel entry, like puts/gets: 3 successful exchanges
+    // plus the final NoProgram attempt.
+    assert_eq!(out.stats.put_gets, 4);
+    assert_eq!(out.stats.puts, 1);
+    assert_eq!(out.stats.gets, 1);
+    assert_eq!(out.stats.rets, 3);
+}
+
+/// `PutGet` carries the full option set through both rendezvous: the
+/// Put stages state into the child, the Get merges the child's writes
+/// out of its next stop.
+#[test]
+fn put_get_stages_and_merges_like_split_calls() {
+    let out = kernel().run(|ctx| {
+        setup_root(ctx)?;
+        ctx.put(
+            0,
+            PutSpec::new()
+                .program(Program::native(|c| {
+                    // Round 1: publish what we inherited, then stop.
+                    let seen = c.mem().read_u64(0x1000)?;
+                    c.mem_mut().write_u64(0x2000, seen)?;
+                    c.ret(0)?;
+                    // Round 2 (after the parent's PutGet restaged us):
+                    let seen = c.mem().read_u64(0x1000)?;
+                    c.mem_mut().write_u64(0x2008, seen)?;
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(R))
+                .snap()
+                .start(),
+        )?;
+        ctx.get(0, GetSpec::new().merge(R))?;
+        assert_eq!(ctx.mem().read_u64(0x2000)?, 0xAAAA);
+        // Re-stage a changed input and collect the next round's merge
+        // in one exchange.
+        ctx.mem_mut().write_u64(0x1000, 0xBBBB)?;
+        let r = ctx.put_get(
+            0,
+            PutSpec::new().copy(CopySpec::mirror(R)).snap().start(),
+            GetSpec::new().merge(R),
+        )?;
+        assert_eq!(r.stop, StopReason::Halted);
+        assert!(r.merge.is_some());
+        assert_eq!(ctx.mem().read_u64(0x2008)?, 0xBBBB);
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    assert_eq!(out.stats.merges, 2);
 }
 
 #[test]

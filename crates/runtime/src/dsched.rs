@@ -147,26 +147,48 @@ impl<'c> DSched<'c> {
                     })
                     .collect());
             }
-            // Dispatch every runnable thread for one quantum; they run
-            // concurrently (real threads), synchronized only at the
-            // collection rendezvous below.
-            for &t in &runnable {
+            if let [t] = runnable[..] {
+                // One runnable thread (the common tail when everyone
+                // else is blocked on a mutex or condvar): its quantum
+                // dispatch and collection fuse into a single `PutGet`
+                // rendezvous — there is no concurrency to preserve.
                 let child = self.base_child + t;
-                // Install the master's current shared image + mailbox,
-                // snapshot, and hand out one quantum.
                 self.ctx
                     .put(child, PutSpec::new().copy(CopySpec::mirror(self.shared)))?;
-                self.ctx.put(
+                let r = self.ctx.put_get(
                     child,
                     PutSpec::new()
                         .copy(CopySpec::mirror(layout::dsched_mailbox_region()))
                         .snap()
                         .start_limited(self.quantum_ns),
+                    GetSpec::new()
+                        .regs()
+                        .merge(self.shared)
+                        .merge_policy(ConflictPolicy::ChildWins),
                 )?;
-            }
-            // Collect in deterministic (sorted) order.
-            for &t in &runnable {
-                self.collect_quantum(t)?;
+                self.collect_quantum_result(t, r)?;
+            } else {
+                // Dispatch every runnable thread for one quantum; they
+                // run concurrently (real threads), synchronized only
+                // at the collection rendezvous below.
+                for &t in &runnable {
+                    let child = self.base_child + t;
+                    // Install the master's current shared image +
+                    // mailbox, snapshot, and hand out one quantum.
+                    self.ctx
+                        .put(child, PutSpec::new().copy(CopySpec::mirror(self.shared)))?;
+                    self.ctx.put(
+                        child,
+                        PutSpec::new()
+                            .copy(CopySpec::mirror(layout::dsched_mailbox_region()))
+                            .snap()
+                            .start_limited(self.quantum_ns),
+                    )?;
+                }
+                // Collect in deterministic (sorted) order.
+                for &t in &runnable {
+                    self.collect_quantum(t)?;
+                }
             }
             // Quantum-boundary mutex stealing and handoff.
             self.process_transfers();
@@ -182,6 +204,13 @@ impl<'c> DSched<'c> {
                 .merge(self.shared)
                 .merge_policy(ConflictPolicy::ChildWins),
         )?;
+        self.collect_quantum_result(t, r)
+    }
+
+    /// Folds in an already-collected quantum result (shared-region
+    /// merge done by the caller's `Get` or fused `PutGet`).
+    fn collect_quantum_result(&mut self, t: u64, r: det_kernel::GetResult) -> Result<()> {
+        let child = self.base_child + t;
         // Also fold in the mailbox page (owner lock/unlock bits).
         self.ctx.get(
             child,

@@ -470,14 +470,14 @@ impl<'a> Proc<'a> {
             return Err(RtError::NoChild(pid.0));
         }
         let child_num = self.children[idx].child_num;
+        let collect = || {
+            GetSpec::new().copy(CopySpec {
+                src: layout::fs_image_region(),
+                dst: layout::FS_SCRATCH_BASE,
+            })
+        };
+        let mut r = self.ctx.get(child_num, collect())?;
         let status = loop {
-            let r = self.ctx.get(
-                child_num,
-                GetSpec::new().copy(CopySpec {
-                    src: layout::fs_image_region(),
-                    dst: layout::FS_SCRATCH_BASE,
-                }),
-            )?;
             match r.stop {
                 StopReason::Halted => {
                     self.reconcile_child_image()?;
@@ -498,18 +498,23 @@ impl<'a> Proc<'a> {
                         other if other >= RET_EXIT_BASE => {}
                         _ => {}
                     }
-                    // Hand the child its updated replica and resume.
+                    // Hand the child its updated replica, resume it,
+                    // and collect its next stop — one fused PutGet
+                    // rendezvous per I/O round trip (§4.3).
                     let image = self.fs.fork_image();
                     store_fs_image_raw(self.ctx, &image, layout::FS_IMAGE_BASE)?;
-                    self.ctx.put(
+                    r = self.ctx.put_get(
                         child_num,
                         PutSpec::new()
                             .copy(CopySpec::mirror(layout::fs_image_region()))
                             .start(),
+                        collect(),
                     )?;
                 }
                 StopReason::LimitReached => {
-                    self.ctx.put(child_num, PutSpec::new().start())?;
+                    r = self
+                        .ctx
+                        .put_get(child_num, PutSpec::new().start(), collect())?;
                 }
                 StopReason::Unstarted => return Err(RtError::Invalid("child never started")),
             }

@@ -165,12 +165,49 @@ impl<'c> ThreadGroup<'c> {
             if live.is_empty() {
                 return Ok(done.into_iter().map(|d| d.expect("all halted")).collect());
             }
+            if live.len() == 1 {
+                // Sole live thread: a barrier over one member has no
+                // peers to wait for, so each remaining cycle (merge,
+                // redistribute, resume, wait) fuses into one `PutGet`
+                // rendezvous — the join tail of an uneven fork tree
+                // pays one kernel entry per stage instead of two.
+                let t = live[0];
+                let code = self.drive_solo(t)?;
+                let idx = ts.iter().position(|x| *x == t).expect("member");
+                done[idx] = Some(code);
+                continue;
+            }
             let statuses = self.barrier_cycle(&live)?;
             for (t, s) in live.iter().zip(statuses) {
                 if let Some(code) = s {
                     let idx = ts.iter().position(|x| x == t).expect("member");
                     done[idx] = Some(code);
                 }
+            }
+        }
+    }
+
+    /// Drives a single thread through its remaining barriers to
+    /// completion (the degenerate one-member barrier cycle), fusing
+    /// every resume→collect pair into one `PutGet` exchange.
+    fn drive_solo(&mut self, t: u64) -> Result<i32> {
+        let child = self.base_child + t;
+        let mut r = self.ctx.get(child, GetSpec::new().merge(self.region))?;
+        loop {
+            match r.stop {
+                StopReason::Halted => return Ok(r.code as i32),
+                StopReason::Ret if r.code == RET_BARRIER => {
+                    r = self.ctx.put_get(
+                        child,
+                        PutSpec::new()
+                            .copy(CopySpec::mirror(self.region))
+                            .snap()
+                            .start(),
+                        GetSpec::new().merge(self.region),
+                    )?;
+                }
+                StopReason::Trap(k) => return Err(RtError::ChildTrapped(k)),
+                _ => return Err(RtError::Invalid("thread in unexpected state at barrier")),
             }
         }
     }

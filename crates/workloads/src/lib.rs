@@ -57,6 +57,10 @@ pub fn baseline_costs() -> CostModel {
         syscall_ps: 300_000,
         spawn_ps: 15_000_000,
         resume_ps: 1_000_000,
+        // Conventional threads block and wake through the same
+        // scheduler dispatch `resume_ps` models; no separate
+        // rendezvous park is charged.
+        rendezvous_ps: 0,
         page_map_ps: 0,
         space_clone_ps: 0,
         page_scan_ps: 0,

@@ -198,6 +198,98 @@ fn n_way_join_order_digest_invariant() {
     }
 }
 
+/// Rendezvous storm under chaotic host load: N children each driven
+/// through many park/resume roundtrips (the targeted-wakeup engine's
+/// hot path, including the fused `PutGet` exchange) while background
+/// host threads thrash the scheduler. The parent's final digest,
+/// virtual clock, and rendezvous counters must be bit-identical run
+/// to run — a lost or misdirected wakeup would hang (watchdogged by
+/// the suite timeout) and a stat race would diverge the counters.
+#[test]
+fn rendezvous_storm_digest_invariant_under_chaos() {
+    use determinator::kernel::{Perm, StopReason};
+    let region = Region::new(0x1000, 0x5000);
+    let run = |chaos: bool| {
+        // Background load perturbing the host scheduler.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let chaos_threads: Vec<_> = if chaos {
+            (0..3)
+                .map(|_| {
+                    let stop = std::sync::Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let out = Kernel::new(KernelConfig::default()).run(move |ctx| {
+            ctx.mem_mut().map_zero(region, Perm::RW)?;
+            const N: u64 = 6;
+            const ROUNDS: u64 = 20;
+            for i in 0..N {
+                ctx.put(
+                    i,
+                    PutSpec::new()
+                        .program(Program::native(move |c| {
+                            for round in 0..ROUNDS {
+                                c.mem_mut().write_u64(0x2000 + i * 8, round * N + i)?;
+                                c.ret(round)?;
+                            }
+                            Ok(i as i32)
+                        }))
+                        .copy(CopySpec::mirror(region))
+                        .snap()
+                        .start(),
+                )?;
+            }
+            // Drive every child through every round with the fused
+            // exchange, merging its writes and restaging the region.
+            for round in 0..ROUNDS {
+                for i in 0..N {
+                    let r = if round == 0 {
+                        ctx.get(i, GetSpec::new().merge(region))?
+                    } else {
+                        ctx.put_get(
+                            i,
+                            PutSpec::new().copy(CopySpec::mirror(region)).snap().start(),
+                            GetSpec::new().merge(region),
+                        )?
+                    };
+                    assert_eq!(r.stop, StopReason::Ret);
+                }
+            }
+            for i in 0..N {
+                let r = ctx.put_get(
+                    i,
+                    PutSpec::new().copy(CopySpec::mirror(region)).snap().start(),
+                    GetSpec::new().merge(region),
+                )?;
+                assert_eq!((r.stop, r.code), (StopReason::Halted, i));
+            }
+            Ok(ctx.mem().content_digest().value() as i32)
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for t in chaos_threads {
+            let _ = t.join();
+        }
+        (
+            out.exit.expect("storm must not trap"),
+            out.vclock_ns,
+            out.stats.rets,
+            out.stats.put_gets,
+            out.stats.merges,
+        )
+    };
+    let quiet = run(false);
+    let loud = run(true);
+    assert_eq!(quiet, loud, "host load changed an observable outcome");
+}
+
 /// Host-schedule independence at the workload level: sleeping threads
 /// at random points must not change anything observable.
 #[test]
