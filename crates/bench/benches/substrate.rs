@@ -318,10 +318,11 @@ fn bench_syscall_rendezvous(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let image = image.clone();
                 let start = std::time::Instant::now();
-                Kernel::new(KernelConfig {
-                    vm_dispatch: VmDispatch::Threaded,
-                    ..Default::default()
-                })
+                Kernel::new(
+                    KernelConfig::builder()
+                        .vm_dispatch(VmDispatch::Threaded)
+                        .build(),
+                )
                 .run(move |ctx| {
                     vm_child(&image, ctx)?;
                     for _ in 0..iters {

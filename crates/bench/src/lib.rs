@@ -721,49 +721,46 @@ pub fn rendezvous_table(scale: Scale) -> Table {
             _ => VmDispatch::Inline,
         };
         let t0 = std::time::Instant::now();
-        let out = Kernel::new(KernelConfig {
-            vm_dispatch: dispatch,
-            ..Default::default()
-        })
-        .run(move |ctx| {
-            if p == Pattern::NativeThreaded {
-                ctx.put(
-                    0,
-                    PutSpec::new()
-                        .program(Program::native(move |cc| {
-                            for _ in 0..rounds {
-                                cc.ret(0)?;
-                            }
-                            Ok(0)
-                        }))
-                        .start(),
-                )?;
-            } else {
-                ctx.mem_mut().map_zero(code, Perm::RW)?;
-                ctx.mem_mut().write(0, &image.bytes)?;
-                ctx.put(
-                    0,
-                    PutSpec::new()
-                        .program(Program::Vm)
-                        .copy(CopySpec::mirror(code))
-                        .regs(Regs::at_entry(0))
-                        .start(),
-                )?;
-            }
-            if p == Pattern::VmInlineFused {
-                ctx.get(0, GetSpec::new())?;
-                for _ in 0..rounds {
-                    ctx.put_get(0, PutSpec::new().start(), GetSpec::new())?;
+        let out =
+            Kernel::new(KernelConfig::builder().vm_dispatch(dispatch).build()).run(move |ctx| {
+                if p == Pattern::NativeThreaded {
+                    ctx.put(
+                        0,
+                        PutSpec::new()
+                            .program(Program::native(move |cc| {
+                                for _ in 0..rounds {
+                                    cc.ret(0)?;
+                                }
+                                Ok(0)
+                            }))
+                            .start(),
+                    )?;
+                } else {
+                    ctx.mem_mut().map_zero(code, Perm::RW)?;
+                    ctx.mem_mut().write(0, &image.bytes)?;
+                    ctx.put(
+                        0,
+                        PutSpec::new()
+                            .program(Program::Vm)
+                            .copy(CopySpec::mirror(code))
+                            .regs(Regs::at_entry(0))
+                            .start(),
+                    )?;
                 }
-            } else {
-                for _ in 0..rounds {
+                if p == Pattern::VmInlineFused {
                     ctx.get(0, GetSpec::new())?;
-                    ctx.put(0, PutSpec::new().start())?;
+                    for _ in 0..rounds {
+                        ctx.put_get(0, PutSpec::new().start(), GetSpec::new())?;
+                    }
+                } else {
+                    for _ in 0..rounds {
+                        ctx.get(0, GetSpec::new())?;
+                        ctx.put(0, PutSpec::new().start())?;
+                    }
+                    ctx.get(0, GetSpec::new())?;
                 }
-                ctx.get(0, GetSpec::new())?;
-            }
-            Ok(0)
-        });
+                Ok(0)
+            });
         let host_ns = t0.elapsed().as_nanos() as f64 / rounds as f64;
         (host_ns, out)
     };

@@ -20,11 +20,17 @@ use parking_lot::MutexGuard;
 use det_memory::{AddressSpace, Region};
 use det_vm::Regs;
 
+use crate::apply::InstallAction;
+use crate::apply::{
+    EntryRec, MemOpCounts, PutRec, TraceEvent, VmCounters, charge, copy_op, install_action,
+    merge_op, perm_op, snap_op, start_charge_ps, zero_op,
+};
 use crate::cost::{ns_to_ps, ps_to_ns};
 use crate::device::DeviceId;
-use crate::error::{KernelError, Result};
+use crate::error::{KernelError, Result, TrapKind};
 use crate::ids::{ChildNum, SpaceId, node_field};
-use crate::kernel::{ChildRef, RunState, Shared, Slot, SlotCell, SpaceState};
+use crate::kernel::{ChildRef, RunState, Shared, Slot, SlotCell, SpaceState, TraceCtx};
+use crate::state::observe_stop;
 use crate::syscall::{GetResult, GetSpec, PutResult, PutSpec, StopReason};
 
 use std::sync::atomic::Ordering::Relaxed;
@@ -36,6 +42,9 @@ pub struct SpaceCtx {
     /// This space's own slot cell.
     cell: Arc<SlotCell>,
     st: Option<Box<SpaceState>>,
+    /// Trace cursor when recording: resynced at the end of every
+    /// traced syscall and after every park-resume.
+    trace: Option<TraceCtx>,
     destroyed: bool,
 }
 
@@ -46,17 +55,54 @@ impl SpaceCtx {
         cell: Arc<SlotCell>,
         st: Box<SpaceState>,
     ) -> SpaceCtx {
+        let trace = shared.trace.as_ref().map(|_| TraceCtx::new(&st));
         SpaceCtx {
             shared,
             id,
             cell,
             st: Some(st),
+            trace,
             destroyed: false,
         }
     }
 
     pub(crate) fn into_state(self) -> Option<Box<SpaceState>> {
         self.st
+    }
+
+    /// Splits the context into its final state and its trace cursor
+    /// (for the vehicle's final check-in event).
+    pub(crate) fn into_parts(self) -> (Option<Box<SpaceState>>, Option<TraceCtx>) {
+        (self.st, self.trace)
+    }
+
+    /// The caller-side syscall-entry record: everything that happened
+    /// to this space since the last sync point. `None` when not
+    /// recording.
+    fn trace_entry(&self) -> Option<EntryRec> {
+        let tr = self.trace.as_ref()?;
+        Some(tr.entry(self.st.as_deref()?))
+    }
+
+    /// Re-bases the trace cursor on the space's current image, ending
+    /// the recorded syscall (its effects are re-derived by replay, not
+    /// carried by the next delta).
+    fn trace_resync(&mut self) {
+        if let (Some(tr), Some(st)) = (self.trace.as_mut(), self.st.as_deref()) {
+            tr.resync(st);
+        }
+    }
+
+    /// Records the root program's exit (called by `Kernel::run` before
+    /// the state is taken for shutdown).
+    pub(crate) fn record_exit(&mut self, exit: std::result::Result<i32, TrapKind>) {
+        if let (Some(entry), Some(st)) = (self.trace_entry(), self.st.as_deref()) {
+            self.shared.trace_push(Some(TraceEvent::RootExit {
+                entry,
+                regs: st.regs,
+                exit,
+            }));
+        }
     }
 
     /// True if the *kernel* destroyed this space (shutdown teardown or
@@ -143,14 +189,8 @@ impl SpaceCtx {
             self.destroyed = true;
             return Err(KernelError::Destroyed);
         }
-        let st = self.st_mut();
-        st.vclock_ps = st.vclock_ps.saturating_add(ps);
-        if let Some(limit) = st.limit_ps {
-            if ps >= limit {
-                st.limit_ps = None;
-                return self.park(StopReason::LimitReached);
-            }
-            st.limit_ps = Some(limit - ps);
+        if charge(self.st_mut(), ps) {
+            return self.park(StopReason::LimitReached);
         }
         Ok(())
     }
@@ -159,10 +199,15 @@ impl SpaceCtx {
     /// restarts it.
     fn park(&mut self, reason: StopReason) -> Result<()> {
         let st = self.st.take().expect("parking requires live state");
+        let ev = self
+            .trace
+            .as_ref()
+            .map(|tr| tr.check_in(self.id, &st, reason, false, VmCounters::default()));
         let cell = Arc::clone(&self.cell);
-        match self.shared.park(&cell, st, reason) {
+        match self.shared.park(&cell, st, reason, ev) {
             Ok(st) => {
                 self.st = Some(st);
+                self.trace_resync();
                 Ok(())
             }
             Err(e) => {
@@ -239,9 +284,7 @@ impl SpaceCtx {
     /// takes the later of the two clocks. Returns the child's clock.
     fn sync_clocks(&mut self, g: &mut MutexGuard<'_, Slot>) -> u64 {
         let child_v = g.state.as_ref().expect("idle child has state").vclock_ps;
-        let st = self.st_mut();
-        st.vclock_ps = st.vclock_ps.max(child_v);
-        child_v
+        observe_stop(self.st_mut(), child_v)
     }
 
     /// Applies the `Put` options (everything but `Start`) to a stopped
@@ -251,106 +294,115 @@ impl SpaceCtx {
     fn apply_put_options<'a>(
         &mut self,
         cell: &'a Arc<SlotCell>,
-        mut g: MutexGuard<'a, Slot>,
+        g: MutexGuard<'a, Slot>,
         child_id: SpaceId,
         spec: PutSpec,
         was: StopReason,
+        tree_ids: &mut Vec<u32>,
     ) -> Result<(MutexGuard<'a, Slot>, bool)> {
-        if let Some(r) = spec.regs {
-            g.state.as_mut().expect("idle").regs = r;
-        }
+        let costs = self.shared.costs;
         let installed_program = spec.program.is_some();
-        if let Some(p) = spec.program {
-            match was {
-                StopReason::Unstarted => {}
-                StopReason::Halted | StopReason::Trap(_) => {
-                    // A resumable trap still has a live program (a
-                    // parked thread, or an inline VM state the parent
-                    // could restart): installing over it is installing
-                    // over a live child — identically in every
-                    // dispatch mode.
-                    if matches!(was, StopReason::Trap(_)) && !g.terminal {
-                        return Err(KernelError::ChildActive);
+        let mut counts = MemOpCounts::default();
+        // Option application is the pure core's (`copy_op` etc. are
+        // exactly what replay runs); this block only wires the core
+        // fns to the locked slot and the host-side vehicle reaping.
+        // On error the accumulated counts still fold into the hot
+        // stats below — each op's work happened.
+        let out: Result<MutexGuard<'a, Slot>> = 'opts: {
+            let mut g = g;
+            if let Some(r) = spec.regs {
+                g.state.as_mut().expect("idle").regs = r;
+            }
+            if let Some(p) = spec.program {
+                match install_action(was, g.terminal) {
+                    Ok(InstallAction::Fresh) => {}
+                    Ok(InstallAction::Replace) => {
+                        if let Some(h) = g.thread.take() {
+                            // The old program finished; reap its vehicle
+                            // so a fresh one can start (child-slot reuse).
+                            let _ = h.join();
+                        }
+                        // A fresh program gets a fresh CPU identity.
+                        g.cpu = None;
+                        g.inline_vm = false;
                     }
-                    if let Some(h) = g.thread.take() {
-                        // The old program finished; reap its vehicle
-                        // so a fresh one can start (child-slot reuse).
-                        let _ = h.join();
-                    }
-                    // A fresh program gets a fresh CPU identity.
-                    g.cpu = None;
-                    g.inline_vm = false;
+                    Err(e) => break 'opts Err(e),
                 }
-                _ => return Err(KernelError::ChildActive),
+                g.terminal = false;
+                g.pending = Some(p);
+                g.run = RunState::Idle(StopReason::Unstarted);
             }
-            g.terminal = false;
-            g.pending = Some(p);
-            g.run = RunState::Idle(StopReason::Unstarted);
-        }
-        let mut charge_after = 0u64;
-        if let Some(c) = spec.copy {
-            let src_mem = &self.st().mem;
-            let child_st = g.state.as_mut().expect("idle");
-            let cs = child_st.mem.copy_from_counted(src_mem, c.src, c.dst)?;
-            // Structural clone: whole leaves are shared in O(1) and
-            // charged per leaf; only range-boundary pages pay the
-            // per-page COW mapping cost.
-            self.shared.hot.pages_copied.fetch_add(cs.pages, Relaxed);
-            self.shared
-                .hot
-                .leaves_cloned
-                .fetch_add(cs.leaves_shared, Relaxed);
-            charge_after += self.shared.costs.copy_cost_ps(&cs);
-            if let Some(hooks) = self.shared.cluster.as_ref() {
-                hooks.on_copy(self.id, child_id, c.src.start >> 12, c.dst >> 12, cs.pages);
+            if let Some(c) = spec.copy {
+                let src = self.st.as_deref().expect("caller state present");
+                let child_st = g.state.as_mut().expect("idle");
+                match copy_op(&costs, src, child_st, c, &mut counts) {
+                    Ok(pages) => {
+                        if let Some(hooks) = self.shared.cluster.as_ref() {
+                            hooks.on_copy(self.id, child_id, c.src.start >> 12, c.dst >> 12, pages);
+                        }
+                    }
+                    Err(e) => break 'opts Err(e),
+                }
             }
-        }
-        if let Some(r) = spec.zero {
-            let child_st = g.state.as_mut().expect("idle");
-            child_st.mem.map_zero(r, det_memory::Perm::RW)?;
-            let pages = r.page_count();
-            self.shared.hot.pages_copied.fetch_add(pages, Relaxed);
-            charge_after += self.shared.costs.map_cost_ps(pages);
-        }
-        if let Some((r, p)) = spec.perm {
-            let child_st = g.state.as_mut().expect("idle");
-            child_st.mem.set_perm(r, p)?;
-        }
-        if let Some(src_child) = spec.tree_from {
-            let (src_id, src_cell) = self
-                .lookup_child(src_child)
-                .ok_or(KernelError::InvalidSpec("tree source child does not exist"))?;
-            if src_id == child_id {
-                return Err(KernelError::InvalidSpec("tree source equals destination"));
+            if let Some(r) = spec.zero {
+                let child_st = g.state.as_mut().expect("idle");
+                if let Err(e) = zero_op(&costs, child_st, r, true, &mut counts) {
+                    break 'opts Err(e);
+                }
             }
-            // A tree copy walks other slots; release this child's lock
-            // so slot locks are only ever taken one at a time.
-            drop(g);
-            clone_into(&self.shared, &src_cell, cell)?;
-            g = cell.m.lock();
-            if matches!(g.run, RunState::Destroyed) {
-                return Err(KernelError::Destroyed);
+            if let Some((r, p)) = spec.perm {
+                let child_st = g.state.as_mut().expect("idle");
+                if let Err(e) = perm_op(child_st, r, p) {
+                    break 'opts Err(e);
+                }
             }
-        }
-        if spec.snap {
-            let child_st = g.state.as_mut().expect("idle");
-            child_st.snap = Some(child_st.mem.snapshot());
-            // A snapshot clones only the root spine: charged per
-            // page-table leaf, not per mapped page (the O(touched)
-            // fork cost of PAPER.md §8).
-            let leaves = child_st.mem.leaf_count() as u64;
-            self.shared
-                .hot
-                .pages_snapped
-                .fetch_add(child_st.mem.page_count() as u64, Relaxed);
-            self.shared.hot.leaves_cloned.fetch_add(leaves, Relaxed);
-            charge_after += self.shared.costs.clone_cost_ps(leaves);
-        }
+            if let Some(src_child) = spec.tree_from {
+                let (src_id, src_cell) = match self.lookup_child(src_child) {
+                    Some(r) => r,
+                    None => {
+                        break 'opts Err(KernelError::InvalidSpec(
+                            "tree source child does not exist",
+                        ));
+                    }
+                };
+                if src_id == child_id {
+                    break 'opts Err(KernelError::InvalidSpec("tree source equals destination"));
+                }
+                // A tree copy walks other slots; release this child's lock
+                // so slot locks are only ever taken one at a time.
+                drop(g);
+                if let Err(e) = clone_into(&self.shared, &src_cell, cell, tree_ids) {
+                    break 'opts Err(e);
+                }
+                g = cell.m.lock();
+                if matches!(g.run, RunState::Destroyed) {
+                    break 'opts Err(KernelError::Destroyed);
+                }
+            }
+            if spec.snap {
+                let child_st = g.state.as_mut().expect("idle");
+                snap_op(&costs, child_st, &mut counts);
+            }
+            Ok(g)
+        };
+        self.shared
+            .hot
+            .pages_copied
+            .fetch_add(counts.pages_copied, Relaxed);
+        self.shared
+            .hot
+            .pages_snapped
+            .fetch_add(counts.pages_snapped, Relaxed);
+        self.shared
+            .hot
+            .leaves_cloned
+            .fetch_add(counts.leaves_cloned, Relaxed);
+        let g = out?;
         // Kernel work is charged to the caller; limits may preempt
         // only at the *next* kernel entry (we hold the child idle now).
         {
             let st = self.st_mut();
-            st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
+            st.vclock_ps = st.vclock_ps.saturating_add(counts.charge_ps);
         }
         Ok((g, installed_program))
     }
@@ -367,12 +419,7 @@ impl SpaceCtx {
     ) -> Result<()> {
         // Fresh program dispatch is a spawn (vehicle creation);
         // waking a parked space is a cheap resume.
-        let fresh = installed_program || was == StopReason::Unstarted;
-        let start_ps = if fresh {
-            self.shared.costs.spawn_ps
-        } else {
-            self.shared.costs.resume_ps
-        };
+        let start_ps = start_charge_ps(&self.shared.costs, installed_program, was);
         let st_v = {
             let st = self.st_mut();
             st.vclock_ps = st.vclock_ps.saturating_add(start_ps);
@@ -398,67 +445,82 @@ impl SpaceCtx {
         } else {
             None
         };
-        let mut charge_after = 0u64;
-        if let Some(c) = spec.copy {
-            // Copy child → parent: take the child's state out briefly
-            // so both sides can be borrowed.
-            let child_st = g.state.take().expect("idle child has state");
-            let res = self
-                .st_mut()
-                .mem
-                .copy_from_counted(&child_st.mem, c.src, c.dst);
-            g.state = Some(child_st);
-            let cs = res?;
-            self.shared.hot.pages_copied.fetch_add(cs.pages, Relaxed);
-            self.shared
-                .hot
-                .leaves_cloned
-                .fetch_add(cs.leaves_shared, Relaxed);
-            charge_after += self.shared.costs.copy_cost_ps(&cs);
-            if let Some(hooks) = self.shared.cluster.as_ref() {
-                hooks.on_copy(child_id, self.id, c.src.start >> 12, c.dst >> 12, cs.pages);
-            }
-        }
+        let costs = self.shared.costs;
+        let mut counts = MemOpCounts::default();
         let mut merge_stats = None;
-        if let Some(region) = spec.merge {
-            let child_st = g.state.take().expect("idle child has state");
-            let snap = match child_st.snap.as_ref() {
-                Some(s) => s,
-                None => {
-                    g.state = Some(child_st);
-                    return Err(KernelError::NoSnapshot);
+        let mut conflicted = false;
+        // Pure-core ops again; the child's state box is taken out
+        // around each two-sided op so both spaces can be borrowed.
+        let out: Result<()> = 'opts: {
+            if let Some(c) = spec.copy {
+                let child_st = g.state.take().expect("idle child has state");
+                let res = copy_op(&costs, &child_st, self.st_mut(), c, &mut counts);
+                g.state = Some(child_st);
+                match res {
+                    Ok(pages) => {
+                        if let Some(hooks) = self.shared.cluster.as_ref() {
+                            hooks.on_copy(child_id, self.id, c.src.start >> 12, c.dst >> 12, pages);
+                        }
+                    }
+                    Err(e) => break 'opts Err(e),
                 }
-            };
-            let policy = spec.merge_policy.unwrap_or(self.shared.policy);
-            let merged = self
-                .st_mut()
-                .mem
-                .try_merge_from(&child_st.mem, snap, region, policy);
-            g.state = Some(child_st);
-            let (stats, conflict) = merged?;
-            charge_after += self.shared.costs.merge_cost_ps(&stats);
-            self.shared.record_merge(&stats);
-            if let Some(c) = conflict {
-                self.shared.hot.conflicts.fetch_add(1, Relaxed);
-                let st = self.st_mut();
-                st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
-                return Err(KernelError::Conflict(c));
             }
-            merge_stats = Some(stats);
+            if let Some(region) = spec.merge {
+                let child_st = g.state.take().expect("idle child has state");
+                let res = merge_op(
+                    &costs,
+                    self.shared.policy,
+                    self.st_mut(),
+                    &child_st,
+                    region,
+                    spec.merge_policy,
+                    &mut counts,
+                );
+                g.state = Some(child_st);
+                match res {
+                    Err(e) => break 'opts Err(e),
+                    Ok((stats, conflict)) => {
+                        self.shared.record_merge(&stats);
+                        if let Some(c) = conflict {
+                            conflicted = true;
+                            break 'opts Err(KernelError::Conflict(c));
+                        }
+                        merge_stats = Some(stats);
+                    }
+                }
+            }
+            if let Some(r) = spec.zero {
+                let child_st = g.state.as_mut().expect("idle");
+                if let Err(e) = zero_op(&costs, child_st, r, false, &mut counts) {
+                    break 'opts Err(e);
+                }
+            }
+            if let Some((r, p)) = spec.perm {
+                let child_st = g.state.as_mut().expect("idle");
+                if let Err(e) = perm_op(child_st, r, p) {
+                    break 'opts Err(e);
+                }
+            }
+            Ok(())
+        };
+        self.shared
+            .hot
+            .pages_copied
+            .fetch_add(counts.pages_copied, Relaxed);
+        self.shared
+            .hot
+            .leaves_cloned
+            .fetch_add(counts.leaves_cloned, Relaxed);
+        if conflicted {
+            self.shared.hot.conflicts.fetch_add(1, Relaxed);
         }
-        if let Some(r) = spec.zero {
-            let child_st = g.state.as_mut().expect("idle");
-            child_st.mem.map_zero(r, det_memory::Perm::RW)?;
-            charge_after += self.shared.costs.map_cost_ps(r.page_count());
-        }
-        if let Some((r, p)) = spec.perm {
-            let child_st = g.state.as_mut().expect("idle");
-            child_st.mem.set_perm(r, p)?;
-        }
-        {
+        // The caller pays for the work on success — and on a conflict
+        // (the merge scan happened; the caller observed its result).
+        if out.is_ok() || conflicted {
             let st = self.st_mut();
-            st.vclock_ps = st.vclock_ps.saturating_add(charge_after);
+            st.vclock_ps = st.vclock_ps.saturating_add(counts.charge_ps);
         }
+        out?;
         Ok(GetResult {
             stop,
             code,
@@ -476,6 +538,8 @@ impl SpaceCtx {
     pub fn put(&mut self, child: ChildNum, spec: PutSpec) -> Result<PutResult> {
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.route(child)?;
+        let entry = self.trace_entry();
+        let rec = entry.as_ref().map(|_| PutRec::of(&spec));
         self.shared.hot.puts.fetch_add(1, Relaxed);
         let (child_id, cell) = self.ensure_child(child);
         let shared = Arc::clone(&self.shared);
@@ -484,11 +548,51 @@ impl SpaceCtx {
         self.sync_clocks(&mut g);
         self.rendezvous_hook(&mut g, child_id);
         let start = spec.start;
-        let (mut g, installed_program) = self.apply_put_options(&cell, g, child_id, spec, was)?;
-        if let Some(s) = start {
-            self.apply_start(&mut g, &cell, child_id, s.limit_ns, installed_program, was)?;
-        }
-        Ok(PutResult { child_was: was })
+        let mut tree_ids = Vec::new();
+        // The Put event is recorded whether the options succeed or
+        // fail — replay re-derives the same recorded error from the
+        // same state (and, like the live path, swallows it).
+        let caller = self.id.index();
+        let put_event = move |tree_ids: Vec<u32>| {
+            entry.zip(rec).map(|(entry, put)| TraceEvent::Put {
+                caller,
+                child,
+                child_id: child_id.index(),
+                fused: false,
+                entry,
+                put,
+                tree_new_ids: tree_ids,
+            })
+        };
+        let res = match self.apply_put_options(&cell, g, child_id, spec, was, &mut tree_ids) {
+            Ok((mut g, installed_program)) => {
+                let started = match start {
+                    Some(s) => self.apply_start(
+                        &mut g,
+                        &cell,
+                        child_id,
+                        s.limit_ns,
+                        installed_program,
+                        was,
+                    ),
+                    None => Ok(()),
+                };
+                // Pushed while the child's guard is held: linearized
+                // against the started child's own first check-in.
+                self.shared.trace_push(put_event(tree_ids));
+                drop(g);
+                self.trace_resync();
+                started.map(|()| PutResult { child_was: was })
+            }
+            Err(e) => {
+                // Guard already released; safe — the child is stopped
+                // and cannot emit events until this caller restarts it.
+                self.shared.trace_push(put_event(tree_ids));
+                self.trace_resync();
+                Err(e)
+            }
+        };
+        res
     }
 
     /// The `Get` system call: synchronize with a child and copy or
@@ -500,6 +604,7 @@ impl SpaceCtx {
     pub fn get(&mut self, child: ChildNum, spec: GetSpec) -> Result<GetResult> {
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.route(child)?;
+        let entry = self.trace_entry();
         self.shared.hot.gets.fetch_add(1, Relaxed);
         let (child_id, cell) = self.ensure_child(child);
         let shared = Arc::clone(&self.shared);
@@ -507,7 +612,22 @@ impl SpaceCtx {
         let (mut g, stop) = shared.wait_idle(&cell, child_id, g)?;
         let child_v = self.sync_clocks(&mut g);
         self.rendezvous_hook(&mut g, child_id);
-        self.apply_get_options(&mut g, child_id, &spec, stop, child_v)
+        let res = self.apply_get_options(&mut g, child_id, &spec, stop, child_v);
+        // Recorded on success and failure alike (replay re-derives the
+        // same error), while the child's guard is held.
+        if let Some(entry) = entry {
+            self.shared.trace_push(Some(TraceEvent::Get {
+                caller: self.id.index(),
+                child,
+                child_id: child_id.index(),
+                fused: false,
+                entry: Some(entry),
+                get: spec,
+            }));
+        }
+        drop(g);
+        self.trace_resync();
+        res
     }
 
     /// The fused `PutGet` exchange: applies `put` to the child at its
@@ -527,6 +647,8 @@ impl SpaceCtx {
         }
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.route(child)?;
+        let entry = self.trace_entry();
+        let rec = entry.as_ref().map(|_| PutRec::of(&put));
         self.shared.hot.put_gets.fetch_add(1, Relaxed);
         let (child_id, cell) = self.ensure_child(child);
         let shared = Arc::clone(&self.shared);
@@ -536,16 +658,60 @@ impl SpaceCtx {
         self.sync_clocks(&mut g);
         self.rendezvous_hook(&mut g, child_id);
         let start = put.start;
-        let (mut g, installed_program) = self.apply_put_options(&cell, g, child_id, put, was)?;
-        let s = start.expect("checked above");
-        self.apply_start(&mut g, &cell, child_id, s.limit_ns, installed_program, was)?;
+        let caller = self.id.index();
+        let mut tree_ids = Vec::new();
+        let put_event = move |tree_ids: Vec<u32>| {
+            entry.zip(rec).map(|(entry, put)| TraceEvent::Put {
+                caller,
+                child,
+                child_id: child_id.index(),
+                fused: true,
+                entry,
+                put,
+                tree_new_ids: tree_ids,
+            })
+        };
+        let g = match self.apply_put_options(&cell, g, child_id, put, was, &mut tree_ids) {
+            Ok((mut g, installed_program)) => {
+                let s = start.expect("checked above");
+                let started =
+                    self.apply_start(&mut g, &cell, child_id, s.limit_ns, installed_program, was);
+                // Pushed before the second wait drives the child, so
+                // the child's next check-in follows it in the trace.
+                self.shared.trace_push(put_event(tree_ids));
+                if let Err(e) = started {
+                    drop(g);
+                    self.trace_resync();
+                    return Err(e);
+                }
+                g
+            }
+            Err(e) => {
+                self.shared.trace_push(put_event(tree_ids));
+                self.trace_resync();
+                return Err(e);
+            }
+        };
         // Second rendezvous: the child's next stop (for an inline VM
         // child this executes it right here, lock-step, with no
         // condvar traffic at all).
         let (mut g, stop) = shared.wait_idle(&cell, child_id, g)?;
         let child_v = self.sync_clocks(&mut g);
         self.rendezvous_hook(&mut g, child_id);
-        self.apply_get_options(&mut g, child_id, &get, stop, child_v)
+        let res = self.apply_get_options(&mut g, child_id, &get, stop, child_v);
+        if self.trace.is_some() {
+            self.shared.trace_push(Some(TraceEvent::Get {
+                caller,
+                child,
+                child_id: child_id.index(),
+                fused: true,
+                entry: None,
+                get,
+            }));
+        }
+        drop(g);
+        self.trace_resync();
+        res
     }
 
     /// The `Ret` system call: stop and wait for the parent (§3.2).
@@ -579,7 +745,16 @@ impl SpaceCtx {
         }
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.shared.hot.device_reads.fetch_add(1, Relaxed);
-        self.shared.devices.lock().read(dev)
+        let res = self.shared.devices.lock().read(dev);
+        if let Some(entry) = self.trace_entry() {
+            self.shared.trace_push(Some(TraceEvent::DevRead {
+                entry,
+                dev,
+                data: res.as_ref().ok().and_then(|d| d.clone()),
+            }));
+            self.trace_resync();
+        }
+        res
     }
 
     /// Writes output bytes to a device (root only).
@@ -593,6 +768,14 @@ impl SpaceCtx {
             .device_write_bytes
             .fetch_add(data.len() as u64, Relaxed);
         self.shared.devices.lock().write(dev, data);
+        if let Some(entry) = self.trace_entry() {
+            self.shared.trace_push(Some(TraceEvent::DevWrite {
+                entry,
+                dev,
+                data: data.to_vec(),
+            }));
+            self.trace_resync();
+        }
         Ok(())
     }
 }
@@ -603,7 +786,12 @@ impl SpaceCtx {
 /// can never deadlock against concurrent rendezvous; the children
 /// maps carry each child's cell, so the walk never touches the global
 /// space table except to append fresh slots.
-fn clone_into(shared: &Arc<Shared>, src: &SlotCell, dst: &Arc<SlotCell>) -> Result<()> {
+fn clone_into(
+    shared: &Arc<Shared>,
+    src: &SlotCell,
+    dst: &Arc<SlotCell>,
+    new_ids: &mut Vec<u32>,
+) -> Result<()> {
     let (img, kids) = {
         let g = src.m.lock();
         let st = g.state.as_ref().ok_or(KernelError::ChildActive)?;
@@ -618,7 +806,9 @@ fn clone_into(shared: &Arc<Shared>, src: &SlotCell, dst: &Arc<SlotCell>) -> Resu
         g.run = RunState::Idle(StopReason::Unstarted);
     }
     for (num, (_, kid_src)) in kids {
-        // Create a matching child under dst and recurse.
+        // Create a matching child under dst and recurse. The created
+        // ids are recorded in pre-order — even on an error part-way —
+        // so trace replay can mint the identical tree.
         let node = kid_src
             .m
             .lock()
@@ -627,11 +817,12 @@ fn clone_into(shared: &Arc<Shared>, src: &SlotCell, dst: &Arc<SlotCell>) -> Resu
             .map(|s| s.home_node)
             .unwrap_or(0);
         let (kid_id, kid_dst) = shared.new_slot(node);
+        new_ids.push(kid_id.index());
         dst.m
             .lock()
             .children
             .insert(num, (kid_id, Arc::clone(&kid_dst)));
-        clone_into(shared, &kid_src, &kid_dst)?;
+        clone_into(shared, &kid_src, &kid_dst, new_ids)?;
     }
     Ok(())
 }

@@ -10,6 +10,7 @@ use det_vm::VmTrap;
 /// merge time are traps too: "a programming error, like an illegal
 /// memory access or divide-by-zero".
 #[derive(Clone, Copy, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum TrapKind {
     /// Memory fault (unmapped address or permission violation).
     Mem(MemError),
@@ -54,6 +55,7 @@ impl std::fmt::Display for TrapKind {
 
 /// Errors returned by kernel operations to the invoking space.
 #[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum KernelError {
     /// A memory operation faulted.
     Mem(MemError),

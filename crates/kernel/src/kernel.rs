@@ -33,16 +33,19 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use det_memory::{AddressSpace, ConflictPolicy, MergeStats};
-use det_vm::{Cpu, Regs, VmExit};
+use det_vm::{Cpu, VmExit};
 
+use crate::apply::{EntryRec, StartAction, TraceEvent, VmCounters, stamp_start, start_action};
 use crate::cost::{CostModel, ps_to_ns};
 use crate::ctx::SpaceCtx;
 use crate::device::{DeviceHub, DeviceId, IoLog, IoMode};
 use crate::error::{KernelError, Result, TrapKind};
 use crate::ids::SpaceId;
 use crate::program::{NativeEntry, NativeResult, Program};
+use crate::state::{StopCounter, check_in_charge, final_reason, stop_counter};
 use crate::stats::KernelStats;
 use crate::syscall::StopReason;
+use crate::trace::{TraceMeta, TraceSink};
 
 /// Cross-node migration callbacks, implemented by `det-cluster`.
 ///
@@ -91,35 +94,15 @@ pub trait ClusterHooks: Send + Sync {
     }
 }
 
-/// How the kernel executes `Program::Vm` spaces.
-///
-/// VM spaces are always *leaves* of the space hierarchy (the VM ISA
-/// has no `Put`/`Get` surface), so their execution can be deferred to
-/// the one thread that will wait on them.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum VmDispatch {
-    /// Execute a VM space inline on the thread that waits for it.
-    /// A rendezvous then costs zero host context switches — the
-    /// default, and by far the fastest option on few-core hosts.
-    /// Virtual time is unaffected: each space's clock is a pure
-    /// function of its own work, and rendezvous still takes the max.
-    ///
-    /// Execution is lazy: a started child that *nobody ever waits on*
-    /// performs no work before shutdown. Its effects were
-    /// unobservable anyway — only a rendezvous can publish a child's
-    /// state — and how far such an abandoned child gets under
-    /// [`VmDispatch::Threaded`] was always host-timing-dependent;
-    /// only its host-side observability counters differ.
-    #[default]
-    Inline,
-    /// Give every VM space its own host thread (real wall-clock
-    /// parallelism for VM workloads on multicore hosts, at a
-    /// park/wake context-switch cost per rendezvous).
-    Threaded,
-}
+pub use crate::state::VmDispatch;
 
 /// Kernel construction parameters.
+///
+/// Construct via [`KernelConfig::builder`] (the struct is
+/// `#[non_exhaustive]`, so literal construction only works inside this
+/// crate); `KernelConfig::default()` remains the zero-config path.
 #[derive(Debug, Default)]
+#[non_exhaustive]
 pub struct KernelConfig {
     /// Virtual-time cost model.
     pub costs: CostModel,
@@ -129,63 +112,157 @@ pub struct KernelConfig {
     pub io: IoMode,
     /// Execution-vehicle policy for VM spaces.
     pub vm_dispatch: VmDispatch,
+    /// When set, the kernel records every syscall-level transition into
+    /// this sink; the resulting [`crate::Trace`] replays without any
+    /// execution vehicles. Incompatible with cluster hooks.
+    pub trace: Option<TraceSink>,
 }
 
-/// Execution state of a space slot.
-pub(crate) enum RunState {
-    /// Stopped; `state` present in the slot.
-    Idle(StopReason),
-    /// An inline VM space with pending execution: `state` (and a warm
-    /// `cpu`) present in the slot, waiting to be driven by whichever
-    /// thread next waits on it.
-    Runnable,
-    /// Checked out — to the slot's own thread, or to the parent
-    /// thread currently executing it inline.
-    Running,
-    /// Gone; threads observing this unwind.
-    Destroyed,
+impl KernelConfig {
+    /// Starts a typed builder over the default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det_kernel::{KernelConfig, VmDispatch};
+    /// let cfg = KernelConfig::builder()
+    ///     .vm_dispatch(VmDispatch::Threaded)
+    ///     .build();
+    /// assert_eq!(cfg.vm_dispatch, VmDispatch::Threaded);
+    /// ```
+    pub fn builder() -> KernelConfigBuilder {
+        KernelConfigBuilder {
+            config: KernelConfig::default(),
+        }
+    }
 }
 
-/// The movable per-space state, checked in/out around execution.
-pub(crate) struct SpaceState {
-    pub regs: Regs,
-    pub mem: AddressSpace,
-    pub snap: Option<AddressSpace>,
-    /// Virtual clock in picoseconds.
-    pub vclock_ps: u64,
-    /// Remaining work budget in picoseconds, if limited.
-    pub limit_ps: Option<u64>,
-    /// VM instructions retired by this space.
-    pub insn_count: u64,
-    pub home_node: u16,
-    pub cur_node: u16,
+/// Builder for [`KernelConfig`] — the only way to construct a
+/// non-default configuration from outside this crate.
+#[derive(Debug, Default)]
+pub struct KernelConfigBuilder {
+    config: KernelConfig,
 }
 
-impl SpaceState {
-    fn new(node: u16) -> SpaceState {
-        SpaceState {
-            regs: Regs::default(),
-            mem: AddressSpace::new(),
-            snap: None,
-            vclock_ps: 0,
-            limit_ps: None,
-            insn_count: 0,
-            home_node: node,
-            cur_node: node,
+impl KernelConfigBuilder {
+    /// Sets the virtual-time cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.config.costs = costs;
+        self
+    }
+
+    /// Sets the merge conflict policy.
+    pub fn policy(mut self, policy: ConflictPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the nondeterministic-input mode (record or replay).
+    pub fn io(mut self, io: IoMode) -> Self {
+        self.config.io = io;
+        self
+    }
+
+    /// Sets the execution-vehicle policy for VM spaces.
+    pub fn vm_dispatch(mut self, vm_dispatch: VmDispatch) -> Self {
+        self.config.vm_dispatch = vm_dispatch;
+        self
+    }
+
+    /// Attaches a trace sink recording every kernel transition.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.config.trace = Some(sink);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> KernelConfig {
+        self.config
+    }
+}
+
+pub(crate) use crate::state::{RunState, SpaceState};
+
+/// Trace-recording cursor for one space: the sink plus the *base*
+/// image the next event's [`EntryRec`] delta is computed against.
+///
+/// The base is re-cloned ("resynced") at the end of every traced
+/// syscall and at every park-resume, so snapshots and parent-side
+/// mutations applied to a parked space are never straddled by a
+/// delta — `delta_since` requires that (a snapshot clears the dirty
+/// set), and replay re-applies parent-side mutations itself via the
+/// recorded `Put`/`Get` events.
+pub(crate) struct TraceCtx {
+    base: AddressSpace,
+    sync_ps: u64,
+    sync_insn: u64,
+}
+
+impl TraceCtx {
+    pub(crate) fn new(st: &SpaceState) -> TraceCtx {
+        TraceCtx {
+            base: st.mem.clone(),
+            sync_ps: st.vclock_ps,
+            sync_insn: st.insn_count,
         }
     }
 
-    pub(crate) fn clone_image(&self) -> SpaceState {
-        SpaceState {
-            regs: self.regs,
-            mem: self.mem.clone(),
-            snap: self.snap.clone(),
-            vclock_ps: self.vclock_ps,
-            limit_ps: self.limit_ps,
-            insn_count: self.insn_count,
-            home_node: self.home_node,
-            cur_node: self.cur_node,
+    pub(crate) fn resync(&mut self, st: &SpaceState) {
+        self.base = st.mem.clone();
+        self.sync_ps = st.vclock_ps;
+        self.sync_insn = st.insn_count;
+    }
+
+    /// The caller-side record of a syscall entry: everything that
+    /// happened to this space since the last sync point.
+    pub(crate) fn entry(&self, st: &SpaceState) -> EntryRec {
+        EntryRec {
+            advance_ps: st.vclock_ps - self.sync_ps,
+            limit_ps: st.limit_ps,
+            delta: st.mem.delta_since(&self.base),
         }
+    }
+
+    /// A check-in event for this space, built *before* the check-in
+    /// charge is applied (replay re-applies that charge itself).
+    pub(crate) fn check_in(
+        &self,
+        id: SpaceId,
+        st: &SpaceState,
+        reason: StopReason,
+        final_stop: bool,
+        vm: VmCounters,
+    ) -> TraceEvent {
+        TraceEvent::CheckIn {
+            space: id.index(),
+            reason,
+            final_stop,
+            lost_state: false,
+            regs: st.regs,
+            advance_ps: st.vclock_ps - self.sync_ps,
+            limit_ps: st.limit_ps,
+            insn_delta: st.insn_count - self.sync_insn,
+            vm,
+            delta: st.mem.delta_since(&self.base),
+        }
+    }
+}
+
+/// The check-in event for a vehicle that died without state: replay
+/// synthesizes a fresh state and a terminal trap, mirroring
+/// [`Shared::final_check_in`].
+pub(crate) fn lost_state_check_in(id: SpaceId, reason: StopReason) -> TraceEvent {
+    TraceEvent::CheckIn {
+        space: id.index(),
+        reason,
+        final_stop: true,
+        lost_state: true,
+        regs: det_vm::Regs::default(),
+        advance_ps: 0,
+        limit_ps: None,
+        insn_delta: 0,
+        vm: VmCounters::default(),
+        delta: det_memory::SpaceDelta::default(),
     }
 }
 
@@ -207,6 +284,11 @@ pub(crate) struct Slot {
     pub cpu: Option<Box<Cpu>>,
     /// True once the slot runs its program as an inline VM space.
     pub inline_vm: bool,
+    /// Trace cursor for an inline VM slot, established whenever the
+    /// slot becomes `Runnable` (its vehicle-less equivalent of the
+    /// thread-local cursor a dedicated vehicle carries). Taken by the
+    /// thread that drives the slot.
+    pub trace_base: Option<TraceCtx>,
     /// Set by a *final* check-in: the slot's vehicle has exited (or is
     /// about to), so a resumable-looking stop (e.g. a native trap) has
     /// nothing left to resume. Cleared when a new program is
@@ -225,6 +307,7 @@ impl Slot {
             thread: None,
             cpu: None,
             inline_vm: false,
+            trace_base: None,
             terminal: false,
         }
     }
@@ -344,6 +427,9 @@ pub(crate) struct Shared {
     pub hot: HotStats,
     /// Accumulated merge statistics (cold path).
     pub merge_accum: Mutex<MergeAccum>,
+    /// Transition-trace sink, when recording (never on the rendezvous
+    /// fast path: checked once per syscall, not per wakeup).
+    pub trace: Option<TraceSink>,
     /// Set at kernel shutdown; checked lock-free by hot paths
     /// (`charge`, the VM chunk loop) so compute-looping programs
     /// observe destruction.
@@ -374,6 +460,16 @@ impl Shared {
         acc.totals.accumulate(s);
     }
 
+    /// Pushes a trace event, if recording. Call sites on the
+    /// rendezvous path hold the affected child's slot lock, which
+    /// linearizes a parent's syscall events against that child's
+    /// check-ins exactly as replay will re-derive them.
+    pub(crate) fn trace_push(&self, ev: Option<TraceEvent>) {
+        if let (Some(sink), Some(ev)) = (self.trace.as_ref(), ev) {
+            sink.push(ev);
+        }
+    }
+
     /// Checks a stopped space's state into its (locked) slot.
     ///
     /// All rendezvous accounting funnels through here, for both
@@ -382,21 +478,19 @@ impl Shared {
     /// point), and resumable stops are charged the park/handoff cost
     /// so virtual time is identical across dispatch modes.
     fn check_in_locked(&self, slot: &mut Slot, mut st: Box<SpaceState>, reason: StopReason) {
-        match reason {
-            StopReason::Ret => {
+        match stop_counter(reason) {
+            Some(StopCounter::Ret) => {
                 self.hot.rets.fetch_add(1, Relaxed);
             }
-            StopReason::Trap(_) => {
+            Some(StopCounter::Trap) => {
                 self.hot.traps.fetch_add(1, Relaxed);
             }
-            StopReason::LimitReached => {
+            Some(StopCounter::Limit) => {
                 self.hot.limit_preemptions.fetch_add(1, Relaxed);
             }
-            _ => {}
+            None => {}
         }
-        if reason.resumable() {
-            st.vclock_ps = st.vclock_ps.saturating_add(self.costs.rendezvous_ps);
-        }
+        check_in_charge(&self.costs, &mut st, reason);
         slot.state = Some(st);
         slot.run = RunState::Idle(reason);
     }
@@ -429,10 +523,11 @@ impl Shared {
                 RunState::Runnable => {
                     let mut st = g.state.take().expect("runnable slot has state");
                     let mut cpu = g.cpu.take().unwrap_or_default();
+                    let tr = g.trace_base.take();
                     g.run = RunState::Running;
                     drop(g);
                     self.hot.vm_inline_runs.fetch_add(1, Relaxed);
-                    let stop = vm_execute(self, id, &mut st, &mut cpu);
+                    let (stop, vmc) = vm_execute(self, id, &mut st, &mut cpu);
                     g = cell.m.lock();
                     match stop {
                         // Shutdown observed mid-run: the state dies
@@ -442,8 +537,14 @@ impl Shared {
                             if matches!(g.run, RunState::Destroyed) {
                                 return Err(KernelError::Destroyed);
                             }
+                            // Event built pre-charge: replay re-applies
+                            // the check-in charge itself.
+                            let ev = tr
+                                .as_ref()
+                                .map(|tr| tr.check_in(id, &st, reason, false, vmc));
                             self.check_in_locked(&mut g, st, reason);
                             g.cpu = Some(cpu);
+                            self.trace_push(ev);
                             // No notify: the one waiter is this thread.
                         }
                     }
@@ -465,6 +566,7 @@ impl Shared {
         cell: &SlotCell,
         st: Box<SpaceState>,
         reason: StopReason,
+        trace_ev: Option<TraceEvent>,
     ) -> Result<Box<SpaceState>> {
         let mut g = cell.m.lock();
         // Destroyed check *before* any accounting: a park raced by
@@ -474,6 +576,7 @@ impl Shared {
             return Err(KernelError::Destroyed);
         }
         self.check_in_locked(&mut g, st, reason);
+        self.trace_push(trace_ev);
         // Exactly one thread can be waiting for this stop: the parent
         // in `wait_idle`.
         self.notify_one(&cell.idle_cv);
@@ -508,24 +611,17 @@ impl Shared {
         cell: &SlotCell,
         st: Option<Box<SpaceState>>,
         reason: StopReason,
+        trace_ev: Option<TraceEvent>,
     ) {
         let mut g = cell.m.lock();
         if matches!(g.run, RunState::Destroyed) {
             return;
         }
-        let (st, reason) = match st {
-            Some(st) => (st, reason),
-            None => {
-                let reason = if matches!(reason, StopReason::Trap(_)) {
-                    reason
-                } else {
-                    StopReason::Trap(TrapKind::Panic)
-                };
-                (Box::new(SpaceState::new(0)), reason)
-            }
-        };
+        let reason = final_reason(st.is_some(), reason);
+        let st = st.unwrap_or_else(|| Box::new(SpaceState::new(0)));
         self.check_in_locked(&mut g, st, reason);
         g.terminal = true;
+        self.trace_push(trace_ev);
         self.notify_one(&cell.idle_cv);
     }
 
@@ -551,49 +647,57 @@ impl Shared {
             // was visible to the destroy sweep.
             return Err(KernelError::Destroyed);
         }
-        {
-            let st = g
-                .state
+        stamp_start(
+            g.state
                 .as_mut()
-                .expect("start_child requires checked-in state");
-            st.vclock_ps = st.vclock_ps.max(parent_vclock_ps);
-            st.limit_ps = limit_ns.map(crate::cost::ns_to_ps);
-        }
-        if g.thread.is_none() && !g.inline_vm {
-            let program = g.pending.take().ok_or(KernelError::NoProgram)?;
-            match program {
-                Program::Vm if self.vm_dispatch == VmDispatch::Inline => {
-                    // A leaf VM space: no vehicle of its own. It runs
-                    // when someone waits for it.
-                    g.inline_vm = true;
-                    g.cpu = Some(Box::default());
-                    g.run = RunState::Runnable;
-                }
-                program => {
-                    let st = g.state.take().expect("checked above");
-                    g.run = RunState::Running;
-                    self.hot.threads_spawned.fetch_add(1, Relaxed);
-                    let shared = Arc::clone(self);
-                    let cell2 = Arc::clone(cell);
-                    let handle = std::thread::Builder::new()
-                        .name(format!("space-{}", child.0))
-                        .spawn(move || match program {
-                            Program::Native(entry) => {
-                                native_thread(shared, cell2, child, entry, st)
-                            }
-                            Program::Vm => vm_thread(shared, cell2, child, st),
-                        })
-                        .expect("spawn space thread");
-                    g.thread = Some(handle);
-                }
-            }
-        } else {
-            if !prior.resumable() || g.terminal {
-                return Err(KernelError::NoProgram);
-            }
-            if g.inline_vm {
+                .expect("start_child requires checked-in state"),
+            parent_vclock_ps,
+            limit_ns,
+        );
+        // The *decision* is the pure core's (`start_action` is also what
+        // replay runs); this shell only realizes it with host vehicles.
+        let action = start_action(
+            self.vm_dispatch,
+            g.thread.is_some(),
+            g.inline_vm,
+            g.pending.as_ref().map(Program::kind),
+            prior,
+            g.terminal,
+        )?;
+        match action {
+            StartAction::RunnableInline => {
+                // A leaf VM space: no vehicle of its own. It runs
+                // when someone waits for it.
+                g.pending = None;
+                g.inline_vm = true;
+                g.cpu = Some(Box::default());
                 g.run = RunState::Runnable;
-            } else {
+                self.set_trace_base(g);
+            }
+            StartAction::Spawn(_) => {
+                let program = g
+                    .pending
+                    .take()
+                    .expect("start_action saw a pending program");
+                let st = g.state.take().expect("checked above");
+                g.run = RunState::Running;
+                self.hot.threads_spawned.fetch_add(1, Relaxed);
+                let shared = Arc::clone(self);
+                let cell2 = Arc::clone(cell);
+                let handle = std::thread::Builder::new()
+                    .name(format!("space-{}", child.0))
+                    .spawn(move || match program {
+                        Program::Native(entry) => native_thread(shared, cell2, child, entry, st),
+                        Program::Vm => vm_thread(shared, cell2, child, st),
+                    })
+                    .expect("spawn space thread");
+                g.thread = Some(handle);
+            }
+            StartAction::ResumeInline => {
+                g.run = RunState::Runnable;
+                self.set_trace_base(g);
+            }
+            StartAction::ResumeVehicle => {
                 g.run = RunState::Running;
                 // Exactly one thread can be waiting for this resume:
                 // the slot's own parked vehicle.
@@ -601,6 +705,16 @@ impl Shared {
             }
         }
         Ok(())
+    }
+
+    /// Establishes the trace cursor of a slot just made `Runnable`:
+    /// the inline drive that eventually executes it records its
+    /// check-in relative to this post-rendezvous image.
+    fn set_trace_base(&self, g: &mut MutexGuard<'_, Slot>) {
+        if self.trace.is_some() {
+            let st = g.state.as_ref().expect("runnable slot has state");
+            g.trace_base = Some(TraceCtx::new(st));
+        }
     }
 
     /// Migrates `st` to `target` node if needed, charging the hook's
@@ -639,6 +753,10 @@ pub struct RunOutcome {
     pub outputs: HashMap<DeviceId, Vec<u8>>,
     /// The recorded nondeterministic-input log (for replay).
     pub io_log: IoLog,
+    /// Final per-space memory digests `(space id, digest)`, root
+    /// first — populated only when a trace sink is attached, for
+    /// comparison against [`crate::ReplayOutcome::digests`].
+    pub space_digests: Vec<(u32, u64)>,
 }
 
 impl RunOutcome {
@@ -690,6 +808,18 @@ impl Kernel {
     }
 
     fn build(config: KernelConfig, cluster: Option<Arc<dyn ClusterHooks>>) -> Kernel {
+        if let Some(sink) = config.trace.as_ref() {
+            assert!(
+                cluster.is_none(),
+                "trace recording does not support cluster hooks: migration and \
+                 residency costs are host-hook-driven and not replayable from a trace"
+            );
+            sink.set_meta(TraceMeta {
+                costs: config.costs,
+                policy: config.policy,
+                vm_dispatch: config.vm_dispatch,
+            });
+        }
         let root = SlotCell::new(Slot::new_child(0));
         Kernel {
             shared: Arc::new(Shared {
@@ -701,6 +831,7 @@ impl Kernel {
                 vm_dispatch: config.vm_dispatch,
                 hot: HotStats::default(),
                 merge_accum: Mutex::new(MergeAccum::default()),
+                trace: config.trace,
                 shutdown: AtomicBool::new(false),
             }),
         }
@@ -733,12 +864,13 @@ impl Kernel {
         };
         let mut ctx = SpaceCtx::new(Arc::clone(&self.shared), SpaceId::ROOT, root_cell, st);
         let out = catch_unwind(AssertUnwindSafe(|| root(&mut ctx)));
-        let root_st = ctx.into_state();
         let exit = match out {
             Ok(Ok(code)) => Ok(code),
             Ok(Err(e)) => Err(e.as_trap()),
             Err(_) => Err(TrapKind::Panic),
         };
+        ctx.record_exit(exit);
+        let root_st = ctx.into_state();
         let vclock_ns = root_st.as_ref().map(|s| ps_to_ns(s.vclock_ps)).unwrap_or(0);
 
         // Shutdown: destroy every space, wake parked vehicles, join
@@ -753,8 +885,24 @@ impl Kernel {
             .store(true, std::sync::atomic::Ordering::SeqCst);
         let cells: Vec<Arc<SlotCell>> = self.shared.table.lock().clone();
         let mut handles = Vec::new();
-        for cell in &cells {
+        // Final memory digests, for trace-replay comparison: the root
+        // from its just-returned state, every other space from whatever
+        // state the destroy sweep finds checked in. Only computed when
+        // recording — digesting every space costs real work.
+        let tracing = self.shared.trace.is_some();
+        let mut space_digests: Vec<(u32, u64)> = Vec::new();
+        if tracing {
+            if let Some(s) = root_st.as_ref() {
+                space_digests.push((0, s.mem.content_digest().value()));
+            }
+        }
+        for (idx, cell) in cells.iter().enumerate() {
             let mut g = cell.m.lock();
+            if tracing && idx != 0 {
+                if let Some(st) = g.state.as_ref() {
+                    space_digests.push((idx as u32, st.mem.content_digest().value()));
+                }
+            }
             g.run = RunState::Destroyed;
             g.state = None;
             g.pending = None;
@@ -790,6 +938,7 @@ impl Kernel {
             stats,
             outputs,
             io_log,
+            space_digests,
         }
     }
 }
@@ -823,7 +972,7 @@ fn native_thread(
         // side wins.
         return;
     }
-    let mut st = ctx.into_state();
+    let (mut st, trace) = ctx.into_parts();
     let reason = match out {
         Ok(Ok(code)) => {
             if let Some(s) = st.as_mut() {
@@ -838,22 +987,62 @@ fn native_thread(
         Ok(Err(e)) => StopReason::Trap(e.as_trap()),
         Err(_) => StopReason::Trap(TrapKind::Panic),
     };
+    let ev = trace.as_ref().map(|tr| match st.as_deref() {
+        Some(s) => tr.check_in(
+            id,
+            s,
+            final_reason(true, reason),
+            true,
+            VmCounters::default(),
+        ),
+        None => lost_state_check_in(id, final_reason(false, reason)),
+    });
     // Always check in — even with the state lost (`st: None`), the
     // slot must leave `Running` so a waiting parent observes a
     // deterministic trap rather than deadlocking.
-    shared.final_check_in(&cell, st, reason);
+    shared.final_check_in(&cell, st, reason, ev);
 }
 
 /// Interprets a VM space's program on the current thread until it
-/// stops. Returns the stop reason, or `None` iff kernel shutdown was
+/// stops. Returns the stop reason — or `None` iff kernel shutdown was
 /// observed mid-run (the caller unwinds and the state dies with the
-/// kernel). Used by both vehicles: the slot's own thread
+/// kernel) — plus this drive's counters, already folded into the hot
+/// stats exactly once. Used by both vehicles: the slot's own thread
 /// ([`vm_thread`]) and the waiting parent (inline dispatch).
 fn vm_execute(
     shared: &Shared,
     id: SpaceId,
     st: &mut SpaceState,
     cpu: &mut Cpu,
+) -> (Option<StopReason>, VmCounters) {
+    let mut vmc = VmCounters::default();
+    let stop = vm_execute_inner(shared, id, st, cpu, &mut vmc);
+    shared
+        .hot
+        .vm_instructions
+        .fetch_add(vmc.instructions, Relaxed);
+    shared.hot.vm_tlb_hits.fetch_add(vmc.tlb_hits, Relaxed);
+    shared
+        .hot
+        .vm_pages_walked
+        .fetch_add(vmc.pages_walked, Relaxed);
+    shared
+        .hot
+        .vm_icache_hits
+        .fetch_add(vmc.icache_hits, Relaxed);
+    shared
+        .hot
+        .vm_icache_fills
+        .fetch_add(vmc.icache_fills, Relaxed);
+    (stop, vmc)
+}
+
+fn vm_execute_inner(
+    shared: &Shared,
+    id: SpaceId,
+    st: &mut SpaceState,
+    cpu: &mut Cpu,
+    vmc: &mut VmCounters,
 ) -> Option<StopReason> {
     let insn_ps = shared.costs.vm_insn_ps.max(1);
     let walk_ps = shared.costs.vm_tlb_fill_ps;
@@ -891,23 +1080,11 @@ fn vm_execute(
         if let Some(l) = st.limit_ps.as_mut() {
             *l = l.saturating_sub(executed.saturating_mul(insn_ps));
         }
-        shared.hot.vm_instructions.fetch_add(executed, Relaxed);
-        shared
-            .hot
-            .vm_tlb_hits
-            .fetch_add(cache.tlb_read_hits + cache.tlb_write_hits, Relaxed);
-        shared
-            .hot
-            .vm_pages_walked
-            .fetch_add(cache.pages_walked, Relaxed);
-        shared
-            .hot
-            .vm_icache_hits
-            .fetch_add(cache.icache_hits, Relaxed);
-        shared
-            .hot
-            .vm_icache_fills
-            .fetch_add(cache.icache_fills, Relaxed);
+        vmc.instructions += executed;
+        vmc.tlb_hits += cache.tlb_read_hits + cache.tlb_write_hits;
+        vmc.pages_walked += cache.pages_walked;
+        vmc.icache_hits += cache.icache_hits;
+        vmc.icache_fills += cache.icache_fills;
         let reason = match exit {
             VmExit::Halt => {
                 // Home-node return before the final stop (§3.3).
@@ -947,19 +1124,33 @@ fn vm_thread(shared: Arc<Shared>, cell: Arc<SlotCell>, id: SpaceId, mut st: Box<
     // One CPU for the space's lifetime: caches stay warm across
     // preemptions and rendezvous.
     let mut cpu = Cpu::new();
+    // Thread-local trace cursor, resynced after every park: the parent
+    // may have rewritten this space's memory (and snapshot) at the
+    // rendezvous, and replay re-applies those from the parent's events.
+    let mut tr = shared.trace.as_ref().map(|_| TraceCtx::new(&st));
     loop {
-        match vm_execute(&shared, id, &mut st, &mut cpu) {
+        let (stop, vmc) = vm_execute(&shared, id, &mut st, &mut cpu);
+        match stop {
             // Shutdown observed: the state dies with the kernel.
             None => return,
             Some(StopReason::Halted) => {
-                shared.final_check_in(&cell, Some(st), StopReason::Halted);
+                let ev = tr
+                    .as_ref()
+                    .map(|tr| tr.check_in(id, &st, StopReason::Halted, true, vmc));
+                shared.final_check_in(&cell, Some(st), StopReason::Halted, ev);
                 return;
             }
             Some(reason) => {
-                st = match shared.park(&cell, st, reason) {
+                let ev = tr
+                    .as_ref()
+                    .map(|tr| tr.check_in(id, &st, reason, false, vmc));
+                st = match shared.park(&cell, st, reason, ev) {
                     Ok(st) => st,
                     Err(_) => return,
                 };
+                if let Some(tr) = tr.as_mut() {
+                    tr.resync(&st);
+                }
             }
         }
     }
@@ -985,7 +1176,7 @@ mod tests {
             g.state = None;
             g.run = RunState::Running;
         }
-        sh.final_check_in(&cell, None, StopReason::Halted);
+        sh.final_check_in(&cell, None, StopReason::Halted, None);
         let g = cell.m.lock();
         assert!(matches!(
             g.run,
@@ -1010,7 +1201,7 @@ mod tests {
         }
         let st = Box::new(SpaceState::new(0));
         assert!(matches!(
-            sh.park(&cell, st, StopReason::Ret),
+            sh.park(&cell, st, StopReason::Ret, None),
             Err(KernelError::Destroyed)
         ));
         assert_eq!(sh.hot.rets.load(Relaxed), 0);
@@ -1031,6 +1222,7 @@ mod tests {
             &cell,
             Some(Box::new(SpaceState::new(0))),
             StopReason::Trap(TrapKind::Panic),
+            None,
         );
         let g = cell.m.lock();
         assert!(matches!(g.run, RunState::Destroyed));

@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+mod apply;
 mod cost;
 mod ctx;
 mod device;
@@ -80,18 +81,25 @@ mod error;
 mod ids;
 mod kernel;
 mod program;
+mod state;
 mod stats;
 mod syscall;
+mod trace;
 
+pub use apply::{Effect, EntryRec, PutRec, TraceEvent, VmCounters};
 pub use cost::{CostModel, ns_to_ps, ps_to_ns};
 pub use ctx::{SpaceCtx, full_user_region};
 pub use device::{DeviceId, InputEvent, IoLog, IoMode};
 pub use error::{KernelError, Result, TrapKind};
 pub use ids::{ChildNum, NODE_SHIFT, SpaceId, child_index, child_on_node, node_field};
-pub use kernel::{ClusterHooks, InputHandle, Kernel, KernelConfig, RunOutcome, VmDispatch};
+pub use kernel::{
+    ClusterHooks, InputHandle, Kernel, KernelConfig, KernelConfigBuilder, RunOutcome, VmDispatch,
+};
 pub use program::{NativeEntry, NativeResult, Program};
+pub use state::ProgramKind;
 pub use stats::{KernelStats, MergeStatsSerde};
 pub use syscall::{CopySpec, GetResult, GetSpec, PutResult, PutSpec, StartSpec, StopReason};
+pub use trace::{ReplayOutcome, Trace, TraceMeta, TraceSink};
 
 // Re-export the substrate types the kernel API exposes.
 pub use det_memory::{

@@ -42,6 +42,14 @@ impl Program {
     {
         Program::Native(Box::new(f))
     }
+
+    /// The pure-data shadow of this program (what a trace records).
+    pub fn kind(&self) -> crate::ProgramKind {
+        match self {
+            Program::Native(_) => crate::ProgramKind::Native,
+            Program::Vm => crate::ProgramKind::Vm,
+        }
+    }
 }
 
 impl std::fmt::Debug for Program {

@@ -1,0 +1,234 @@
+//! Pure kernel state: the plain-data half of the functional core.
+//!
+//! Everything in this module (and in [`crate::apply`]) is ordinary
+//! data plus pure functions over it — no locks, no condition
+//! variables, no threads, no device or host I/O. The imperative shell
+//! (`kernel.rs` / `ctx.rs`) owns all of those and *sequences* the pure
+//! core; the trace replayer ([`crate::trace`]) drives the very same
+//! core with no execution vehicles at all. A unit test enforces the
+//! purity boundary by scanning this module's source (see
+//! `core_modules_are_pure` in `apply.rs`).
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use det_memory::{AddressSpace, ConflictPolicy};
+use det_vm::Regs;
+
+use crate::cost::CostModel;
+use crate::device::DeviceId;
+use crate::error::TrapKind;
+use crate::ids::ChildNum;
+use crate::stats::KernelStats;
+use crate::syscall::StopReason;
+
+/// Execution phase of a space slot.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RunState {
+    /// Stopped; `state` present in the slot.
+    Idle(StopReason),
+    /// An inline VM space with pending execution: `state` (and a warm
+    /// `cpu`) present in the slot, waiting to be driven by whichever
+    /// thread next waits on it.
+    Runnable,
+    /// Checked out — to the slot's own vehicle, or to the parent
+    /// thread currently executing it inline.
+    Running,
+    /// Gone; vehicles observing this unwind.
+    Destroyed,
+}
+
+/// How the kernel executes `Program::Vm` spaces.
+///
+/// VM spaces are always *leaves* of the space hierarchy (the VM ISA
+/// has no `Put`/`Get` surface), so their execution can be deferred to
+/// the one thread that will wait on them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VmDispatch {
+    /// Execute a VM space inline on the thread that waits for it.
+    /// A rendezvous then costs zero host context switches — the
+    /// default, and by far the fastest option on few-core hosts.
+    ///
+    /// Virtual time is unaffected: each space's clock is a pure
+    /// function of its own work, and rendezvous still takes the max.
+    ///
+    /// Execution is lazy: a started child that *nobody ever waits on*
+    /// performs no work before shutdown. Its effects were
+    /// unobservable anyway — only a rendezvous can publish a child's
+    /// state — and how far such an abandoned child gets under
+    /// [`VmDispatch::Threaded`] was always host-timing-dependent;
+    /// only its host-side observability counters differ.
+    #[default]
+    Inline,
+    /// Give every VM space its own host thread (real wall-clock
+    /// parallelism for VM workloads on multicore hosts, at a
+    /// park/wake context-switch cost per rendezvous).
+    Threaded,
+}
+
+/// What kind of program a slot executes — the pure-data shadow of
+/// [`crate::Program`], which (for native programs) carries a host
+/// closure the core cannot hold.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProgramKind {
+    /// A host closure driven through [`crate::SpaceCtx`].
+    Native,
+    /// A deterministic VM program executing from the space's memory.
+    Vm,
+}
+
+/// The movable per-space state, checked in/out around execution.
+pub(crate) struct SpaceState {
+    pub regs: Regs,
+    pub mem: AddressSpace,
+    pub snap: Option<AddressSpace>,
+    /// Virtual clock in picoseconds.
+    pub vclock_ps: u64,
+    /// Remaining work budget in picoseconds, if limited.
+    pub limit_ps: Option<u64>,
+    /// VM instructions retired by this space.
+    pub insn_count: u64,
+    pub home_node: u16,
+    pub cur_node: u16,
+}
+
+impl SpaceState {
+    pub(crate) fn new(node: u16) -> SpaceState {
+        SpaceState {
+            regs: Regs::default(),
+            mem: AddressSpace::new(),
+            snap: None,
+            vclock_ps: 0,
+            limit_ps: None,
+            insn_count: 0,
+            home_node: node,
+            cur_node: node,
+        }
+    }
+
+    pub(crate) fn clone_image(&self) -> SpaceState {
+        SpaceState {
+            regs: self.regs,
+            mem: self.mem.clone(),
+            snap: self.snap.clone(),
+            vclock_ps: self.vclock_ps,
+            limit_ps: self.limit_ps,
+            insn_count: self.insn_count,
+            home_node: self.home_node,
+            cur_node: self.cur_node,
+        }
+    }
+}
+
+/// One space slot as plain data: the pure core's view of what the
+/// shell keeps in a locked `Slot` (children map, run phase, checked-in
+/// state, program bookkeeping) minus everything host-bound (the join
+/// handle, the warm CPU, the condvars).
+pub(crate) struct KSlot {
+    /// Child number → space id, the per-space private namespace.
+    pub children: BTreeMap<ChildNum, u32>,
+    pub run: RunState,
+    pub state: Option<Box<SpaceState>>,
+    /// Program installed but not yet started.
+    pub pending: Option<ProgramKind>,
+    /// A dedicated vehicle exists (live thread in the shell).
+    pub has_vehicle: bool,
+    /// The slot runs its program as an inline VM space.
+    pub inline_vm: bool,
+    /// Set by a final check-in: nothing is left to resume.
+    pub terminal: bool,
+}
+
+impl KSlot {
+    pub(crate) fn new(node: u16) -> KSlot {
+        KSlot {
+            children: BTreeMap::new(),
+            run: RunState::Idle(StopReason::Unstarted),
+            state: Some(Box::new(SpaceState::new(node))),
+            pending: None,
+            has_vehicle: false,
+            inline_vm: false,
+            terminal: false,
+        }
+    }
+}
+
+/// The whole kernel as plain data: the state a trace replay evolves.
+///
+/// This is exactly the information the shell scatters across its
+/// locked slot table, device hub, and hot counters — gathered into one
+/// owned value a pure `apply` can step.
+pub(crate) struct KState {
+    pub costs: CostModel,
+    pub policy: ConflictPolicy,
+    pub vm_dispatch: VmDispatch,
+    pub slots: BTreeMap<u32, KSlot>,
+    pub stats: KernelStats,
+    /// Device output buffers (the replayed side of the device hub).
+    pub outputs: HashMap<DeviceId, Vec<u8>>,
+    /// Set by the `RootExit` event.
+    pub root_exit: Option<std::result::Result<i32, TrapKind>>,
+}
+
+impl KState {
+    pub(crate) fn new(costs: CostModel, policy: ConflictPolicy, vm_dispatch: VmDispatch) -> KState {
+        let mut slots = BTreeMap::new();
+        let mut root = KSlot::new(0);
+        root.run = RunState::Running;
+        slots.insert(0, root);
+        KState {
+            costs,
+            policy,
+            vm_dispatch,
+            slots,
+            stats: KernelStats::default(),
+            outputs: HashMap::new(),
+            root_exit: None,
+        }
+    }
+}
+
+/// Which stop-reason counter a check-in bumps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum StopCounter {
+    Ret,
+    Trap,
+    Limit,
+}
+
+/// Classifies a stop for the check-in counters (pure; the shell maps
+/// the result onto hot atomics, the replayer onto [`KernelStats`]).
+pub(crate) fn stop_counter(reason: StopReason) -> Option<StopCounter> {
+    match reason {
+        StopReason::Ret => Some(StopCounter::Ret),
+        StopReason::Trap(_) => Some(StopCounter::Trap),
+        StopReason::LimitReached => Some(StopCounter::Limit),
+        _ => None,
+    }
+}
+
+/// The rendezvous park charge applied at check-in: resumable stops pay
+/// the handoff cost, final stops do not.
+pub(crate) fn check_in_charge(costs: &CostModel, st: &mut SpaceState, reason: StopReason) {
+    if reason.resumable() {
+        st.vclock_ps = st.vclock_ps.saturating_add(costs.rendezvous_ps);
+    }
+}
+
+/// The stop reason a final check-in records: a vehicle dying *without*
+/// state is checked in as a terminal trap so a waiting parent observes
+/// a deterministic stop instead of hanging.
+pub(crate) fn final_reason(has_state: bool, reason: StopReason) -> StopReason {
+    if has_state || matches!(reason, StopReason::Trap(_)) {
+        reason
+    } else {
+        StopReason::Trap(TrapKind::Panic)
+    }
+}
+
+/// Rendezvous clock rule: the caller observes the child's stop and
+/// takes the later of the two clocks. Returns the child's clock.
+pub(crate) fn observe_stop(caller: &mut SpaceState, child_vclock_ps: u64) -> u64 {
+    caller.vclock_ps = caller.vclock_ps.max(child_vclock_ps);
+    child_vclock_ps
+}

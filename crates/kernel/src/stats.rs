@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// instantaneous values depend on host scheduling, which spaces must
 /// not observe). The benchmark harness uses them to report the real
 /// operation counts behind every virtual-time figure.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
 pub struct KernelStats {
     /// `Put` calls.
     pub puts: u64,
@@ -84,7 +84,7 @@ pub struct KernelStats {
 
 /// Wrapper keeping [`MergeStats`] (an external type) inside the
 /// serializable stats without requiring serde on `det-memory`.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct MergeStatsSerde(pub MergeStats);
 
 impl KernelStats {

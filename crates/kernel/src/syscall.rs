@@ -19,7 +19,7 @@ use crate::program::Program;
 /// `src` is a page-aligned region in the source space; `dst` is the
 /// page-aligned destination start address. The copy is virtual
 /// (copy-on-write shared frames).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CopySpec {
     /// Source region (in the space data flows *from*).
     pub src: Region,
@@ -38,7 +38,7 @@ impl CopySpec {
 }
 
 /// The `Start` option: begin (or resume) child execution.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct StartSpec {
     /// Work limit in virtual nanoseconds; the child is preempted back
     /// to the parent when its charged work reaches the limit (the
@@ -154,7 +154,7 @@ impl PutSpec {
 /// Applied in the order: `regs` (read), `copy`, `merge`, `zero`,
 /// `perm`; `zero`/`perm` manipulate the *child* (for example, clearing
 /// a buffer after collecting it).
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
 pub struct GetSpec {
     /// Read the child's register state into the result.
     pub regs: bool,

@@ -733,10 +733,7 @@ fn device_access_is_root_only() {
 #[test]
 fn console_input_and_record_replay() {
     let run = |io: IoMode, push: bool| {
-        let k = Kernel::new(KernelConfig {
-            io,
-            ..Default::default()
-        });
+        let k = Kernel::new(KernelConfig::builder().io(io).build());
         if push {
             k.push_input(DeviceId::ConsoleIn, b"hello".to_vec());
         }
@@ -763,10 +760,11 @@ fn replay_divergence_detected() {
         ctx.dev_read(DeviceId::Clock)?;
         Ok(0)
     });
-    let replayed = Kernel::new(KernelConfig {
-        io: IoMode::Replay(first.io_log),
-        ..Default::default()
-    })
+    let replayed = Kernel::new(
+        KernelConfig::builder()
+            .io(IoMode::Replay(first.io_log))
+            .build(),
+    )
     .run(|ctx| {
         // Ask for a different device than the log has.
         match ctx.dev_read(DeviceId::Random) {
@@ -779,10 +777,11 @@ fn replay_divergence_detected() {
 
 #[test]
 fn conflict_policy_benign_same_value() {
-    let k = Kernel::new(KernelConfig {
-        policy: ConflictPolicy::BenignSameValue,
-        ..Default::default()
-    });
+    let k = Kernel::new(
+        KernelConfig::builder()
+            .policy(ConflictPolicy::BenignSameValue)
+            .build(),
+    );
     let out = k.run(|ctx| {
         setup_root(ctx)?;
         for i in 0..2u64 {
@@ -1027,10 +1026,11 @@ fn shutdown_collects_draining_thread_counters() {
     .unwrap();
     let run = |join: bool| {
         let image = image.clone();
-        Kernel::new(KernelConfig {
-            vm_dispatch: VmDispatch::Threaded,
-            ..Default::default()
-        })
+        Kernel::new(
+            KernelConfig::builder()
+                .vm_dispatch(VmDispatch::Threaded)
+                .build(),
+        )
         .run(move |ctx| {
             ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
             ctx.mem_mut().write(0, &image.bytes)?;
@@ -1180,28 +1180,25 @@ fn program_replacement_over_resumable_trap_is_child_active_in_both_modes() {
     .unwrap();
     for dispatch in [VmDispatch::Inline, VmDispatch::Threaded] {
         let image = image.clone();
-        let out = Kernel::new(KernelConfig {
-            vm_dispatch: dispatch,
-            ..Default::default()
-        })
-        .run(move |ctx| {
-            ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
-            ctx.mem_mut().write(0, &image.bytes)?;
-            ctx.put(
-                0,
-                PutSpec::new()
-                    .program(Program::Vm)
-                    .copy(CopySpec::mirror(Region::new(0, 0x1000)))
-                    .regs(Regs::at_entry(0))
-                    .start(),
-            )?;
-            let r = ctx.get(0, GetSpec::new())?;
-            assert_eq!(r.stop, StopReason::Trap(TrapKind::DivideByZero));
-            match ctx.put(0, PutSpec::new().program(Program::Vm)) {
-                Err(KernelError::ChildActive) => Ok(0),
-                other => panic!("expected ChildActive under {dispatch:?}, got {other:?}"),
-            }
-        });
+        let out =
+            Kernel::new(KernelConfig::builder().vm_dispatch(dispatch).build()).run(move |ctx| {
+                ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+                ctx.mem_mut().write(0, &image.bytes)?;
+                ctx.put(
+                    0,
+                    PutSpec::new()
+                        .program(Program::Vm)
+                        .copy(CopySpec::mirror(Region::new(0, 0x1000)))
+                        .regs(Regs::at_entry(0))
+                        .start(),
+                )?;
+                let r = ctx.get(0, GetSpec::new())?;
+                assert_eq!(r.stop, StopReason::Trap(TrapKind::DivideByZero));
+                match ctx.put(0, PutSpec::new().program(Program::Vm)) {
+                    Err(KernelError::ChildActive) => Ok(0),
+                    other => panic!("expected ChildActive under {dispatch:?}, got {other:?}"),
+                }
+            });
         assert_eq!(out.exit, Ok(0), "{dispatch:?}");
     }
 }
@@ -1226,37 +1223,34 @@ fn vm_dispatch_modes_agree() {
     .unwrap();
     let run = |dispatch: VmDispatch| {
         let image = image.clone();
-        let out = Kernel::new(KernelConfig {
-            vm_dispatch: dispatch,
-            ..Default::default()
-        })
-        .run(move |ctx| {
-            ctx.mem_mut().map_zero(Region::new(0, 0x3000), Perm::RW)?;
-            ctx.mem_mut().write(0, &image.bytes)?;
-            ctx.put(
-                0,
-                PutSpec::new()
-                    .program(Program::Vm)
-                    .copy(CopySpec::mirror(Region::new(0, 0x3000)))
-                    .regs(Regs::at_entry(0))
-                    .start(),
-            )?;
-            loop {
-                let r = ctx.get(
+        let out =
+            Kernel::new(KernelConfig::builder().vm_dispatch(dispatch).build()).run(move |ctx| {
+                ctx.mem_mut().map_zero(Region::new(0, 0x3000), Perm::RW)?;
+                ctx.mem_mut().write(0, &image.bytes)?;
+                ctx.put(
                     0,
-                    GetSpec::new().copy(CopySpec {
-                        src: Region::new(0x2000, 0x3000),
-                        dst: 0x8000,
-                    }),
+                    PutSpec::new()
+                        .program(Program::Vm)
+                        .copy(CopySpec::mirror(Region::new(0, 0x3000)))
+                        .regs(Regs::at_entry(0))
+                        .start(),
                 )?;
-                match r.stop {
-                    StopReason::Ret => ctx.put(0, PutSpec::new().start())?,
-                    StopReason::Halted => break,
-                    other => panic!("unexpected stop {other:?}"),
-                };
-            }
-            Ok(ctx.mem().content_digest().value() as i32)
-        });
+                loop {
+                    let r = ctx.get(
+                        0,
+                        GetSpec::new().copy(CopySpec {
+                            src: Region::new(0x2000, 0x3000),
+                            dst: 0x8000,
+                        }),
+                    )?;
+                    match r.stop {
+                        StopReason::Ret => ctx.put(0, PutSpec::new().start())?,
+                        StopReason::Halted => break,
+                        other => panic!("unexpected stop {other:?}"),
+                    };
+                }
+                Ok(ctx.mem().content_digest().value() as i32)
+            });
         (
             out.exit,
             out.vclock_ns,

@@ -86,6 +86,17 @@ impl DirtySet {
         self.count
     }
 
+    /// True if `vpn` is marked dirty.
+    pub(crate) fn contains(&self, vpn: u64) -> bool {
+        match self.leaves.get(&(vpn >> LEAF_BITS)) {
+            Some(bits) => {
+                let idx = (vpn & LEAF_MASK) as usize;
+                bits[idx / 64] & (1u64 << (idx % 64)) != 0
+            }
+            None => false,
+        }
+    }
+
     /// The sorted dirty VPNs in `first..=last`.
     pub(crate) fn vpns_in(&self, first: u64, last: u64) -> Vec<u64> {
         let mut out = Vec::new();

@@ -68,6 +68,7 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod digest;
 mod dirty;
 mod error;
@@ -79,6 +80,7 @@ mod region;
 mod space;
 mod tracker;
 
+pub use delta::{PageDelta, PageDeltaOp, SpaceDelta};
 pub use digest::ContentDigest;
 pub use error::MemError;
 pub use merge::{ConflictPolicy, MergeConflict, MergeStats};

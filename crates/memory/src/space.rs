@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::digest::ContentDigest;
 use crate::dirty::DirtySet;
-use crate::page::{Frame, PAGE_SIZE, offset_of, vpn_of, zero_frame};
+use crate::page::{Frame, PAGE_SHIFT, PAGE_SIZE, offset_of, vpn_of, zero_frame};
 use crate::tracker::AccessTracker;
 use crate::{MemError, Perm, Region, Result};
 
@@ -832,6 +832,189 @@ impl AddressSpace {
     }
 
     // ------------------------------------------------------------------
+    // Deltas (see the `delta` module)
+    // ------------------------------------------------------------------
+
+    /// Computes the exact difference between `self` and `base`, an
+    /// earlier clone of this space (see [`crate::SpaceDelta`]).
+    ///
+    /// Because the clone pins every shared frame, any write since the
+    /// clone COWed its frame, so frame-pointer inequality identifies
+    /// exactly the changed pages; untouched leaves are skipped with one
+    /// pointer compare. Pages dirtied *without* a frame change (a
+    /// rewrite of identical content through the zero frame) are found
+    /// by diffing the dirty sets, so
+    /// [`apply_delta`](AddressSpace::apply_delta) reproduces the dirty
+    /// write-set — and therefore merge behavior — exactly.
+    ///
+    /// `base` must not have had `snapshot()` taken on either side since
+    /// the clone (a snapshot clears dirty marks, which a delta cannot
+    /// express).
+    pub fn delta_since(&self, base: &AddressSpace) -> crate::SpaceDelta {
+        use crate::delta::{PageDelta, PageDeltaOp, SpaceDelta};
+        let zero = zero_frame();
+        let mut pages: Vec<PageDelta> = Vec::new();
+        let mut unmapped: Vec<u64> = Vec::new();
+        let entry_op = |e: &PageEntry| {
+            if Arc::ptr_eq(&e.frame, &zero) {
+                PageDeltaOp::WriteZero
+            } else {
+                PageDeltaOp::Write(e.frame.bytes().to_vec())
+            }
+        };
+        // Merge-walk both spines by leaf index.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.root.len() || j < base.root.len() {
+            let sb = self.root.get(i).map(|rs| rs.base);
+            let bb = base.root.get(j).map(|rs| rs.base);
+            match (sb, bb) {
+                (Some(s), Some(b)) if s == b => {
+                    let (sl, bl) = (&self.root[i].leaf, &base.root[j].leaf);
+                    if !Arc::ptr_eq(sl, bl) {
+                        for idx in 0..PAGES_PER_LEAF {
+                            let vpn = (s << LEAF_BITS) + idx as u64;
+                            match (&sl.entries[idx], &bl.entries[idx]) {
+                                (Some(se), Some(be)) => {
+                                    if !Arc::ptr_eq(&se.frame, &be.frame) {
+                                        pages.push(PageDelta {
+                                            vpn,
+                                            perm: se.perm,
+                                            op: entry_op(se),
+                                        });
+                                    } else if se.perm != be.perm {
+                                        pages.push(PageDelta {
+                                            vpn,
+                                            perm: se.perm,
+                                            op: PageDeltaOp::SetPerm,
+                                        });
+                                    }
+                                }
+                                (Some(se), None) => pages.push(PageDelta {
+                                    vpn,
+                                    perm: se.perm,
+                                    op: entry_op(se),
+                                }),
+                                (None, Some(_)) => unmapped.push(vpn),
+                                (None, None) => {}
+                            }
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(s), bb) if bb.is_none_or(|b| s < b) => {
+                    let sl = &self.root[i].leaf;
+                    for idx in sl.present_indices() {
+                        let se = sl.entries[idx].as_ref().expect("present bit set");
+                        pages.push(PageDelta {
+                            vpn: (s << LEAF_BITS) + idx as u64,
+                            perm: se.perm,
+                            op: entry_op(se),
+                        });
+                    }
+                    i += 1;
+                }
+                (_, Some(b)) => {
+                    let bl = &base.root[j].leaf;
+                    for idx in bl.present_indices() {
+                        unmapped.push((b << LEAF_BITS) + idx as u64);
+                    }
+                    j += 1;
+                }
+                _ => unreachable!("loop condition"),
+            }
+        }
+        // Dirty-set difference: pages marked dirty since the base
+        // without a frame change. The frame diff above already dirties
+        // its Write/WriteZero pages on apply, so only the remainder
+        // needs explicit marks.
+        let written: std::collections::BTreeSet<u64> = pages.iter().map(|p| p.vpn).collect();
+        for vpn in self.dirty.vpns_in(0, u64::MAX) {
+            if base.dirty.contains(vpn) || written.contains(&vpn) {
+                continue;
+            }
+            if let Some(e) = self.entry(vpn) {
+                pages.push(PageDelta {
+                    vpn,
+                    perm: e.perm,
+                    op: PageDeltaOp::MarkDirty,
+                });
+            }
+        }
+        pages.sort_by_key(|p| p.vpn);
+        SpaceDelta { pages, unmapped }
+    }
+
+    /// Applies a delta produced by
+    /// [`delta_since`](AddressSpace::delta_since) onto this space (a
+    /// replica of the delta's base), reproducing the original's
+    /// content, permissions, dirty write-set, zero-frame identities,
+    /// and leaf-sharing structure.
+    pub fn apply_delta(&mut self, delta: &crate::SpaceDelta) -> Result<()> {
+        use crate::delta::PageDeltaOp;
+        for &vpn in &delta.unmapped {
+            self.remove_entry(vpn);
+            self.dirty.remove(vpn);
+        }
+        for p in &delta.pages {
+            match &p.op {
+                PageDeltaOp::Write(bytes) => {
+                    if bytes.len() != PAGE_SIZE {
+                        return Err(MemError::Misaligned {
+                            addr: p.vpn << PAGE_SHIFT,
+                        });
+                    }
+                    let mut frame = Frame::zeroed();
+                    frame.bytes_mut().copy_from_slice(bytes);
+                    self.insert_entry(
+                        p.vpn,
+                        PageEntry {
+                            frame: Arc::new(frame),
+                            perm: p.perm,
+                        },
+                    );
+                    self.dirty.insert(p.vpn);
+                }
+                PageDeltaOp::WriteZero => {
+                    self.insert_entry(
+                        p.vpn,
+                        PageEntry {
+                            frame: zero_frame(),
+                            perm: p.perm,
+                        },
+                    );
+                    self.dirty.insert(p.vpn);
+                }
+                PageDeltaOp::SetPerm => {
+                    // entry_mut unshares the leaf, as live set_perm did.
+                    match self.entry_mut(p.vpn) {
+                        Some(e) => e.perm = p.perm,
+                        None => {
+                            return Err(MemError::Unmapped {
+                                addr: p.vpn << PAGE_SHIFT,
+                            });
+                        }
+                    }
+                }
+                PageDeltaOp::MarkDirty => {
+                    // The live write that dirtied this page unshared
+                    // its leaf even though the frame stayed put (e.g.
+                    // map_zero over an already-zero page); entry_mut
+                    // reproduces the unsharing on the replica.
+                    if self.entry_mut(p.vpn).is_none() {
+                        return Err(MemError::Unmapped {
+                            addr: p.vpn << PAGE_SHIFT,
+                        });
+                    }
+                    self.dirty.insert(p.vpn);
+                }
+            }
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Translation fast path (the VM's software TLB)
     // ------------------------------------------------------------------
 
@@ -1332,6 +1515,7 @@ impl std::fmt::Debug for AddressSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ConflictPolicy;
 
     fn rw_space(start: u64, len: u64) -> AddressSpace {
         let mut s = AddressSpace::new();
@@ -1898,5 +2082,101 @@ mod tests {
         assert!(s.translate_write(0x1000).is_none());
         s.set_tracker(None);
         assert!(s.translate_read(0x1000).is_some());
+    }
+    #[test]
+    fn delta_roundtrip_reproduces_content_and_dirty_set() {
+        let r = Region::new(0x1000, 0x5000);
+        let mut s = rw_space(0x1000, 0x4000);
+        s.write_u64(0x1000, 7).unwrap();
+        let base = s.clone();
+        // A mix of mutations: writes, fresh zero maps, perm change,
+        // unmap, and a re-zero of an already-zero page (dirty mark
+        // with no frame change).
+        s.write_u64(0x2000, 99).unwrap();
+        s.map_zero(Region::new(0x4000, 0x5000), Perm::RW).unwrap();
+        s.map_zero(Region::new(0x3000, 0x4000), Perm::RW).unwrap();
+        s.set_perm(Region::new(0x1000, 0x2000), Perm::R).unwrap();
+        s.unmap(Region::new(0x2000, 0x3000)).unwrap();
+        let d = s.delta_since(&base);
+        let mut replica = base.clone();
+        replica.apply_delta(&d).unwrap();
+        assert_eq!(replica.content_digest().value(), s.content_digest().value());
+        assert_eq!(replica.page_count(), s.page_count());
+        assert_eq!(replica.dirty_page_count(), s.dirty_page_count());
+        for vpn in r.vpns() {
+            assert_eq!(
+                replica.perm_at(vpn << PAGE_SHIFT),
+                s.perm_at(vpn << PAGE_SHIFT)
+            );
+        }
+    }
+
+    #[test]
+    fn delta_preserves_zero_frame_identity() {
+        let base = AddressSpace::new();
+        let mut s = base.clone();
+        s.map_zero(Region::new(0x1000, 0x2000), Perm::RW).unwrap();
+        s.map_zero(Region::new(0x2000, 0x3000), Perm::RW).unwrap();
+        s.write_u64(0x2000, 5).unwrap();
+        let d = s.delta_since(&base);
+        let mut replica = base.clone();
+        replica.apply_delta(&d).unwrap();
+        // The untouched zero page still aliases the global zero frame
+        // on the replica (the merge engine's O(1) fast path depends on
+        // this identity); the written page holds a private frame.
+        let infos: Vec<PageInfo> = replica.iter_pages().collect();
+        assert!(infos.iter().any(|p| p.vpn == 1 && p.is_zero_frame));
+        assert!(infos.iter().any(|p| p.vpn == 2 && !p.is_zero_frame));
+    }
+
+    #[test]
+    fn delta_replica_merges_with_identical_stats() {
+        // Parent forks a child (copy + snap), the child writes; merging
+        // the live child and a delta-reconstructed replica into
+        // identical parents must produce bit-identical MergeStats —
+        // including the frame-identity and leaf-sharing fast paths.
+        let r = Region::new(0x1000, 0x4000);
+        let mut parent = rw_space(0x1000, 0x3000);
+        parent.write_u64(0x1000, 1).unwrap();
+        let mut child = AddressSpace::new();
+        child.copy_from(&parent, r, 0x1000).unwrap();
+        let snap = child.snapshot();
+        let child_base = child.clone();
+        let snap_replica = snap.clone();
+        let mut child_replica = child_base.clone();
+        // The vehicle window: the child writes one page, zero-maps a
+        // fresh one, and re-zeroes an existing zero page.
+        child.write_u64(0x2000, 42).unwrap();
+        child
+            .map_zero(Region::new(0x3000, 0x4000), Perm::RW)
+            .unwrap();
+        child
+            .map_zero(Region::new(0x1000, 0x2000), Perm::RW)
+            .unwrap();
+        let d = child.delta_since(&child_base);
+        child_replica.apply_delta(&d).unwrap();
+
+        let mut p_live = parent.clone();
+        let mut p_replay = parent.clone();
+        let (live, lc) = p_live
+            .try_merge_from(&child, &snap, r, ConflictPolicy::ChildWins)
+            .unwrap();
+        let (replayed, rc) = p_replay
+            .try_merge_from(&child_replica, &snap_replica, r, ConflictPolicy::ChildWins)
+            .unwrap();
+        assert!(lc.is_none() && rc.is_none());
+        assert_eq!(live, replayed, "merge stats must replay bit-identically");
+        assert_eq!(
+            p_live.content_digest().value(),
+            p_replay.content_digest().value()
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_empty() {
+        let s = rw_space(0x1000, 0x3000);
+        let base = s.clone();
+        let d = s.delta_since(&base);
+        assert!(d.is_empty());
     }
 }

@@ -4,6 +4,7 @@ use det_kernel::{KernelError, TrapKind};
 
 /// Errors surfaced by the Unix-emulation runtime.
 #[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum RtError {
     /// Underlying kernel error.
     Kernel(KernelError),
@@ -47,6 +48,12 @@ impl From<KernelError> for RtError {
 impl From<det_memory::MemError> for RtError {
     fn from(e: det_memory::MemError) -> RtError {
         RtError::Kernel(KernelError::Mem(e))
+    }
+}
+
+impl From<RtError> for KernelError {
+    fn from(e: RtError) -> KernelError {
+        e.into_kernel()
     }
 }
 

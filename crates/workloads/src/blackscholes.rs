@@ -119,36 +119,29 @@ pub fn run(mode: Mode, cfg: BsConfig) -> RunResult {
         let per = options.div_ceil(threads);
         match mode {
             Mode::Determinator => {
-                let mut sched = DSched::new(ctx, region, quantum, 0)
-                    .map_err(det_runtime::RtError::into_kernel)?;
+                let mut sched = DSched::new(ctx, region, quantum, 0)?;
                 for t in 0..threads {
                     let lo = t * per;
                     let hi = ((t + 1) * per).min(options);
-                    sched
-                        .spawn(t as u64, move |c| {
-                            price_stripe(c, options, lo, hi)?;
-                            Ok(0)
-                        })
-                        .map_err(det_runtime::RtError::into_kernel)?;
+                    sched.spawn(t as u64, move |c| {
+                        price_stripe(c, options, lo, hi)?;
+                        Ok(0)
+                    })?;
                 }
-                sched.run().map_err(det_runtime::RtError::into_kernel)?;
+                sched.run()?;
             }
             Mode::Baseline => {
                 let mut group = ThreadGroup::new(ctx, region, 0);
                 for t in 0..threads {
                     let lo = t * per;
                     let hi = ((t + 1) * per).min(options);
-                    group
-                        .fork(t as u64, move |c| {
-                            price_stripe(c, options, lo, hi)?;
-                            Ok(0)
-                        })
-                        .map_err(det_runtime::RtError::into_kernel)?;
+                    group.fork(t as u64, move |c| {
+                        price_stripe(c, options, lo, hi)?;
+                        Ok(0)
+                    })?;
                 }
                 for t in 0..threads {
-                    group
-                        .join(t as u64)
-                        .map_err(det_runtime::RtError::into_kernel)?;
+                    group.join(t as u64)?;
                 }
             }
         }

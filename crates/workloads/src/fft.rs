@@ -63,45 +63,41 @@ pub fn run(mode: Mode, cfg: FftConfig) -> RunResult {
         for t in 0..threads {
             let lo = t * bf_per;
             let hi = ((t + 1) * bf_per).min(n / 2);
-            group
-                .fork(t as u64, move |c| {
-                    for s in 0..log2n {
-                        let half = 1usize << s;
-                        for b in lo..hi {
-                            let g = b / half;
-                            let j = b % half;
-                            let i0 = g * half * 2 + j;
-                            let i1 = i0 + half;
-                            let ang = -std::f64::consts::PI * (j as f64) / (half as f64);
-                            let (wr, wi) = (ang.cos(), ang.sin());
-                            let x0r = c.mem().read_f64(BASE + (2 * i0) as u64 * 8)?;
-                            let x0i = c.mem().read_f64(BASE + (2 * i0 + 1) as u64 * 8)?;
-                            let x1r = c.mem().read_f64(BASE + (2 * i1) as u64 * 8)?;
-                            let x1i = c.mem().read_f64(BASE + (2 * i1 + 1) as u64 * 8)?;
-                            let tr = x1r * wr - x1i * wi;
-                            let ti = x1r * wi + x1i * wr;
-                            c.mem_mut()
-                                .write_f64(BASE + (2 * i0) as u64 * 8, x0r + tr)?;
-                            c.mem_mut()
-                                .write_f64(BASE + (2 * i0 + 1) as u64 * 8, x0i + ti)?;
-                            c.mem_mut()
-                                .write_f64(BASE + (2 * i1) as u64 * 8, x0r - tr)?;
-                            c.mem_mut()
-                                .write_f64(BASE + (2 * i1 + 1) as u64 * 8, x0i - ti)?;
-                        }
-                        c.charge((hi - lo) as u64 * NS_PER_BUTTERFLY)?;
-                        if s + 1 < log2n {
-                            threads::barrier(c)?;
-                        }
+            group.fork(t as u64, move |c| {
+                for s in 0..log2n {
+                    let half = 1usize << s;
+                    for b in lo..hi {
+                        let g = b / half;
+                        let j = b % half;
+                        let i0 = g * half * 2 + j;
+                        let i1 = i0 + half;
+                        let ang = -std::f64::consts::PI * (j as f64) / (half as f64);
+                        let (wr, wi) = (ang.cos(), ang.sin());
+                        let x0r = c.mem().read_f64(BASE + (2 * i0) as u64 * 8)?;
+                        let x0i = c.mem().read_f64(BASE + (2 * i0 + 1) as u64 * 8)?;
+                        let x1r = c.mem().read_f64(BASE + (2 * i1) as u64 * 8)?;
+                        let x1i = c.mem().read_f64(BASE + (2 * i1 + 1) as u64 * 8)?;
+                        let tr = x1r * wr - x1i * wi;
+                        let ti = x1r * wi + x1i * wr;
+                        c.mem_mut()
+                            .write_f64(BASE + (2 * i0) as u64 * 8, x0r + tr)?;
+                        c.mem_mut()
+                            .write_f64(BASE + (2 * i0 + 1) as u64 * 8, x0i + ti)?;
+                        c.mem_mut()
+                            .write_f64(BASE + (2 * i1) as u64 * 8, x0r - tr)?;
+                        c.mem_mut()
+                            .write_f64(BASE + (2 * i1 + 1) as u64 * 8, x0i - ti)?;
                     }
-                    Ok(0)
-                })
-                .map_err(det_runtime::RtError::into_kernel)?;
+                    c.charge((hi - lo) as u64 * NS_PER_BUTTERFLY)?;
+                    if s + 1 < log2n {
+                        threads::barrier(c)?;
+                    }
+                }
+                Ok(0)
+            })?;
         }
         let ids: Vec<u64> = (0..threads as u64).collect();
-        group
-            .run_to_completion(&ids)
-            .map_err(det_runtime::RtError::into_kernel)?;
+        group.run_to_completion(&ids)?;
 
         // Validate against a direct DFT at sampled frequencies.
         let spectrum = ctx.mem().read_f64s(BASE, 2 * n)?;

@@ -39,13 +39,12 @@ pub enum Mode {
 impl Mode {
     /// The kernel configuration this mode runs under.
     pub fn config(self) -> KernelConfig {
-        KernelConfig {
-            costs: match self {
+        KernelConfig::builder()
+            .costs(match self {
                 Mode::Determinator => CostModel::calibrated(),
                 Mode::Baseline => baseline_costs(),
-            },
-            ..Default::default()
-        }
+            })
+            .build()
     }
 }
 

@@ -79,42 +79,38 @@ pub fn run(mode: Mode, cfg: LuConfig) -> RunResult {
 
         let mut group = ThreadGroup::new(ctx, region, 0);
         for t in 0..threads {
-            group
-                .fork(t as u64, move |c| {
-                    for k in 0..n - 1 {
-                        // Rows below k that this thread owns.
-                        let akk = c.mem().read_f64(BASE + ((k * n + k) * 8) as u64)?;
-                        let row_k = c.mem().read_f64s(BASE + ((k * n + k) * 8) as u64, n - k)?;
-                        let mut work = 0u64;
-                        for i in (k + 1)..n {
-                            if !owns(layout, threads, n, t, i) {
-                                continue;
-                            }
-                            let aik = c.mem().read_f64(BASE + ((i * n + k) * 8) as u64)?;
-                            let l = aik / akk;
-                            let mut row_i =
-                                c.mem().read_f64s(BASE + ((i * n + k) * 8) as u64, n - k)?;
-                            row_i[0] = l; // Store L in place.
-                            for j in 1..n - k {
-                                row_i[j] -= l * row_k[j];
-                            }
-                            c.mem_mut()
-                                .write_f64s(BASE + ((i * n + k) * 8) as u64, &row_i)?;
-                            work += NS_PER_DIV + (n - k - 1) as u64 * NS_PER_UPDATE;
+            group.fork(t as u64, move |c| {
+                for k in 0..n - 1 {
+                    // Rows below k that this thread owns.
+                    let akk = c.mem().read_f64(BASE + ((k * n + k) * 8) as u64)?;
+                    let row_k = c.mem().read_f64s(BASE + ((k * n + k) * 8) as u64, n - k)?;
+                    let mut work = 0u64;
+                    for i in (k + 1)..n {
+                        if !owns(layout, threads, n, t, i) {
+                            continue;
                         }
-                        c.charge(work.max(1))?;
-                        if k + 1 < n - 1 {
-                            threads::barrier(c)?;
+                        let aik = c.mem().read_f64(BASE + ((i * n + k) * 8) as u64)?;
+                        let l = aik / akk;
+                        let mut row_i =
+                            c.mem().read_f64s(BASE + ((i * n + k) * 8) as u64, n - k)?;
+                        row_i[0] = l; // Store L in place.
+                        for j in 1..n - k {
+                            row_i[j] -= l * row_k[j];
                         }
+                        c.mem_mut()
+                            .write_f64s(BASE + ((i * n + k) * 8) as u64, &row_i)?;
+                        work += NS_PER_DIV + (n - k - 1) as u64 * NS_PER_UPDATE;
                     }
-                    Ok(0)
-                })
-                .map_err(det_runtime::RtError::into_kernel)?;
+                    c.charge(work.max(1))?;
+                    if k + 1 < n - 1 {
+                        threads::barrier(c)?;
+                    }
+                }
+                Ok(0)
+            })?;
         }
         let ids: Vec<u64> = (0..threads as u64).collect();
-        group
-            .run_to_completion(&ids)
-            .map_err(det_runtime::RtError::into_kernel)?;
+        group.run_to_completion(&ids)?;
 
         // Validate L·U ≈ A at sampled entries.
         let lu = ctx.mem().read_f64s(BASE, n * n)?;

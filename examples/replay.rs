@@ -1,12 +1,22 @@
-//! Record/replay (PAPER.md §2.1): all nondeterministic inputs are explicit
-//! device events at the root, so logging them suffices to reproduce an
-//! entire parallel execution bit-for-bit — no internal event logging.
+//! Record/replay, two ways.
+//!
+//! **I/O-log replay** (PAPER.md §2.1): all nondeterministic inputs are
+//! explicit device events at the root, so logging them suffices to
+//! reproduce an entire parallel execution bit-for-bit by *re-running*
+//! it — no internal event logging.
+//!
+//! **Syscall-trace replay** (DESIGN.md §7): attach a [`TraceSink`] and
+//! the kernel records every syscall-level transition it feeds its pure
+//! core; the collected [`Trace`] re-applies through `apply(state,
+//! event)` **without running any program code at all** — no threads,
+//! no VM, no devices — and reproduces the same exit status, virtual
+//! clock, kernel stats, and per-space memory digests.
 //!
 //! ```sh
 //! cargo run --release --example replay
 //! ```
 
-use determinator::kernel::{DeviceId, IoMode, Kernel, KernelConfig};
+use determinator::kernel::{DeviceId, IoMode, Kernel, KernelConfig, Trace, TraceSink};
 use determinator::runtime::proc::{ProgramRegistry, run_process_tree_on};
 
 fn app(p: &mut determinator::runtime::Proc<'_>) -> determinator::runtime::Result<i32> {
@@ -34,8 +44,9 @@ fn app(p: &mut determinator::runtime::Proc<'_>) -> determinator::runtime::Result
 }
 
 fn main() {
-    // --- Run 1: record. ---------------------------------------------
-    let kernel = Kernel::new(KernelConfig::default());
+    // --- Run 1: record (both the I/O log and the syscall trace). -----
+    let sink = TraceSink::new();
+    let kernel = Kernel::new(KernelConfig::builder().trace(sink.clone()).build());
     kernel.push_input(DeviceId::ConsoleIn, b"ada\n".to_vec());
     let rec = run_process_tree_on(kernel, ProgramRegistry::new(), app);
     assert_eq!(rec.exit, Ok(0));
@@ -48,17 +59,48 @@ fn main() {
         log_json.len()
     );
 
-    // --- Run 2: replay from the log alone (no pushed input!). --------
+    // --- Run 2: re-execute from the I/O log alone (no pushed input!).
     let log = determinator::kernel::IoLog::from_json(&log_json).expect("log parses");
-    let kernel = Kernel::new(KernelConfig {
-        io: IoMode::Replay(log),
-        ..Default::default()
-    });
+    let kernel = Kernel::new(KernelConfig::builder().io(IoMode::Replay(log)).build());
     let rep = run_process_tree_on(kernel, ProgramRegistry::new(), app);
-    println!("--- replayed run ---");
+    println!("--- replayed run (re-executed from I/O log) ---");
     print!("{}", rep.console_string());
-
     assert_eq!(rec.console(), rep.console(), "replay must be bit-identical");
     assert_eq!(rec.vclock_ns, rep.vclock_ns, "even virtual time matches");
-    println!("\nreplay identical: output and virtual clock match exactly");
+
+    // --- Run 3: re-apply the syscall trace — no program code runs. ---
+    let trace = sink.collect().expect("sink recorded the run");
+    let trace_json = trace.to_json();
+    let trace = Trace::from_json(&trace_json).expect("trace parses");
+    println!(
+        "--- replayed run (pure state machine, {} events, {} bytes of trace) ---",
+        trace.len(),
+        trace_json.len()
+    );
+    let pure = trace.replay().expect("trace replays");
+    print!(
+        "{}",
+        String::from_utf8_lossy(
+            pure.outputs
+                .get(&DeviceId::ConsoleOut)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        )
+    );
+    assert_eq!(pure.exit, rec.exit, "exit status replays");
+    assert_eq!(pure.outputs, rec.outputs, "device outputs replay");
+    assert_eq!(pure.vclock_ns, rec.vclock_ns, "virtual clock replays");
+    assert_eq!(pure.digests, rec.space_digests, "memory digests replay");
+    {
+        let (mut a, mut b) = (pure.stats.clone(), rec.stats.clone());
+        a.spurious_wakeups = 0;
+        b.spurious_wakeups = 0;
+        assert_eq!(a, b, "kernel stats replay");
+    }
+
+    println!(
+        "\nreplay identical: {} syscall events re-applied with zero vehicles;",
+        trace.len()
+    );
+    println!("output, stats, digests, and virtual clock all match exactly");
 }

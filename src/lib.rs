@@ -12,13 +12,17 @@
 //! legacy lock-based APIs — all race-free or
 //! deterministically-scheduled.
 //!
-//! This crate is a facade re-exporting the workspace:
+//! This crate is a facade with an *intentional* public surface: every
+//! name below is re-exported explicitly (no glob re-exports), so the
+//! API a release promises is exactly what this file lists. Start with
+//! [`prelude`] for the common vocabulary, or reach into a domain
+//! module:
 //!
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`memory`] | `det-memory` | paged COW address spaces, snapshots, byte-granularity merge |
 //! | [`vm`] | `det-vm` | deterministic RISC-style VM with exact instruction limits |
-//! | [`kernel`] | `det-kernel` | spaces, Put/Get/Ret, devices, virtual-time cost model |
+//! | [`kernel`] | `det-kernel` | spaces, Put/Get/Ret, devices, virtual-time cost model, trace record/replay |
 //! | [`runtime`] | `det-runtime` | fork/exec/wait, replicated fs, threads, dsched, shell |
 //! | [`cluster`] | `det-cluster` | space migration across simulated nodes |
 //! | [`workloads`] | `det-workloads` | the paper's benchmarks + baselines |
@@ -30,10 +34,7 @@
 //! the kernel merges their writes at join:
 //!
 //! ```
-//! use determinator::kernel::{
-//!     CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec,
-//! };
-//! use determinator::memory::{Perm, Region};
+//! use determinator::prelude::*;
 //!
 //! let shared = Region::new(0x1000, 0x2000);
 //! let (x, y) = (0x1000, 0x1008);
@@ -64,36 +65,107 @@
 //! assert_eq!(out.exit, Ok(0));
 //! ```
 //!
+//! # Record and replay
+//!
+//! Attach a [`TraceSink`] and the kernel records every syscall-level
+//! transition; the collected [`Trace`] re-applies through the pure
+//! state machine — *no execution vehicles* — and reproduces the same
+//! stats, digests, and virtual clock (see `examples/replay.rs`):
+//!
+//! ```
+//! use determinator::prelude::*;
+//!
+//! let sink = TraceSink::new();
+//! let cfg = KernelConfig::builder().trace(sink.clone()).build();
+//! let live = Kernel::new(cfg).run(|ctx| {
+//!     ctx.mem_mut().map_zero(Region::new(0, 0x1000), Perm::RW)?;
+//!     Ok(7)
+//! });
+//! let trace = sink.collect().expect("run was traced");
+//! let replayed = trace.replay().expect("trace replays");
+//! assert_eq!(replayed.exit, live.exit);
+//! assert_eq!(replayed.vclock_ns, live.vclock_ns);
+//! ```
+//!
 //! See `examples/` for the actor simulation (Figure 1), the parallel
 //! make scenario (Figure 4), the scripted shell, record/replay, and
 //! cluster distribution.
 
+#![warn(missing_docs)]
+
+// The headline API, also available unqualified at the crate root.
+pub use det_kernel::{
+    CostModel, Kernel, KernelConfig, KernelConfigBuilder, KernelError, KernelStats, ReplayOutcome,
+    RunOutcome, Trace, TraceEvent, TraceMeta, TraceSink,
+};
+
+/// The common vocabulary for driving a deterministic kernel: one
+/// `use determinator::prelude::*` covers kernel construction, the
+/// Put/Get/Ret syscall surface, memory regions, and trace
+/// record/replay.
+pub mod prelude {
+    pub use det_kernel::{
+        CopySpec, CostModel, DeviceId, GetResult, GetSpec, IoMode, Kernel, KernelConfig,
+        KernelConfigBuilder, KernelError, KernelStats, Program, PutResult, PutSpec, ReplayOutcome,
+        RunOutcome, SpaceCtx, StartSpec, StopReason, Trace, TraceMeta, TraceSink, TrapKind,
+        VmDispatch,
+    };
+    pub use det_memory::{ConflictPolicy, Perm, Region};
+}
+
 /// Paged copy-on-write memory: `det-memory`.
 pub mod memory {
-    pub use det_memory::*;
+    pub use det_memory::{
+        AccessTracker, AddressSpace, CloneStats, ConflictPolicy, ContentDigest, Frame, MemError,
+        MergeConflict, MergeStats, PAGE_SHIFT, PAGE_SIZE, PAGES_PER_LEAF, PageDelta, PageDeltaOp,
+        PageInfo, Perm, Region, Result, SpaceDelta, Translation, reference,
+    };
 }
 
 /// Deterministic virtual CPU: `det-vm`.
 pub mod vm {
-    pub use det_vm::*;
+    pub use det_vm::{
+        AsmError, Cpu, CpuCacheStats, DecodeError, Image, Insn, Opcode, Regs, VmExit, VmTrap,
+        assemble, decode, disassemble, encode,
+    };
 }
 
 /// The Determinator kernel: `det-kernel`.
 pub mod kernel {
-    pub use det_kernel::*;
+    pub use det_kernel::{
+        ChildNum, ClusterHooks, CopySpec, CostModel, DeviceId, Effect, EntryRec, GetResult,
+        GetSpec, InputEvent, InputHandle, IoLog, IoMode, Kernel, KernelConfig, KernelConfigBuilder,
+        KernelError, KernelStats, MergeStatsSerde, NODE_SHIFT, NativeEntry, NativeResult, Program,
+        ProgramKind, PutRec, PutResult, PutSpec, ReplayOutcome, Result, RunOutcome, SpaceCtx,
+        SpaceId, StartSpec, StopReason, Trace, TraceEvent, TraceMeta, TraceSink, TrapKind,
+        VmCounters, VmDispatch, child_index, child_on_node, full_user_region, node_field, ns_to_ps,
+        ps_to_ns,
+    };
+    // Substrate types the kernel API surfaces directly.
+    pub use det_memory::{
+        AddressSpace, ConflictPolicy, MemError, MergeConflict, MergeStats, Perm, Region,
+    };
+    pub use det_vm::Regs;
 }
 
 /// User-level runtime: `det-runtime`.
 pub mod runtime {
-    pub use det_runtime::*;
+    pub use det_runtime::{
+        ExitStatus, FileSys, JoinResult, Pid, Proc, ProgramRegistry, ReconcileStats, Result,
+        RtError, ThreadGroup, barrier, dsched, fs, layout, proc, run_deterministic,
+        run_process_tree, run_process_tree_on, shell, thread_id, threads,
+    };
 }
 
 /// Cluster simulation: `det-cluster`.
 pub mod cluster {
-    pub use det_cluster::*;
+    pub use det_cluster::{ClusterStats, NetworkModel, ResidencyStats, SimCluster};
 }
 
 /// The paper's benchmarks: `det-workloads`.
 pub mod workloads {
-    pub use det_workloads::*;
+    pub use det_workloads::{
+        Mode, RunResult, baseline_costs, blackscholes, dist, fft, lu, mathx, matmult, md5, qsort,
+        secs, speedup,
+    };
 }

@@ -133,10 +133,11 @@ fn record_replay_full_stack() {
     let rec = run_process_tree_on(kernel, ProgramRegistry::new(), app);
     assert_eq!(rec.exit, Ok(0));
 
-    let kernel = Kernel::new(KernelConfig {
-        io: IoMode::Replay(rec.io_log.clone()),
-        ..Default::default()
-    });
+    let kernel = Kernel::new(
+        KernelConfig::builder()
+            .io(IoMode::Replay(rec.io_log.clone()))
+            .build(),
+    );
     let rep = run_process_tree_on(kernel, ProgramRegistry::new(), app);
     assert_eq!(rec.console(), rep.console());
     assert_eq!(rec.vclock_ns, rep.vclock_ns);
