@@ -783,7 +783,7 @@ pub fn rendezvous_table(scale: Scale) -> Table {
             format!("{host_ns:.0}"),
             s.condvar_wakeups.to_string(),
             format!("{:.3}", s.condvar_wakeups as f64 / rounds as f64),
-            s.spurious_wakeups.to_string(),
+            out.host.spurious_wakeups.to_string(),
             format!("{:.1}", out.vclock_ns as f64 / rounds as f64),
         ]);
     }

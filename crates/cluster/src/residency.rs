@@ -1,8 +1,8 @@
 //! Per-(space, node) page residency: which pages hold a valid copy
 //! where, the invalidation rule, and demand-pull charging.
 
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::collections::HashMap;
 
 use det_kernel::SpaceId;
 
@@ -17,8 +17,10 @@ pub struct ResidencyStats {
 
 #[derive(Default)]
 pub(crate) struct Residency {
-    /// (space, node) → set of resident vpns.
-    map: HashMap<(u32, u16), BTreeSet<u64>>,
+    /// (space, node) → set of resident vpns. Ordered so that any
+    /// iteration-dependent behavior (invalidation sweeps, future
+    /// migration-ordering decisions) is deterministic.
+    map: BTreeMap<(u32, u16), BTreeSet<u64>>,
     pub(crate) stats: crate::ClusterStats,
 }
 

@@ -1,0 +1,164 @@
+//! The conformance driver: runs registered scenarios as N replicas,
+//! compares artifact bundles byte-for-byte, and writes divergence
+//! reports.
+//!
+//! ```sh
+//! conform --replicas 3                  # CI gate
+//! conform --replicas 10 --chaos         # nightly
+//! conform --scenario wl_md5 --dispatch inline
+//! conform --cross-dispatch              # Inline vs Threaded equality
+//! conform --list
+//! ```
+//!
+//! Exits nonzero on any divergence; with `--report-dir DIR` each
+//! divergence report is also written to
+//! `DIR/<scenario>-<dispatch>.txt`.
+
+use std::process::ExitCode;
+
+use det_conform::{
+    ConformConfig, ScenarioReport, conform_scenario, cross_dispatch_check, registry,
+};
+use det_kernel::VmDispatch;
+
+struct Args {
+    replicas: usize,
+    chaos: bool,
+    dispatches: Vec<VmDispatch>,
+    scenarios: Vec<String>,
+    report_dir: Option<String>,
+    cross_dispatch: bool,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conform [--replicas N] [--chaos|--no-chaos] \
+         [--dispatch inline|threaded|both] [--scenario NAME]... \
+         [--report-dir DIR] [--cross-dispatch] [--list]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        replicas: 3,
+        chaos: false,
+        dispatches: vec![VmDispatch::Inline, VmDispatch::Threaded],
+        scenarios: Vec::new(),
+        report_dir: None,
+        cross_dispatch: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--replicas" => {
+                args.replicas = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--chaos" => args.chaos = true,
+            "--no-chaos" => args.chaos = false,
+            "--dispatch" => {
+                args.dispatches = match it.next().as_deref() {
+                    Some("inline") => vec![VmDispatch::Inline],
+                    Some("threaded") => vec![VmDispatch::Threaded],
+                    Some("both") => vec![VmDispatch::Inline, VmDispatch::Threaded],
+                    _ => usage(),
+                };
+            }
+            "--scenario" => match it.next() {
+                Some(name) => args.scenarios.push(name),
+                None => usage(),
+            },
+            "--report-dir" => args.report_dir = it.next().or_else(|| usage()),
+            "--cross-dispatch" => args.cross_dispatch = true,
+            "--list" => args.list = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn write_report(dir: &Option<String>, name: &str, text: &str) {
+    let Some(dir) = dir else { return };
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = format!("{dir}/{name}.txt");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let all = registry();
+    if args.list {
+        for sc in &all {
+            println!(
+                "{}{}",
+                sc.name,
+                if sc.traceable { "" } else { " (untraceable)" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<_> = if args.scenarios.is_empty() {
+        all
+    } else {
+        args.scenarios
+            .iter()
+            .map(|n| {
+                det_conform::find(n).unwrap_or_else(|| {
+                    eprintln!("unknown scenario: {n}");
+                    std::process::exit(2)
+                })
+            })
+            .collect()
+    };
+
+    let cfg = ConformConfig {
+        replicas: args.replicas,
+        chaos: args.chaos,
+    };
+    let mut failed = false;
+
+    if args.cross_dispatch {
+        for sc in &selected {
+            match cross_dispatch_check(sc) {
+                None => println!("PASS {} [Inline == Threaded]", sc.name),
+                Some(d) => {
+                    failed = true;
+                    let report = d.report(sc.name, "inline", "threaded");
+                    eprint!("{report}");
+                    write_report(&args.report_dir, &format!("{}-cross", sc.name), &report);
+                }
+            }
+        }
+    } else {
+        for sc in &selected {
+            for &dispatch in &args.dispatches {
+                let r: ScenarioReport = conform_scenario(sc, dispatch, &cfg);
+                println!("{}", r.summary());
+                if !r.conforms() {
+                    failed = true;
+                    let report = r.report();
+                    eprint!("{report}");
+                    write_report(
+                        &args.report_dir,
+                        &format!("{}-{:?}", sc.name, dispatch),
+                        &report,
+                    );
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,180 @@
+//! The N-replica runner: executes a scenario repeatedly (optionally
+//! under chaotic host load), collects a canonical artifact bundle per
+//! replica, and compares every replica byte-for-byte against the
+//! first.
+
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread::JoinHandle;
+
+use det_kernel::VmDispatch;
+
+use crate::bundle::{Artifacts, Scope};
+use crate::diff::{Divergence, compare};
+use crate::scenario::{Scenario, ScenarioConfig, registry};
+
+/// Background host load that thrashes the OS scheduler while replicas
+/// run, shaking out wakeup races and schedule-dependent behaviour.
+/// Threads stop and join on drop.
+pub struct ChaosLoad {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ChaosLoad {
+    /// Starts `n` spin/yield threads.
+    pub fn start(n: usize) -> ChaosLoad {
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads = (0..n)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        ChaosLoad { stop, threads }
+    }
+}
+
+impl Drop for ChaosLoad {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Harness parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ConformConfig {
+    /// Replicas per scenario per dispatch mode (first is the
+    /// baseline). CI runs 3; nightly runs 10.
+    pub replicas: usize,
+    /// Run background chaos load while replicas execute.
+    pub chaos: bool,
+}
+
+impl Default for ConformConfig {
+    fn default() -> ConformConfig {
+        ConformConfig {
+            replicas: 3,
+            chaos: true,
+        }
+    }
+}
+
+/// The result of conforming one scenario under one dispatch mode.
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Dispatch mode the replicas ran under.
+    pub dispatch: VmDispatch,
+    /// Replicas executed (stops early on the first divergence).
+    pub replicas_run: usize,
+    /// The diverging replica index (baseline is replica 0) and the
+    /// localized divergence, if any replica failed to conform.
+    pub divergence: Option<(usize, Divergence)>,
+}
+
+impl ScenarioReport {
+    /// True when every replica's bundle was byte-identical.
+    pub fn conforms(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        match &self.divergence {
+            None => format!(
+                "PASS {} [{:?}] x{}",
+                self.scenario, self.dispatch, self.replicas_run
+            ),
+            Some((r, d)) => format!(
+                "DIVERGED {} [{:?}] replica {} vs 0: {} at byte {}",
+                self.scenario,
+                self.dispatch,
+                r,
+                d.category.name(),
+                d.offset
+            ),
+        }
+    }
+
+    /// The full report text for a divergence (empty when conforming).
+    pub fn report(&self) -> String {
+        match &self.divergence {
+            None => String::new(),
+            Some((r, d)) => d.report(self.scenario, "replica 0", &format!("replica {r}")),
+        }
+    }
+}
+
+/// Runs `replicas` copies of a scenario under one dispatch mode and
+/// compares each bundle byte-for-byte against replica 0.
+pub fn conform_scenario(
+    sc: &Scenario,
+    dispatch: VmDispatch,
+    cfg: &ConformConfig,
+) -> ScenarioReport {
+    let _chaos = cfg.chaos.then(|| ChaosLoad::start(3));
+    let run_cfg = ScenarioConfig {
+        dispatch,
+        trace: true,
+    };
+    let collect = || Artifacts::collect(sc.name, dispatch, &(sc.run)(&run_cfg));
+    let baseline = collect();
+    let mut replicas_run = 1;
+    for r in 1..cfg.replicas.max(1) {
+        let replica = collect();
+        replicas_run += 1;
+        if let Some(d) = compare(&baseline, &replica, Scope::Full) {
+            return ScenarioReport {
+                scenario: sc.name,
+                dispatch,
+                replicas_run,
+                divergence: Some((r, d)),
+            };
+        }
+    }
+    ScenarioReport {
+        scenario: sc.name,
+        dispatch,
+        replicas_run,
+        divergence: None,
+    }
+}
+
+/// Runs a scenario once under each dispatch mode and compares the
+/// bundles in [`Scope::CrossDispatch`] (vehicle counters and trace
+/// check-in boundaries excluded — everything else must match).
+pub fn cross_dispatch_check(sc: &Scenario) -> Option<Divergence> {
+    let run = |dispatch| {
+        Artifacts::collect(
+            sc.name,
+            dispatch,
+            &(sc.run)(&ScenarioConfig {
+                dispatch,
+                trace: true,
+            }),
+        )
+    };
+    let inline = run(VmDispatch::Inline);
+    let threaded = run(VmDispatch::Threaded);
+    compare(&inline, &threaded, Scope::CrossDispatch)
+}
+
+/// Conforms every registered scenario under both dispatch modes.
+pub fn conform_all(cfg: &ConformConfig) -> Vec<ScenarioReport> {
+    let mut reports = Vec::new();
+    for sc in registry() {
+        for dispatch in [VmDispatch::Inline, VmDispatch::Threaded] {
+            reports.push(conform_scenario(&sc, dispatch, cfg));
+        }
+    }
+    reports
+}

@@ -29,7 +29,7 @@ use crate::error::{KernelError, Result, TrapKind};
 use crate::ids::ChildNum;
 use crate::state::{
     KSlot, KState, ProgramKind, RunState, SpaceState, StopCounter, VmDispatch, check_in_charge,
-    observe_stop, stop_counter,
+    child_path, observe_stop, stop_counter,
 };
 use crate::syscall::{CopySpec, GetSpec, PutSpec, StartSpec, StopReason};
 
@@ -476,7 +476,11 @@ fn ensure_child(ks: &mut KState, caller: u32, child: ChildNum, child_id: u32) ->
             if ks.slots.contains_key(&child_id) {
                 return divergence("trace reuses a space id for a new child");
             }
-            ks.slots.insert(child_id, KSlot::new(node));
+            let path = {
+                let c = slot_mut(ks, caller)?;
+                child_path(&c.path.clone(), child, &mut c.child_gens)
+            };
+            ks.slots.insert(child_id, KSlot::new(node, path));
             ks.stats.spaces_created += 1;
             slot_mut(ks, caller)?.children.insert(child, child_id);
             Ok(())
@@ -530,7 +534,11 @@ fn replay_clone(
         if ks.slots.contains_key(&kid_id) {
             return divergence("tree copy reuses a space id");
         }
-        ks.slots.insert(kid_id, KSlot::new(node));
+        let path = {
+            let d = slot_mut(ks, dst)?;
+            child_path(&d.path.clone(), num, &mut d.child_gens)
+        };
+        ks.slots.insert(kid_id, KSlot::new(node, path));
         ks.stats.spaces_created += 1;
         slot_mut(ks, dst)?.children.insert(num, kid_id);
         replay_clone(ks, kid_src, kid_id, ids)?;

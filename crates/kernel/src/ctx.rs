@@ -30,7 +30,7 @@ use crate::device::DeviceId;
 use crate::error::{KernelError, Result, TrapKind};
 use crate::ids::{ChildNum, SpaceId, node_field};
 use crate::kernel::{ChildRef, RunState, Shared, Slot, SlotCell, SpaceState, TraceCtx};
-use crate::state::observe_stop;
+use crate::state::{child_path, observe_stop};
 use crate::syscall::{GetResult, GetSpec, PutResult, PutSpec, StopReason};
 
 use std::sync::atomic::Ordering::Relaxed;
@@ -261,7 +261,12 @@ impl SpaceCtx {
         // parent can only Tree-rewrite the map while this space is
         // parked — so the miss above cannot race an insert.
         let node = self.st().cur_node;
-        let (id, cell) = self.shared.new_slot(node);
+        let path = {
+            let mut g = self.cell.m.lock();
+            let parent = g.path.clone();
+            child_path(&parent, child, &mut g.child_gens)
+        };
+        let (id, cell) = self.shared.new_slot(node, path);
         self.cell
             .m
             .lock()
@@ -816,7 +821,12 @@ fn clone_into(
             .as_ref()
             .map(|s| s.home_node)
             .unwrap_or(0);
-        let (kid_id, kid_dst) = shared.new_slot(node);
+        let path = {
+            let mut g = dst.m.lock();
+            let parent = g.path.clone();
+            child_path(&parent, num, &mut g.child_gens)
+        };
+        let (kid_id, kid_dst) = shared.new_slot(node, path);
         new_ids.push(kid_id.index());
         dst.m
             .lock()

@@ -8,13 +8,18 @@
 //! bit-for-bit — the paper's replay-debugging/intrusion-analysis use
 //! case (§2.1).
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
 /// Device identifiers.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+///
+/// `Ord` is part of the contract: device outputs are keyed by
+/// `BTreeMap<DeviceId, _>` so every serialized artifact enumerates
+/// them in one canonical order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum DeviceId {
     /// Console input (host-pushed bytes).
     ConsoleIn,
@@ -76,7 +81,7 @@ pub(crate) struct DeviceHub {
     recorded: IoLog,
     replay_next: usize,
     inputs: HashMap<DeviceId, VecDeque<Vec<u8>>>,
-    outputs: HashMap<DeviceId, Vec<u8>>,
+    outputs: BTreeMap<DeviceId, Vec<u8>>,
     clock_now_ns: u64,
     clock_step_ns: u64,
     rng_state: u64,
@@ -90,7 +95,7 @@ impl DeviceHub {
             recorded: IoLog::default(),
             replay_next: 0,
             inputs: HashMap::new(),
-            outputs: HashMap::new(),
+            outputs: BTreeMap::new(),
             clock_now_ns: 0,
             clock_step_ns: 1_000_000,
             rng_state: 0x9e37_79b9_7f4a_7c15,
@@ -160,7 +165,7 @@ impl DeviceHub {
         self.outputs.entry(dev).or_default().extend_from_slice(data);
     }
 
-    pub(crate) fn into_parts(self) -> (HashMap<DeviceId, Vec<u8>>, IoLog) {
+    pub(crate) fn into_parts(self) -> (BTreeMap<DeviceId, Vec<u8>>, IoLog) {
         (self.outputs, self.recorded)
     }
 }

@@ -24,7 +24,6 @@
 //! dispatch.
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::Arc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -42,10 +41,10 @@ use crate::device::{DeviceHub, DeviceId, IoLog, IoMode};
 use crate::error::{KernelError, Result, TrapKind};
 use crate::ids::SpaceId;
 use crate::program::{NativeEntry, NativeResult, Program};
-use crate::state::{StopCounter, check_in_charge, final_reason, stop_counter};
-use crate::stats::KernelStats;
+use crate::state::{ROOT_PATH, StopCounter, check_in_charge, final_reason, stop_counter};
+use crate::stats::{HostStats, KernelStats};
 use crate::syscall::StopReason;
-use crate::trace::{TraceMeta, TraceSink};
+use crate::trace::{SpaceArtifact, TraceMeta, TraceSink};
 
 /// Cross-node migration callbacks, implemented by `det-cluster`.
 ///
@@ -275,6 +274,15 @@ pub(crate) type ChildRef = (SpaceId, Arc<SlotCell>);
 
 pub(crate) struct Slot {
     pub children: BTreeMap<u64, ChildRef>,
+    /// Deterministic lineage path (see [`crate::state::child_path`]):
+    /// table ids are allocation-order artifacts that race under
+    /// concurrent creation, so artifacts and reports name spaces by
+    /// path. Assigned at creation under the parent's slot lock,
+    /// identically to the replay mirror.
+    pub path: String,
+    /// Per-child-number creation counter for the path generation
+    /// suffix (only `Tree` copies ever rebind a number).
+    pub child_gens: BTreeMap<u64, u32>,
     pub run: RunState,
     pub state: Option<Box<SpaceState>>,
     pub pending: Option<Program>,
@@ -298,9 +306,11 @@ pub(crate) struct Slot {
 }
 
 impl Slot {
-    pub(crate) fn new_child(node: u16) -> Slot {
+    pub(crate) fn new_child(node: u16, path: String) -> Slot {
         Slot {
             children: BTreeMap::new(),
+            path,
+            child_gens: BTreeMap::new(),
             run: RunState::Idle(StopReason::Unstarted),
             state: Some(Box::new(SpaceState::new(node))),
             pending: None,
@@ -352,9 +362,9 @@ pub(crate) struct MergeAccum {
 /// after every vehicle has been joined), so no ordering between them
 /// is ever observed mid-run. The *values* are deterministic — they
 /// count kernel-mediated events, not host scheduling — only the bump
-/// itself is lock-free. (`spurious_wakeups` is the one exception:
-/// wake races are host timing, and the field is documented as
-/// observability only.)
+/// itself is lock-free. (`spurious_wakeups` is the one exception —
+/// wake races are host timing — which is why it folds into
+/// [`HostStats`], never into [`KernelStats`].)
 #[derive(Default)]
 pub(crate) struct HotStats {
     pub puts: AtomicU64,
@@ -406,8 +416,15 @@ impl HotStats {
         stats.vm_icache_hits += self.vm_icache_hits.load(Relaxed);
         stats.vm_icache_fills += self.vm_icache_fills.load(Relaxed);
         stats.condvar_wakeups += self.condvar_wakeups.load(Relaxed);
-        stats.spurious_wakeups += self.spurious_wakeups.load(Relaxed);
         stats.vm_inline_runs += self.vm_inline_runs.load(Relaxed);
+    }
+
+    /// The host-scheduling-dependent counters, segregated from the
+    /// deterministic [`KernelStats`].
+    pub(crate) fn host_stats(&self) -> HostStats {
+        HostStats {
+            spurious_wakeups: self.spurious_wakeups.load(Relaxed),
+        }
     }
 }
 
@@ -442,9 +459,12 @@ impl Shared {
         Arc::clone(&self.table.lock()[id.0 as usize])
     }
 
-    /// Appends a fresh child slot to the table.
-    pub(crate) fn new_slot(&self, node: u16) -> (SpaceId, Arc<SlotCell>) {
-        let cell = SlotCell::new(Slot::new_child(node));
+    /// Appends a fresh child slot to the table. `path` is the slot's
+    /// deterministic lineage path, derived by the caller under the
+    /// parent's slot lock (the table id, by contrast, is an
+    /// allocation-order artifact).
+    pub(crate) fn new_slot(&self, node: u16, path: String) -> (SpaceId, Arc<SlotCell>) {
+        let cell = SlotCell::new(Slot::new_child(node, path));
         let mut t = self.table.lock();
         let id = SpaceId(t.len() as u32);
         t.push(Arc::clone(&cell));
@@ -747,16 +767,30 @@ pub struct RunOutcome {
     /// The root space's final virtual clock (nanoseconds): the
     /// virtual-time makespan of the whole computation.
     pub vclock_ns: u64,
-    /// Kernel operation counters.
+    /// Kernel operation counters. Fully deterministic: every field is
+    /// a pure function of the kernel-mediated event history.
     pub stats: KernelStats,
-    /// Device output buffers (console, etc.).
-    pub outputs: HashMap<DeviceId, Vec<u8>>,
+    /// Host-scheduling-dependent counters, segregated so `stats` can
+    /// be compared across runs without carve-outs.
+    pub host: HostStats,
+    /// Device output buffers (console, etc.), in canonical device
+    /// order.
+    pub outputs: BTreeMap<DeviceId, Vec<u8>>,
     /// The recorded nondeterministic-input log (for replay).
     pub io_log: IoLog,
-    /// Final per-space memory digests `(space id, digest)`, root
-    /// first — populated only when a trace sink is attached, for
-    /// comparison against [`crate::ReplayOutcome::digests`].
-    pub space_digests: Vec<(u32, u64)>,
+    /// Final per-space artifacts (lineage path, clock, instruction
+    /// count, whole-image and per-page memory digests), ascending by
+    /// space id with the root first — populated only when a trace sink
+    /// is attached, for comparison against
+    /// [`crate::ReplayOutcome::spaces`] and across replicas by the
+    /// conformance harness.
+    pub spaces: Vec<SpaceArtifact>,
+    /// Lineage path of *every* space the run created (including spaces
+    /// whose final state was not observable), ascending by space id —
+    /// populated only when a trace sink is attached. This is the
+    /// id→path key for rewriting recorded trace events into
+    /// run-invariant form.
+    pub space_paths: Vec<(u32, String)>,
 }
 
 impl RunOutcome {
@@ -820,7 +854,7 @@ impl Kernel {
                 vm_dispatch: config.vm_dispatch,
             });
         }
-        let root = SlotCell::new(Slot::new_child(0));
+        let root = SlotCell::new(Slot::new_child(0, ROOT_PATH.to_string()));
         Kernel {
             shared: Arc::new(Shared {
                 table: Mutex::new(vec![root]),
@@ -885,22 +919,25 @@ impl Kernel {
             .store(true, std::sync::atomic::Ordering::SeqCst);
         let cells: Vec<Arc<SlotCell>> = self.shared.table.lock().clone();
         let mut handles = Vec::new();
-        // Final memory digests, for trace-replay comparison: the root
-        // from its just-returned state, every other space from whatever
-        // state the destroy sweep finds checked in. Only computed when
-        // recording — digesting every space costs real work.
+        // Final per-space artifacts, for trace-replay comparison and
+        // the conformance harness: the root from its just-returned
+        // state, every other space from whatever state the destroy
+        // sweep finds checked in. Only computed when recording —
+        // digesting every space costs real work.
         let tracing = self.shared.trace.is_some();
-        let mut space_digests: Vec<(u32, u64)> = Vec::new();
-        if tracing {
-            if let Some(s) = root_st.as_ref() {
-                space_digests.push((0, s.mem.content_digest().value()));
-            }
-        }
+        let mut spaces: Vec<SpaceArtifact> = Vec::new();
+        let mut space_paths: Vec<(u32, String)> = Vec::new();
         for (idx, cell) in cells.iter().enumerate() {
             let mut g = cell.m.lock();
-            if tracing && idx != 0 {
-                if let Some(st) = g.state.as_ref() {
-                    space_digests.push((idx as u32, st.mem.content_digest().value()));
+            if tracing {
+                space_paths.push((idx as u32, g.path.clone()));
+                let st = if idx == 0 {
+                    root_st.as_deref()
+                } else {
+                    g.state.as_deref()
+                };
+                if let Some(st) = st {
+                    spaces.push(SpaceArtifact::of(idx as u32, g.path.clone(), st));
                 }
             }
             g.run = RunState::Destroyed;
@@ -936,9 +973,11 @@ impl Kernel {
             exit,
             vclock_ns,
             stats,
+            host: self.shared.hot.host_stats(),
             outputs,
             io_log,
-            space_digests,
+            spaces,
+            space_paths,
         }
     }
 }
@@ -1170,7 +1209,7 @@ mod tests {
     #[test]
     fn final_check_in_without_state_synthesizes_terminal_trap() {
         let sh = shared();
-        let (_, cell) = sh.new_slot(0);
+        let (_, cell) = sh.new_slot(0, "/t".to_string());
         {
             let mut g = cell.m.lock();
             g.state = None;
@@ -1193,7 +1232,7 @@ mod tests {
     #[test]
     fn park_after_destroy_counts_nothing() {
         let sh = shared();
-        let (_, cell) = sh.new_slot(0);
+        let (_, cell) = sh.new_slot(0, "/t".to_string());
         {
             let mut g = cell.m.lock();
             g.state = None;
@@ -1212,7 +1251,7 @@ mod tests {
     #[test]
     fn final_check_in_on_destroyed_slot_is_noop() {
         let sh = shared();
-        let (_, cell) = sh.new_slot(0);
+        let (_, cell) = sh.new_slot(0, "/t".to_string());
         {
             let mut g = cell.m.lock();
             g.state = None;
@@ -1235,7 +1274,7 @@ mod tests {
     #[test]
     fn check_in_charges_rendezvous_cost() {
         let sh = shared();
-        let (_, cell) = sh.new_slot(0);
+        let (_, cell) = sh.new_slot(0, "/t".to_string());
         {
             let mut g = cell.m.lock();
             let st = g.state.take().expect("fresh slot");

@@ -97,9 +97,9 @@ pub use kernel::{
 };
 pub use program::{NativeEntry, NativeResult, Program};
 pub use state::ProgramKind;
-pub use stats::{KernelStats, MergeStatsSerde};
+pub use stats::{HostStats, KernelStats, MergeStatsSerde};
 pub use syscall::{CopySpec, GetResult, GetSpec, PutResult, PutSpec, StartSpec, StopReason};
-pub use trace::{ReplayOutcome, Trace, TraceMeta, TraceSink};
+pub use trace::{ReplayOutcome, SpaceArtifact, Trace, TraceMeta, TraceSink};
 
 // Re-export the substrate types the kernel API exposes.
 pub use det_memory::{

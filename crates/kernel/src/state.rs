@@ -10,7 +10,6 @@
 //! `core_modules_are_pure` in `apply.rs`).
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use det_memory::{AddressSpace, ConflictPolicy};
 use det_vm::Regs;
@@ -127,6 +126,14 @@ impl SpaceState {
 pub(crate) struct KSlot {
     /// Child number → space id, the per-space private namespace.
     pub children: BTreeMap<ChildNum, u32>,
+    /// Deterministic lineage path (see [`child_path`]). Space *table
+    /// ids* are allocation-order artifacts — concurrent creations race
+    /// for them — so any cross-run artifact names spaces by path, never
+    /// by id.
+    pub path: String,
+    /// Per-child-number creation counter feeding [`child_path`]'s
+    /// generation suffix.
+    pub child_gens: BTreeMap<ChildNum, u32>,
     pub run: RunState,
     pub state: Option<Box<SpaceState>>,
     /// Program installed but not yet started.
@@ -140,9 +147,11 @@ pub(crate) struct KSlot {
 }
 
 impl KSlot {
-    pub(crate) fn new(node: u16) -> KSlot {
+    pub(crate) fn new(node: u16, path: String) -> KSlot {
         KSlot {
             children: BTreeMap::new(),
+            path,
+            child_gens: BTreeMap::new(),
             run: RunState::Idle(StopReason::Unstarted),
             state: Some(Box::new(SpaceState::new(node))),
             pending: None,
@@ -152,6 +161,42 @@ impl KSlot {
         }
     }
 }
+
+/// Derives the lineage path of the next space bound at `child` under a
+/// parent, bumping the parent's per-number creation counter.
+///
+/// The root is `"/"`; a first binding is `<parent>/<child-num>`; a
+/// binding that *replaces* an earlier one (only `Tree` copies do this —
+/// `ensure_child` never creates over an existing entry) is suffixed
+/// `@<generation>`. Because every space's children are created by its
+/// own single thread of control (a parent can only rewrite the map
+/// while the space is parked), the per-number creation *sequence* is a
+/// pure function of the kernel-mediated event history — so paths, and
+/// anything keyed by them, are identical across runs and between a
+/// live run and its trace replay. The shell (`ctx.rs`) and the replay
+/// mirror (`apply.rs`) both assign paths through this one function.
+pub(crate) fn child_path(
+    parent: &str,
+    child: ChildNum,
+    gens: &mut BTreeMap<ChildNum, u32>,
+) -> String {
+    let counter = gens.entry(child).or_insert(0);
+    let generation = *counter;
+    *counter += 1;
+    let base = if parent == "/" {
+        format!("/{child}")
+    } else {
+        format!("{parent}/{child}")
+    };
+    if generation == 0 {
+        base
+    } else {
+        format!("{base}@{generation}")
+    }
+}
+
+/// The root space's lineage path.
+pub(crate) const ROOT_PATH: &str = "/";
 
 /// The whole kernel as plain data: the state a trace replay evolves.
 ///
@@ -165,7 +210,9 @@ pub(crate) struct KState {
     pub slots: BTreeMap<u32, KSlot>,
     pub stats: KernelStats,
     /// Device output buffers (the replayed side of the device hub).
-    pub outputs: HashMap<DeviceId, Vec<u8>>,
+    /// Ordered, like the hub's, so serialized artifacts enumerate
+    /// devices canonically.
+    pub outputs: BTreeMap<DeviceId, Vec<u8>>,
     /// Set by the `RootExit` event.
     pub root_exit: Option<std::result::Result<i32, TrapKind>>,
 }
@@ -173,7 +220,7 @@ pub(crate) struct KState {
 impl KState {
     pub(crate) fn new(costs: CostModel, policy: ConflictPolicy, vm_dispatch: VmDispatch) -> KState {
         let mut slots = BTreeMap::new();
-        let mut root = KSlot::new(0);
+        let mut root = KSlot::new(0, ROOT_PATH.to_string());
         root.run = RunState::Running;
         slots.insert(0, root);
         KState {
@@ -182,7 +229,7 @@ impl KState {
             vm_dispatch,
             slots,
             stats: KernelStats::default(),
-            outputs: HashMap::new(),
+            outputs: BTreeMap::new(),
             root_exit: None,
         }
     }

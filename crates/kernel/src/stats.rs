@@ -74,12 +74,22 @@ pub struct KernelStats {
     /// `targeted_wakeups_*` tests lock in the exact value so a
     /// broadcast (thundering-herd) wakeup can't silently return.
     pub condvar_wakeups: u64,
-    /// Waits that woke without their predicate holding (spurious or
-    /// raced wakeups). Host-scheduling-dependent; observability only.
-    pub spurious_wakeups: u64,
     /// Times a leaf VM space was executed inline on the thread waiting
     /// for it (zero-context-switch rendezvous; see DESIGN.md §6).
     pub vm_inline_runs: u64,
+}
+
+/// Counters that depend on *host* scheduling, segregated from
+/// [`KernelStats`] so the latter is fully deterministic — every field
+/// of `KernelStats` is a pure function of the kernel-mediated event
+/// history and is compared without carve-outs by trace replay and the
+/// conformance harness. `HostStats` is observability only: two
+/// identical runs may legitimately differ here.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+pub struct HostStats {
+    /// Waits that woke without their predicate holding (spurious or
+    /// raced wakeups).
+    pub spurious_wakeups: u64,
 }
 
 /// Wrapper keeping [`MergeStats`] (an external type) inside the

@@ -18,7 +18,7 @@
 //! reached. The `trace_roundtrip` integration tests assert exactly
 //! that, through a JSON round-trip for good measure.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use det_memory::{ConflictPolicy, MemError, PageDelta, PageDeltaOp, Perm, Region, SpaceDelta};
@@ -29,7 +29,7 @@ use crate::apply::{EntryRec, PutRec, TraceEvent, VmCounters, apply};
 use crate::cost::{CostModel, ps_to_ns};
 use crate::device::DeviceId;
 use crate::error::{KernelError, Result, TrapKind};
-use crate::state::{KState, ProgramKind, RunState, VmDispatch};
+use crate::state::{KState, ProgramKind, RunState, SpaceState, VmDispatch};
 use crate::stats::KernelStats;
 use crate::syscall::{CopySpec, GetSpec, StartSpec, StopReason};
 
@@ -90,6 +90,48 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
 }
 
+/// The per-space slice of a run's final state — what the conformance
+/// harness compares across replicas, and what a replay must reproduce.
+///
+/// Spaces are named by their deterministic lineage [`path`] in any
+/// cross-run artifact; the table [`id`] is an allocation-order detail
+/// carried along for diagnostics only.
+///
+/// [`path`]: SpaceArtifact::path
+/// [`id`]: SpaceArtifact::id
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpaceArtifact {
+    /// Space table id (allocation order; may differ across runs).
+    pub id: u32,
+    /// Deterministic lineage path (`"/"` for the root, `"/7"` for
+    /// child number 7 of the root, `"/7/3@1"` for the second space
+    /// ever bound at number 3 under it, and so on).
+    pub path: String,
+    /// Final virtual clock in picoseconds.
+    pub vclock_ps: u64,
+    /// VM instructions retired.
+    pub insn_count: u64,
+    /// Whole-space content digest (permissions + bytes of every
+    /// mapped page).
+    pub digest: u64,
+    /// Per-page `(vpn, digest)` pairs, ascending by vpn — fine-grained
+    /// enough for a divergence report to name the first differing page.
+    pub page_digests: Vec<(u64, u64)>,
+}
+
+impl SpaceArtifact {
+    pub(crate) fn of(id: u32, path: String, st: &SpaceState) -> SpaceArtifact {
+        SpaceArtifact {
+            id,
+            path,
+            vclock_ps: st.vclock_ps,
+            insn_count: st.insn_count,
+            digest: st.mem.content_digest().value(),
+            page_digests: st.mem.page_digests(),
+        }
+    }
+}
+
 /// What a replay reproduces — the deterministic face of
 /// [`RunOutcome`](crate::RunOutcome). (The host-I/O log is not part of
 /// it: device *inputs* are already baked into the recorded deltas.)
@@ -99,16 +141,20 @@ pub struct ReplayOutcome {
     pub exit: std::result::Result<i32, TrapKind>,
     /// The root space's final virtual clock (nanoseconds).
     pub vclock_ns: u64,
-    /// Kernel operation counters. `spurious_wakeups` is host
-    /// scheduling noise and always zero here; every other field
-    /// matches the live run exactly.
+    /// Kernel operation counters; every field matches the live run
+    /// exactly. (Host scheduling noise lives in
+    /// [`HostStats`](crate::HostStats), outside this struct.)
     pub stats: KernelStats,
-    /// Device output buffers.
-    pub outputs: HashMap<DeviceId, Vec<u8>>,
-    /// Per-space memory digests at end of run, ascending by space id
+    /// Device output buffers, ordered by device.
+    pub outputs: BTreeMap<DeviceId, Vec<u8>>,
+    /// Per-space artifacts at end of run, ascending by space id
     /// (spaces whose state was still checked out to an abandoned
     /// vehicle at shutdown are not observable and not listed).
-    pub digests: Vec<(u32, u64)>,
+    pub spaces: Vec<SpaceArtifact>,
+    /// Every space's `(id, lineage path)`, including spaces with no
+    /// artifact — the complete map for projecting trace events onto
+    /// path-named streams.
+    pub space_paths: Vec<(u32, String)>,
 }
 
 impl Trace {
@@ -157,8 +203,10 @@ impl Trace {
             Some(st) => ps_to_ns(st.vclock_ps),
             None => return Err(KernelError::ReplayDivergence("root state missing at exit")),
         };
-        let mut digests = Vec::new();
+        let mut spaces = Vec::new();
+        let mut space_paths = Vec::new();
         for (&id, slot) in &ks.slots {
+            space_paths.push((id, slot.path.clone()));
             // A non-root slot still `Running` was checked out to an
             // abandoned vehicle at shutdown; its memory was not
             // observable live either.
@@ -166,7 +214,7 @@ impl Trace {
                 continue;
             }
             if let Some(st) = slot.state.as_ref() {
-                digests.push((id, st.mem.content_digest().value()));
+                spaces.push(SpaceArtifact::of(id, slot.path.clone(), st));
             }
         }
         Ok(ReplayOutcome {
@@ -174,7 +222,8 @@ impl Trace {
             vclock_ns,
             stats: ks.stats,
             outputs: ks.outputs,
-            digests,
+            spaces,
+            space_paths,
         })
     }
 }
@@ -782,6 +831,18 @@ fn p_event(v: &Value) -> std::result::Result<TraceEvent, DeError> {
         },
         _ => return Err(DeError::msg("unknown trace event")),
     })
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        v_event(self)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &Value) -> std::result::Result<TraceEvent, DeError> {
+        p_event(v)
+    }
 }
 
 impl Serialize for Trace {

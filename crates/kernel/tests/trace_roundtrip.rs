@@ -15,8 +15,9 @@ use det_memory::Perm;
 use det_vm::Regs;
 
 /// Replays `sink`'s recording (through JSON) and asserts it matches
-/// the live outcome bit-for-bit. `spurious_wakeups` is host-scheduling
-/// noise and excluded; everything else must be identical.
+/// the live outcome bit-for-bit. Host-scheduling noise lives in
+/// `RunOutcome::host`, outside the comparison; everything the kernel
+/// itself produced must be identical — no carve-outs.
 fn assert_replay_matches(live: &RunOutcome, sink: &TraceSink) {
     let trace = sink.collect().expect("sink recorded a trace");
     let json = trace.to_json();
@@ -27,15 +28,14 @@ fn assert_replay_matches(live: &RunOutcome, sink: &TraceSink) {
     assert_eq!(rep.vclock_ns, live.vclock_ns, "virtual clock must replay");
     assert_eq!(rep.outputs, live.outputs, "device outputs must replay");
     assert_eq!(
-        rep.digests, live.space_digests,
-        "per-space memory digests must replay"
+        rep.spaces, live.spaces,
+        "per-space artifacts (paths, clocks, digests) must replay"
     );
-
-    let mut live_stats = live.stats.clone();
-    let mut rep_stats = rep.stats.clone();
-    live_stats.spurious_wakeups = 0;
-    rep_stats.spurious_wakeups = 0;
-    assert_eq!(rep_stats, live_stats, "kernel stats must replay");
+    assert_eq!(
+        rep.space_paths, live.space_paths,
+        "lineage paths must replay"
+    );
+    assert_eq!(rep.stats, live.stats, "kernel stats must replay");
 }
 
 /// The PR 5 rendezvous storm — fork-join plus rounds of the fused
@@ -316,12 +316,13 @@ fn nested_fork_join_replays_bit_identically() {
 }
 
 /// Without a sink the kernel records nothing and pays nothing:
-/// `space_digests` stays empty and `collect` returns `None`.
+/// `spaces` stays empty and `collect` returns `None`.
 #[test]
 fn no_sink_means_no_trace() {
     let sink = TraceSink::new();
     let out = Kernel::new(KernelConfig::default()).run(|_ctx| Ok(0));
     assert_eq!(out.exit, Ok(0));
-    assert!(out.space_digests.is_empty());
+    assert!(out.spaces.is_empty());
+    assert!(out.space_paths.is_empty());
     assert!(sink.collect().is_none());
 }

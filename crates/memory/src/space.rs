@@ -1408,6 +1408,28 @@ impl AddressSpace {
         d
     }
 
+    /// Returns one `(vpn, digest)` pair per mapped page, in ascending
+    /// vpn order. Each digest covers the page's permission bits plus
+    /// its full contents, computed with the same FNV chain as
+    /// [`AddressSpace::content_digest`]. This is the stable per-space
+    /// enumeration the conformance harness serializes into artifact
+    /// bundles: a content divergence localizes to the first differing
+    /// page instead of one opaque whole-image digest.
+    pub fn page_digests(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.page_count());
+        for rs in &self.root {
+            for idx in rs.leaf.present_indices() {
+                let e = rs.leaf.entries[idx].as_ref().expect("present bit set");
+                let mut d = ContentDigest::new();
+                d.update_u64(if e.perm.allows(Perm::R) { 1 } else { 0 });
+                d.update_u64(if e.perm.allows(Perm::W) { 1 } else { 0 });
+                d.update(e.frame.bytes());
+                out.push(((rs.base << LEAF_BITS) + idx as u64, d.value()));
+            }
+        }
+        out
+    }
+
     /// Grants `merge_from` access to entries (crate-internal).
     pub(crate) fn entry_frame(&self, vpn: u64) -> Option<(&Arc<Frame>, Perm)> {
         self.entry(vpn).map(|e| (&e.frame, e.perm))

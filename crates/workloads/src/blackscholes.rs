@@ -3,7 +3,7 @@
 //! §6.2 — "porting required no changes; the deterministic scheduler's
 //! quantization incurs a fixed cost").
 
-use det_kernel::{Kernel, Region};
+use det_kernel::{Kernel, KernelConfig, Region, RunOutcome};
 use det_memory::Perm;
 use det_runtime::dsched::DSched;
 use det_runtime::threads::ThreadGroup;
@@ -92,15 +92,17 @@ fn price_stripe(
     Ok(())
 }
 
-/// Runs blackscholes: Determinator mode uses the deterministic
-/// scheduler (pthread emulation); baseline mode uses plain threads on
-/// the conventional cost model. Validates put-call parity on samples.
-pub fn run(mode: Mode, cfg: BsConfig) -> RunResult {
+/// Runs blackscholes under an arbitrary kernel configuration and
+/// returns the raw outcome (conformance harness entry point). `mode`
+/// still picks the threading style — deterministic scheduler vs plain
+/// threads — independent of the cost model in `kcfg`. Validates
+/// put-call parity on samples in-run.
+pub fn outcome(kcfg: KernelConfig, mode: Mode, cfg: BsConfig) -> RunOutcome {
     let options = cfg.options;
     let threads = cfg.threads.max(1);
     let quantum = cfg.quantum_ns;
     let region = region_for(options);
-    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+    Kernel::new(kcfg).run(move |ctx| {
         ctx.mem_mut().map_zero(region, Perm::RW)?;
         let mut rng = XorShift64::new(0xB5);
         let mut params = Vec::with_capacity(options);
@@ -165,7 +167,14 @@ pub fn run(mode: Mode, cfg: BsConfig) -> RunResult {
             d.update_u64(v.to_bits());
         }
         Ok((d.value() & 0x7fff_ffff) as i32)
-    });
+    })
+}
+
+/// Runs blackscholes: Determinator mode uses the deterministic
+/// scheduler (pthread emulation); baseline mode uses plain threads on
+/// the conventional cost model.
+pub fn run(mode: Mode, cfg: BsConfig) -> RunResult {
+    let outcome = outcome(mode.config(), mode, cfg);
     let checksum = outcome.exit.expect("blackscholes trapped") as u64;
     RunResult {
         vclock_ns: outcome.vclock_ns,

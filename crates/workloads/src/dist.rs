@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use det_cluster::{NetworkModel, SimCluster};
 use det_kernel::{
-    CopySpec, GetSpec, Kernel, KernelError, Program, PutSpec, Region, SpaceCtx, child_on_node,
+    CopySpec, GetSpec, Kernel, KernelConfig, KernelError, Program, PutSpec, Region, RunOutcome,
+    SpaceCtx, child_on_node,
 };
 use det_memory::Perm;
 
@@ -166,16 +167,18 @@ fn md5_tree_node(
     Ok(())
 }
 
-/// Runs md5-tree: recursive fork across nodes, results merged up the
-/// tree (§6.3 — the variant that scales).
-pub fn md5_tree(cfg: DistConfig) -> RunResult {
+/// Runs md5-tree under an arbitrary base kernel configuration on a
+/// simulated cluster and returns the raw outcome (conformance harness
+/// entry point). Cluster hooks disable syscall tracing, so the
+/// harness compares this scenario's reduced bundle.
+pub fn md5_tree_outcome(kcfg: KernelConfig, cfg: DistConfig) -> RunOutcome {
     let nodes = cfg.nodes.max(1);
     let keyspace = cfg.size;
     let target = keyspace * 7 / 8;
     let digest = md5(&candidate(target));
     let shared = Region::new(BASE, BASE + 0x1000);
-    let (kernel, _sim) = kernel_for(&cfg);
-    let outcome = kernel.run(move |ctx| {
+    let kernel = Kernel::with_cluster(kcfg, cluster_for(&cfg));
+    kernel.run(move |ctx| {
         ctx.mem_mut().map_zero(shared, Perm::RW)?;
         md5_tree_node(ctx, shared, 0, nodes, 0, keyspace, digest)?;
         let mut found = u64::MAX;
@@ -186,7 +189,14 @@ pub fn md5_tree(cfg: DistConfig) -> RunResult {
             }
         }
         Ok(found as i32)
-    });
+    })
+}
+
+/// Runs md5-tree: recursive fork across nodes, results merged up the
+/// tree (§6.3 — the variant that scales).
+pub fn md5_tree(cfg: DistConfig) -> RunResult {
+    let target = cfg.size * 7 / 8;
+    let outcome = md5_tree_outcome(Mode::Determinator.config(), cfg);
     let found = outcome.exit.expect("md5-tree trapped") as u32 as u64;
     assert_eq!(found, target);
     RunResult {

@@ -8,7 +8,7 @@
 //! synchronization that makes fft markedly finer-grained than md5 yet
 //! still coarse enough to stay near the baseline (Fig. 7).
 
-use det_kernel::{Kernel, Region};
+use det_kernel::{Kernel, KernelConfig, Region, RunOutcome};
 use det_memory::Perm;
 use det_runtime::threads::{self, ThreadGroup};
 
@@ -34,14 +34,15 @@ fn region_for(n: usize) -> Region {
     Region::new(BASE, end)
 }
 
-/// Runs the FFT; validates against a direct DFT at sampled
-/// frequencies. Checksum digests the spectrum bits.
-pub fn run(mode: Mode, cfg: FftConfig) -> RunResult {
+/// Runs the FFT under an arbitrary kernel configuration and returns
+/// the raw outcome (conformance harness entry point). Validates
+/// against a direct DFT at sampled frequencies in-run.
+pub fn outcome(kcfg: KernelConfig, cfg: FftConfig) -> RunOutcome {
     let n = 1usize << cfg.log2n;
     let threads = cfg.threads.max(1);
     let region = region_for(n);
     let log2n = cfg.log2n;
-    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+    Kernel::new(kcfg).run(move |ctx| {
         ctx.mem_mut().map_zero(region, Perm::RW)?;
         // Deterministic input signal.
         let mut rng = XorShift64::new(0xFF7);
@@ -124,7 +125,12 @@ pub fn run(mode: Mode, cfg: FftConfig) -> RunResult {
             d.update_u64(v.to_bits());
         }
         Ok((d.value() & 0x7fff_ffff) as i32)
-    });
+    })
+}
+
+/// Runs the FFT; checksum digests the spectrum bits.
+pub fn run(mode: Mode, cfg: FftConfig) -> RunResult {
+    let outcome = outcome(mode.config(), cfg);
     let checksum = outcome.exit.expect("fft trapped") as u64;
     RunResult {
         vclock_ns: outcome.vclock_ns,

@@ -11,7 +11,7 @@
 //!   trailing matrix and the same pages are diffed once per thread —
 //!   measurably worse under Determinator, as in Figure 7.
 
-use det_kernel::{Kernel, Region};
+use det_kernel::{Kernel, KernelConfig, Region, RunOutcome};
 use det_memory::Perm;
 use det_runtime::threads::{self, ThreadGroup};
 
@@ -60,14 +60,15 @@ fn owns(layout: Layout, threads: usize, n: usize, t: usize, row: usize) -> bool 
     }
 }
 
-/// Runs the LU decomposition (no pivoting; the generated matrix is
-/// diagonally dominant). Validates `L·U ≈ A` at sampled entries.
-pub fn run(mode: Mode, cfg: LuConfig) -> RunResult {
+/// Runs the LU decomposition under an arbitrary kernel configuration
+/// and returns the raw outcome (conformance harness entry point).
+/// Validates `L·U ≈ A` at sampled entries in-run.
+pub fn outcome(kcfg: KernelConfig, cfg: LuConfig) -> RunOutcome {
     let n = cfg.n;
     let threads = cfg.threads.max(1);
     let layout = cfg.layout;
     let region = region_for(n);
-    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+    Kernel::new(kcfg).run(move |ctx| {
         ctx.mem_mut().map_zero(region, Perm::RW)?;
         let mut rng = XorShift64::new(0x10);
         let mut a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
@@ -135,7 +136,13 @@ pub fn run(mode: Mode, cfg: LuConfig) -> RunResult {
             d.update_u64(v.to_bits());
         }
         Ok((d.value() & 0x7fff_ffff) as i32)
-    });
+    })
+}
+
+/// Runs the LU decomposition (no pivoting; the generated matrix is
+/// diagonally dominant).
+pub fn run(mode: Mode, cfg: LuConfig) -> RunResult {
+    let outcome = outcome(mode.config(), cfg);
     let checksum = outcome.exit.expect("lu trapped") as u64;
     RunResult {
         vclock_ns: outcome.vclock_ns,

@@ -5,7 +5,7 @@
 //! workspace sees fork-time A and B, computes its stripe of C for
 //! real, and writes it in place; joins merge the disjoint stripes.
 
-use det_kernel::{CopySpec, GetSpec, Kernel, Program, PutSpec, Region};
+use det_kernel::{CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec, Region, RunOutcome};
 use det_memory::Perm;
 
 use crate::mathx::XorShift64;
@@ -42,14 +42,15 @@ fn addr_c(n: usize) -> u64 {
     BASE + (2 * n * n * 8) as u64
 }
 
-/// Runs C = A×B under `mode`; checksum is an FNV digest of C,
-/// validated against a golden sequential product for small N and by
-/// spot checks for large N.
-pub fn run(mode: Mode, cfg: MatmultConfig) -> RunResult {
+/// Runs C = A×B under an arbitrary kernel configuration and returns
+/// the raw outcome (conformance harness entry point). Results are
+/// validated in-run against a golden sequential product for small N
+/// and by spot checks for large N.
+pub fn outcome(kcfg: KernelConfig, cfg: MatmultConfig) -> RunOutcome {
     let n = cfg.n;
     let threads = cfg.threads.max(1);
     let shared = region_for(n);
-    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+    Kernel::new(kcfg).run(move |ctx| {
         ctx.mem_mut().map_zero(shared, Perm::RW)?;
         // Deterministic inputs.
         let mut rng = XorShift64::new(0xA11CE);
@@ -130,7 +131,12 @@ pub fn run(mode: Mode, cfg: MatmultConfig) -> RunResult {
             d.update_u64(*v);
         }
         Ok((d.value() & 0x7fff_ffff) as i32)
-    });
+    })
+}
+
+/// Runs C = A×B under `mode`; checksum is an FNV digest of C.
+pub fn run(mode: Mode, cfg: MatmultConfig) -> RunResult {
+    let outcome = outcome(mode.config(), cfg);
     let checksum = outcome.exit.expect("matmult trapped") as u64;
     RunResult {
         vclock_ns: outcome.vclock_ns,

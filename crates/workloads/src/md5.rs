@@ -1,7 +1,7 @@
 //! The md5 benchmark: brute-force search for the ASCII string with a
 //! given MD5 hash (§6.2), plus a from-scratch RFC 1321 MD5.
 
-use det_kernel::{CopySpec, GetSpec, Kernel, Program, PutSpec, Region};
+use det_kernel::{CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec, Region, RunOutcome};
 use det_memory::Perm;
 
 use crate::{Mode, RunResult};
@@ -120,12 +120,13 @@ impl Md5Config {
     }
 }
 
-/// Runs the md5 search with `cfg` under `mode`; the checksum is the
-/// found index (validated against the plant).
-pub fn run(mode: Mode, cfg: Md5Config) -> RunResult {
+/// Runs the md5 search under an arbitrary kernel configuration and
+/// returns the raw outcome (the conformance harness's entry point —
+/// it supplies trace sinks and dispatch modes through `kcfg`).
+pub fn outcome(kcfg: KernelConfig, cfg: Md5Config) -> RunOutcome {
     let digest = md5(&candidate(cfg.target));
     let threads = cfg.threads as u64;
-    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+    Kernel::new(kcfg).run(move |ctx| {
         ctx.mem_mut().map_zero(SHARED, Perm::RW)?;
         ctx.mem_mut().write_u64(FOUND_ADDR, u64::MAX)?;
         let per = cfg.keyspace.div_ceil(threads);
@@ -160,7 +161,13 @@ pub fn run(mode: Mode, cfg: Md5Config) -> RunResult {
         }
         let found = ctx.mem().read_u64(FOUND_ADDR)?;
         Ok(found as i32)
-    });
+    })
+}
+
+/// Runs the md5 search with `cfg` under `mode`; the checksum is the
+/// found index (validated against the plant).
+pub fn run(mode: Mode, cfg: Md5Config) -> RunResult {
+    let outcome = outcome(mode.config(), cfg);
     let found = outcome.exit.expect("md5 run trapped") as u32 as u64;
     assert_eq!(found, cfg.target, "search must find the planted key");
     RunResult {

@@ -4,7 +4,10 @@
 //! workspace, then forks two child spaces that sort the disjoint
 //! halves in place; joins merge the halves back. Leaves sort natively.
 
-use det_kernel::{CopySpec, GetSpec, Kernel, KernelError, Program, PutSpec, Region, SpaceCtx};
+use det_kernel::{
+    CopySpec, GetSpec, Kernel, KernelConfig, KernelError, Program, PutSpec, Region, RunOutcome,
+    SpaceCtx,
+};
 use det_memory::Perm;
 
 use crate::mathx::XorShift64;
@@ -100,13 +103,15 @@ fn sort_range(
     Ok(())
 }
 
-/// Runs the parallel quicksort; the checksum digests the sorted array,
-/// and sortedness plus content preservation are asserted.
-pub fn run(mode: Mode, cfg: QsortConfig) -> RunResult {
+/// Runs the parallel quicksort under an arbitrary kernel
+/// configuration and returns the raw outcome (conformance harness
+/// entry point). Sortedness and content preservation are asserted
+/// in-run.
+pub fn outcome(kcfg: KernelConfig, cfg: QsortConfig) -> RunOutcome {
     let n = cfg.n;
     let depth = cfg.depth;
     let region = region_for(n);
-    let outcome = Kernel::new(mode.config()).run(move |ctx| {
+    Kernel::new(kcfg).run(move |ctx| {
         ctx.mem_mut().map_zero(region, Perm::RW)?;
         let mut rng = XorShift64::new(0x5027);
         let input: Vec<u64> = (0..n).map(|_| rng.below(1 << 40)).collect();
@@ -122,7 +127,12 @@ pub fn run(mode: Mode, cfg: QsortConfig) -> RunResult {
             d.update_u64(*v);
         }
         Ok((d.value() & 0x7fff_ffff) as i32)
-    });
+    })
+}
+
+/// Runs the parallel quicksort; the checksum digests the sorted array.
+pub fn run(mode: Mode, cfg: QsortConfig) -> RunResult {
+    let outcome = outcome(mode.config(), cfg);
     let checksum = outcome.exit.expect("qsort trapped") as u64;
     RunResult {
         vclock_ns: outcome.vclock_ns,

@@ -2,64 +2,29 @@
 //! array of actors, each updated in place by a forked thread per time
 //! step. Racy under conventional threads; exact under Determinator.
 //!
+//! The body lives in the conformance registry as the `actors_grid`
+//! scenario (`det_conform::scenario`), so the same computation is
+//! byte-compared across N replicas in CI. This wrapper runs one
+//! replica and narrates.
+//!
 //! ```sh
 //! cargo run --release --example actors
 //! ```
 
-use determinator::kernel::KernelConfig;
-use determinator::memory::{Perm, Region};
-use determinator::runtime::run_deterministic;
-use determinator::runtime::threads::ThreadGroup;
-
-const NACTORS: u64 = 32;
-const STEPS: usize = 8;
-const SHARED: Region = Region {
-    start: 0x1000_0000,
-    end: 0x1000_0000 + 0x1000,
-};
-
-fn slot(i: u64) -> u64 {
-    SHARED.start + (i % NACTORS) * 8
-}
+use determinator::conform::{ScenarioConfig, find};
+use determinator::prelude::VmDispatch;
 
 fn main() {
-    let out = run_deterministic(KernelConfig::default(), |ctx| {
-        ctx.mem_mut().map_zero(SHARED, Perm::RW)?;
-        // initialize all elements of actor[] array
-        for i in 0..NACTORS {
-            ctx.mem_mut().write_u64(slot(i), i * i % 97)?;
-        }
-        // for (time = 0; ; time++)
-        for time in 0..STEPS {
-            let mut group = ThreadGroup::new(ctx, SHARED, 0);
-            // for each actor: thread_fork(i) — child updates actor[i]
-            for i in 0..NACTORS {
-                group.fork(i, move |c| {
-                    // examine state of nearby actors (the *old* state:
-                    // our private replica is untouched by siblings)
-                    let left = c.mem().read_u64(slot(i + NACTORS - 1))?;
-                    let right = c.mem().read_u64(slot(i + 1))?;
-                    let me = c.mem().read_u64(slot(i))?;
-                    // update state of actor[i] accordingly, in place
-                    c.mem_mut()
-                        .write_u64(slot(i), (left + right + me) % 1_000_003)?;
-                    c.charge(250)?;
-                    Ok(0)
-                })?;
-            }
-            // thread_join(i) for all — merges each child's update
-            for i in 0..NACTORS {
-                group.join(i)?;
-            }
-            let sample: Vec<u64> = (0..6)
-                .map(|i| ctx.mem().read_u64(slot(i)).unwrap())
-                .collect();
-            println!("t={time}: actors[0..6] = {sample:?}");
-        }
-        // Digest the final universe so reruns can be compared.
-        Ok((ctx.mem().content_digest().value() & 0x7fff_ffff) as i32)
+    let sc = find("actors_grid").expect("registered scenario");
+    let run = (sc.run)(&ScenarioConfig {
+        dispatch: VmDispatch::default(),
+        trace: false,
     });
+    let out = run.outcome;
     let digest = out.exit.expect("simulation trapped");
+    // Per-step samples, written by the scenario through the console
+    // device so they are part of the compared artifact bundle.
+    print!("{}", out.console_string());
     println!("final universe digest: {digest:#x} (identical on every run, any host schedule)");
     println!(
         "virtual makespan {} µs over {} merges, 0 races possible",

@@ -3,59 +3,24 @@
 //! replicas, reconciled at wait(); the deterministic wait() schedule
 //! trade-off is printed.
 //!
+//! The build graph lives in the conformance registry as the
+//! `parallel_make` scenario (`det_conform::scenario`), so the same
+//! fork/wait/fs behaviour is byte-compared across N replicas in CI.
+//!
 //! ```sh
 //! cargo run --release --example parallel_make
 //! ```
 
-use determinator::kernel::KernelConfig;
-use determinator::runtime::proc::{ProgramRegistry, run_process_tree};
+use determinator::conform::{ScenarioConfig, find};
+use determinator::prelude::VmDispatch;
 
 fn main() {
-    // Tasks: (name, virtual duration ms) as in Figure 4.
-    let tasks = [("lexer.o", 6u64), ("parser.o", 2), ("emit.o", 4)];
-
-    let out = run_process_tree(KernelConfig::default(), ProgramRegistry::new(), move |p| {
-        // `make -j2`: start the first two compilers.
-        let mut running = Vec::new();
-        for &(name, ms) in &tasks[..2] {
-            let pid = p.fork(move |c| {
-                c.charge(ms * 1_000_000)?;
-                let fd = c.open_write(&format!("obj/{name}"))?;
-                c.write(fd, format!("compiled {name} in {ms}ms").as_bytes())?;
-                Ok(0)
-            })?;
-            running.push(pid);
-            p.print(&format!("started compile of {name} ({ms} ms)\n"))?;
-        }
-        // Quota reached: wait for "a" child. Determinator returns the
-        // EARLIEST FORK (lexer.o, 6ms), not the first to finish
-        // (parser.o, 2ms) — Figure 4's (c) vs (d).
-        let (first, _) = p.wait()?;
-        p.print(&format!(
-            "wait() returned pid {} — the earliest fork, deterministically\n",
-            first.0
-        ))?;
-        let (name, ms) = tasks[2];
-        let pid3 = p.fork(move |c| {
-            c.charge(ms * 1_000_000)?;
-            let fd = c.open_write(&format!("obj/{name}"))?;
-            c.write(fd, format!("compiled {name} in {ms}ms").as_bytes())?;
-            Ok(0)
-        })?;
-        p.print(&format!("started compile of {name} ({ms} ms)\n"))?;
-        let _ = pid3;
-        while p.has_children() {
-            p.wait()?;
-        }
-        // All objects arrived in the parent's replica via
-        // reconciliation, conflict-free.
-        for f in p.fs().list("obj/") {
-            let fd = p.open_read(&f)?;
-            let data = p.read_to_end(fd)?;
-            p.print(&format!("{f}: {}\n", String::from_utf8_lossy(&data)))?;
-        }
-        Ok(0)
+    let sc = find("parallel_make").expect("registered scenario");
+    let run = (sc.run)(&ScenarioConfig {
+        dispatch: VmDispatch::default(),
+        trace: false,
     });
+    let out = run.outcome;
     assert_eq!(out.exit, Ok(0));
     print!("{}", out.console_string());
     println!(

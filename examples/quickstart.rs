@@ -1,84 +1,29 @@
 //! Quickstart: private workspaces, race-free swap, and conflict
 //! detection (PAPER.md §2.2).
 //!
+//! The body lives in the conformance registry as the
+//! `quickstart_swap` scenario (`det_conform::scenario`), so the exact
+//! computation this example demonstrates is also what the N-replica
+//! harness verifies in CI. This wrapper runs it once and narrates.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use determinator::kernel::{
-    CopySpec, GetSpec, Kernel, KernelConfig, KernelError, Program, PutSpec,
-};
-use determinator::memory::{Perm, Region};
+use determinator::conform::{ScenarioConfig, find};
+use determinator::prelude::VmDispatch;
 
 fn main() {
-    let shared = Region::new(0x1000, 0x2000);
-    let (x, y) = (0x1000u64, 0x1008u64);
-
-    let out = Kernel::new(KernelConfig::default()).run(move |ctx| {
-        ctx.mem_mut().map_zero(shared, Perm::RW)?;
-        ctx.mem_mut().write_u64(x, 1)?;
-        ctx.mem_mut().write_u64(y, 2)?;
-
-        // --- Part 1: `x = y` ∥ `y = x` swaps cleanly. -------------
-        ctx.put(
-            0,
-            PutSpec::new()
-                .program(Program::native(move |c| {
-                    let v = c.mem().read_u64(y)?;
-                    c.mem_mut().write_u64(x, v)?;
-                    Ok(0)
-                }))
-                .copy(CopySpec::mirror(shared))
-                .snap()
-                .start(),
-        )?;
-        ctx.put(
-            1,
-            PutSpec::new()
-                .program(Program::native(move |c| {
-                    let v = c.mem().read_u64(x)?;
-                    c.mem_mut().write_u64(y, v)?;
-                    Ok(0)
-                }))
-                .copy(CopySpec::mirror(shared))
-                .snap()
-                .start(),
-        )?;
-        ctx.get(0, GetSpec::new().merge(shared))?;
-        ctx.get(1, GetSpec::new().merge(shared))?;
-        println!(
-            "after `x = y` ∥ `y = x`:  x = {}, y = {}   (swapped, no race)",
-            ctx.mem().read_u64(x)?,
-            ctx.mem().read_u64(y)?
-        );
-
-        // --- Part 2: a write/write race is *detected*, not silent. --
-        for i in 0..2u64 {
-            ctx.put(
-                10 + i,
-                PutSpec::new()
-                    .program(Program::native(move |c| {
-                        c.mem_mut().write_u64(0x1010, 100 + i)?;
-                        Ok(0)
-                    }))
-                    .copy(CopySpec::mirror(shared))
-                    .snap()
-                    .start(),
-            )?;
-        }
-        ctx.get(10, GetSpec::new().merge(shared))?;
-        match ctx.get(11, GetSpec::new().merge(shared)) {
-            Err(KernelError::Conflict(c)) => {
-                println!(
-                    "write/write race on 0x{:x} detected at join: child wrote {}, sibling wrote {}",
-                    c.addr, c.child, c.parent
-                );
-            }
-            other => panic!("expected a conflict, got {other:?}"),
-        }
-        Ok(0)
+    let sc = find("quickstart_swap").expect("registered scenario");
+    let run = (sc.run)(&ScenarioConfig {
+        dispatch: VmDispatch::default(),
+        trace: false,
     });
+    let out = run.outcome;
     assert_eq!(out.exit, Ok(0));
+    // The scenario reports through the console device: the clean swap,
+    // then the *detected* (not silent) write/write race.
+    print!("{}", out.console_string());
     println!(
         "virtual makespan: {} µs, merges: {}, conflicts detected: {}",
         out.vclock_ns / 1000,

@@ -90,13 +90,10 @@ fn main() {
     assert_eq!(pure.exit, rec.exit, "exit status replays");
     assert_eq!(pure.outputs, rec.outputs, "device outputs replay");
     assert_eq!(pure.vclock_ns, rec.vclock_ns, "virtual clock replays");
-    assert_eq!(pure.digests, rec.space_digests, "memory digests replay");
-    {
-        let (mut a, mut b) = (pure.stats.clone(), rec.stats.clone());
-        a.spurious_wakeups = 0;
-        b.spurious_wakeups = 0;
-        assert_eq!(a, b, "kernel stats replay");
-    }
+    assert_eq!(pure.spaces, rec.spaces, "per-space artifacts replay");
+    // Host scheduling noise lives in `rec.host`, not in the stats —
+    // so the comparison needs no carve-outs.
+    assert_eq!(pure.stats, rec.stats, "kernel stats replay");
 
     println!(
         "\nreplay identical: {} syscall events re-applied with zero vehicles;",

@@ -1,43 +1,27 @@
 //! The scripted Determinator shell (PAPER.md §5): pipelines, redirection, and
 //! byte-identical reruns (PAPER.md §4.3).
 //!
+//! The script and the exec'd `upper` program live in the conformance
+//! registry as the `shell_pipeline` scenario
+//! (`det_conform::scenario`). This wrapper runs it twice and checks
+//! the reruns are byte-identical — the same property the N-replica
+//! harness enforces for the whole artifact bundle in CI.
+//!
 //! ```sh
 //! cargo run --release --example shell_demo
 //! ```
 
-use determinator::kernel::KernelConfig;
-use determinator::runtime::proc::{ProgramRegistry, run_process_tree};
-use determinator::runtime::shell;
-
-const SCRIPT: &str = "
-# Build a tiny corpus, then query it through a pipeline.
-echo the quick brown fox > corpus.txt
-echo jumps over the lazy dog >> corpus.txt
-cat corpus.txt | wc > stats.txt
-cat stats.txt
-ls
-upper corpus.txt
-";
-
-fn registry() -> ProgramRegistry {
-    let mut reg = ProgramRegistry::new();
-    // A user 'binary' resolved via exec(), like a program on $PATH.
-    reg.register("upper", |p, args| {
-        let path = args.first().cloned().unwrap_or_default();
-        let fd = p.open_read(&path)?;
-        let data = p.read_to_end(fd)?;
-        let upper: Vec<u8> = data.iter().map(|b| b.to_ascii_uppercase()).collect();
-        p.write(1, &upper)?;
-        Ok(0)
-    });
-    reg
-}
+use determinator::conform::{ScenarioConfig, find};
+use determinator::prelude::VmDispatch;
 
 fn main() {
+    let sc = find("shell_pipeline").expect("registered scenario");
     let run = || {
-        run_process_tree(KernelConfig::default(), registry(), |p| {
-            shell::run_script(p, SCRIPT)
+        (sc.run)(&ScenarioConfig {
+            dispatch: VmDispatch::default(),
+            trace: false,
         })
+        .outcome
     };
     let first = run();
     assert_eq!(first.exit, Ok(0));

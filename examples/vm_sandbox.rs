@@ -3,63 +3,27 @@
 //! it cannot observe time, scheduling, or anything nondeterministic,
 //! and the kernel preempts it mid-loop at a precise instruction count.
 //!
+//! The guest and its quantum-by-quantum audit live in the conformance
+//! registry as the `vm_sandbox` scenario (`det_conform::scenario`);
+//! the harness replays it as N replicas in both VM dispatch modes.
+//!
 //! ```sh
 //! cargo run --release --example vm_sandbox
 //! ```
 
-use determinator::kernel::{
-    CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec, Regs, StopReason,
-};
-use determinator::memory::{Perm, Region};
-use determinator::vm::assemble;
-
-const UNTRUSTED: &str = "
-    ; Untrusted guest: computes Fibonacci numbers forever.
-    ldi r3, 0          ; F(n)
-    ldi r4, 1          ; F(n+1)
-    ldi r5, 0          ; iteration counter
-loop:
-    add r6, r3, r4
-    mov r3, r4
-    mov r4, r6
-    addi r5, r5, 1
-    beq r0, r0, loop   ; never yields, never exits
-";
+use determinator::conform::{ScenarioConfig, find};
+use determinator::prelude::VmDispatch;
 
 fn main() {
-    let image = assemble(UNTRUSTED).expect("assembles");
-    let code = Region::new(0, 0x1000);
-    let out = Kernel::new(KernelConfig::default()).run(move |ctx| {
-        ctx.mem_mut().map_zero(code, Perm::RW)?;
-        ctx.mem_mut().write(0, &image.bytes)?;
-        // Give the guest 1 µs of virtual CPU (= 1000 instructions at
-        // the modeled 1 GIPS), then audit, then another quantum.
-        ctx.put(
-            0,
-            PutSpec::new()
-                .program(Program::Vm)
-                .copy(CopySpec::mirror(code))
-                .regs(Regs::at_entry(0))
-                .start_limited(1_000),
-        )?;
-        for quantum in 1..=3 {
-            let r = ctx.get(0, GetSpec::new().regs())?;
-            assert_eq!(r.stop, StopReason::LimitReached);
-            let regs = r.regs.expect("requested");
-            println!(
-                "quantum {quantum}: preempted after exactly {} iterations (r5), fib register = {}",
-                regs.gpr[5], regs.gpr[3]
-            );
-            ctx.put(0, PutSpec::new().start_limited(1_000))?;
-        }
-        let r = ctx.get(0, GetSpec::new().regs())?;
-        println!(
-            "quantum 4: r5 = {} — the guest advanced exactly the budget each time",
-            r.regs.expect("requested").gpr[5]
-        );
-        Ok(0)
+    let sc = find("vm_sandbox").expect("registered scenario");
+    let run = (sc.run)(&ScenarioConfig {
+        dispatch: VmDispatch::default(),
+        trace: false,
     });
+    let out = run.outcome;
     assert_eq!(out.exit, Ok(0));
+    // Per-quantum preemption audit (exact r5 iteration counts).
+    print!("{}", out.console_string());
     println!(
         "total guest instructions: {} (exact, replayable; host time is invisible to the guest)",
         out.stats.vm_instructions

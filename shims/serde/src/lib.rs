@@ -57,6 +57,14 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+// A `Value` serializes as itself, so pre-built trees (e.g. rewritten
+// event encodings) can be rendered by `serde_json` directly.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Conversion from the data model.
 pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;

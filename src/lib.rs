@@ -26,6 +26,7 @@
 //! | [`runtime`] | `det-runtime` | fork/exec/wait, replicated fs, threads, dsched, shell |
 //! | [`cluster`] | `det-cluster` | space migration across simulated nodes |
 //! | [`workloads`] | `det-workloads` | the paper's benchmarks + baselines |
+//! | [`conform`] | `det-conform` | N-replica conformance harness with divergence localization |
 //!
 //! # Quickstart
 //!
@@ -95,8 +96,8 @@
 
 // The headline API, also available unqualified at the crate root.
 pub use det_kernel::{
-    CostModel, Kernel, KernelConfig, KernelConfigBuilder, KernelError, KernelStats, ReplayOutcome,
-    RunOutcome, Trace, TraceEvent, TraceMeta, TraceSink,
+    CostModel, HostStats, Kernel, KernelConfig, KernelConfigBuilder, KernelError, KernelStats,
+    ReplayOutcome, RunOutcome, SpaceArtifact, Trace, TraceEvent, TraceMeta, TraceSink,
 };
 
 /// The common vocabulary for driving a deterministic kernel: one
@@ -134,12 +135,12 @@ pub mod vm {
 pub mod kernel {
     pub use det_kernel::{
         ChildNum, ClusterHooks, CopySpec, CostModel, DeviceId, Effect, EntryRec, GetResult,
-        GetSpec, InputEvent, InputHandle, IoLog, IoMode, Kernel, KernelConfig, KernelConfigBuilder,
-        KernelError, KernelStats, MergeStatsSerde, NODE_SHIFT, NativeEntry, NativeResult, Program,
-        ProgramKind, PutRec, PutResult, PutSpec, ReplayOutcome, Result, RunOutcome, SpaceCtx,
-        SpaceId, StartSpec, StopReason, Trace, TraceEvent, TraceMeta, TraceSink, TrapKind,
-        VmCounters, VmDispatch, child_index, child_on_node, full_user_region, node_field, ns_to_ps,
-        ps_to_ns,
+        GetSpec, HostStats, InputEvent, InputHandle, IoLog, IoMode, Kernel, KernelConfig,
+        KernelConfigBuilder, KernelError, KernelStats, MergeStatsSerde, NODE_SHIFT, NativeEntry,
+        NativeResult, Program, ProgramKind, PutRec, PutResult, PutSpec, ReplayOutcome, Result,
+        RunOutcome, SpaceArtifact, SpaceCtx, SpaceId, StartSpec, StopReason, Trace, TraceEvent,
+        TraceMeta, TraceSink, TrapKind, VmCounters, VmDispatch, child_index, child_on_node,
+        full_user_region, node_field, ns_to_ps, ps_to_ns,
     };
     // Substrate types the kernel API surfaces directly.
     pub use det_memory::{
@@ -167,5 +168,14 @@ pub mod workloads {
     pub use det_workloads::{
         Mode, RunResult, baseline_costs, blackscholes, dist, fft, lu, mathx, matmult, md5, qsort,
         secs, speedup,
+    };
+}
+
+/// The conformance harness: `det-conform`.
+pub mod conform {
+    pub use det_conform::{
+        Artifacts, ChaosLoad, ConformConfig, Divergence, DivergenceCategory, Scenario,
+        ScenarioConfig, ScenarioReport, ScenarioRun, Scope, compare, conform_all, conform_scenario,
+        cross_dispatch_check, find, first_diff, hex_context, registry,
     };
 }
