@@ -7,19 +7,24 @@
 //! conform --replicas 10 --chaos         # nightly
 //! conform --scenario wl_md5 --dispatch inline
 //! conform --cross-dispatch              # Inline vs Threaded equality
+//! conform --recover                     # kill + restore + compare
+//! conform --recover --kill-at 7         # kill at root syscall 7
+//! conform --fault fail@device           # replicas under injected faults
 //! conform --list
 //! ```
 //!
-//! Exits nonzero on any divergence; with `--report-dir DIR` each
-//! divergence report is also written to
-//! `DIR/<scenario>-<dispatch>.txt`.
+//! Exit codes: 0 on full conformance, **2 on any divergence or
+//! recovery failure** (the CI gate keys on this), 64 on usage errors.
+//! With `--report-dir DIR` (created if missing) each divergence report
+//! is also written to `DIR/<scenario>-<dispatch>.txt`.
 
 use std::process::ExitCode;
 
 use det_conform::{
-    ConformConfig, ScenarioReport, conform_scenario, cross_dispatch_check, registry,
+    ConformConfig, ScenarioReport, conform_scenario, crash_recovery_check, cross_dispatch_check,
+    registry,
 };
-use det_kernel::VmDispatch;
+use det_kernel::{FaultPlan, VmDispatch};
 
 struct Args {
     replicas: usize,
@@ -28,16 +33,25 @@ struct Args {
     scenarios: Vec<String>,
     report_dir: Option<String>,
     cross_dispatch: bool,
+    recover: bool,
+    kill_at: Option<u64>,
+    faults: FaultPlan,
     list: bool,
 }
 
+/// Usage errors exit 64 (EX_USAGE), distinct from the divergence
+/// gate's exit 2: a CI job must never mistake a typo for a pass *or*
+/// for a nondeterminism bug.
 fn usage() -> ! {
     eprintln!(
         "usage: conform [--replicas N] [--chaos|--no-chaos] \
          [--dispatch inline|threaded|both] [--scenario NAME]... \
-         [--report-dir DIR] [--cross-dispatch] [--list]"
+         [--report-dir DIR] [--cross-dispatch] \
+         [--recover] [--kill-at N] [--fault SPEC]... [--list]\n\
+         fault SPEC: <kill|panic|fail>@<syscall|device|trace|alloc>\
+         [:path=/..][:n=N][:vt=PS]"
     );
-    std::process::exit(2)
+    std::process::exit(64)
 }
 
 fn parse_args() -> Args {
@@ -48,6 +62,9 @@ fn parse_args() -> Args {
         scenarios: Vec::new(),
         report_dir: None,
         cross_dispatch: false,
+        recover: false,
+        kill_at: None,
+        faults: FaultPlan::default(),
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -75,6 +92,22 @@ fn parse_args() -> Args {
             },
             "--report-dir" => args.report_dir = it.next().or_else(|| usage()),
             "--cross-dispatch" => args.cross_dispatch = true,
+            "--recover" => args.recover = true,
+            "--kill-at" => {
+                args.kill_at = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--fault" => match it.next().as_deref().map(FaultPlan::parse) {
+                Some(Ok(f)) => args.faults = args.faults.clone().with(f),
+                Some(Err(e)) => {
+                    eprintln!("bad --fault spec: {e}");
+                    usage()
+                }
+                None => usage(),
+            },
             "--list" => args.list = true,
             _ => usage(),
         }
@@ -84,16 +117,22 @@ fn parse_args() -> Args {
 
 fn write_report(dir: &Option<String>, name: &str, text: &str) {
     let Some(dir) = dir else { return };
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = format!("{dir}/{name}.txt");
-        if let Err(e) = std::fs::write(&path, text) {
-            eprintln!("warning: could not write {path}: {e}");
-        }
+    let path = format!("{dir}/{name}.txt");
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("warning: could not write {path}: {e}");
     }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // Create the report directory up front: CI uploads it whether or
+    // not anything diverged, and an absent path fails the upload step.
+    if let Some(dir) = &args.report_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --report-dir {dir}: {e}");
+            return ExitCode::from(64);
+        }
+    }
     let all = registry();
     if args.list {
         for sc in &all {
@@ -113,7 +152,7 @@ fn main() -> ExitCode {
             .map(|n| {
                 det_conform::find(n).unwrap_or_else(|| {
                     eprintln!("unknown scenario: {n}");
-                    std::process::exit(2)
+                    std::process::exit(64)
                 })
             })
             .collect()
@@ -122,10 +161,32 @@ fn main() -> ExitCode {
     let cfg = ConformConfig {
         replicas: args.replicas,
         chaos: args.chaos,
+        faults: args.faults.clone(),
     };
     let mut failed = false;
 
-    if args.cross_dispatch {
+    if args.recover || args.kill_at.is_some() {
+        for sc in &selected {
+            if !sc.traceable {
+                println!("SKIP {} (untraceable)", sc.name);
+                continue;
+            }
+            for &dispatch in &args.dispatches {
+                let r = crash_recovery_check(sc, dispatch, args.kill_at);
+                println!("{}", r.summary());
+                if !r.conforms() {
+                    failed = true;
+                    let report = r.report();
+                    eprint!("{report}");
+                    write_report(
+                        &args.report_dir,
+                        &format!("{}-{:?}-recovery", sc.name, dispatch),
+                        &report,
+                    );
+                }
+            }
+        }
+    } else if args.cross_dispatch {
         for sc in &selected {
             match cross_dispatch_check(sc) {
                 None => println!("PASS {} [Inline == Threaded]", sc.name),
@@ -157,7 +218,9 @@ fn main() -> ExitCode {
     }
 
     if failed {
-        ExitCode::FAILURE
+        // Exit 2: the divergence gate. CI treats this as "determinism
+        // or recovery broken", never as an infrastructure failure.
+        ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
     }

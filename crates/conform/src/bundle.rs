@@ -23,7 +23,10 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use det_kernel::{DeviceId, IoLog, KernelStats, SpaceArtifact, Trace, TraceEvent, VmDispatch};
+use det_kernel::{
+    DeviceId, InputEvent, IoLog, KernelStats, ReplayOutcome, SpaceArtifact, Trace, TraceEvent,
+    VmDispatch,
+};
 use serde::{Serialize, Value};
 
 use crate::scenario::ScenarioRun;
@@ -91,6 +94,48 @@ impl Artifacts {
             io_log: out.io_log.clone(),
             spaces,
             trace_streams,
+        }
+    }
+
+    /// Builds the bundle of a *recovered* run: a checkpoint restore
+    /// resumed over the oracle trace's suffix.
+    ///
+    /// The resume yields a [`ReplayOutcome`]; the sections a replay
+    /// does not carry are reconstructed from the trace itself — the
+    /// input log from the recorded `DevRead` events (consumption
+    /// order is the root's own syscall order, which is exactly how
+    /// the live log is built), the trace streams from the full event
+    /// sequence the recovered run re-derived. Crash recovery conforms
+    /// iff this bundle is byte-identical ([`Scope::Full`]) to the
+    /// uninterrupted run's [`Artifacts::collect`] bundle.
+    pub fn from_recovery(
+        scenario: &str,
+        dispatch: VmDispatch,
+        out: &ReplayOutcome,
+        trace: &Trace,
+    ) -> Artifacts {
+        let mut spaces = out.spaces.clone();
+        spaces.sort_by(|a, b| a.path.cmp(&b.path));
+        let mut io_log = IoLog::default();
+        for ev in &trace.events {
+            if let TraceEvent::DevRead { dev, data, .. } = ev {
+                io_log.events.push(InputEvent {
+                    seq: io_log.events.len() as u64,
+                    device: *dev,
+                    data: data.clone(),
+                });
+            }
+        }
+        Artifacts {
+            scenario: scenario.to_string(),
+            dispatch,
+            exit: format!("{:?}", out.exit),
+            vclock_ns: out.vclock_ns,
+            stats: out.stats.clone(),
+            outputs: out.outputs.clone(),
+            io_log,
+            spaces,
+            trace_streams: Some(project_streams(&trace.events, &out.space_paths)),
         }
     }
 
@@ -240,7 +285,11 @@ fn event_owner(ev: &TraceEvent) -> u32 {
     match ev {
         TraceEvent::Put { caller, .. } | TraceEvent::Get { caller, .. } => *caller,
         TraceEvent::CheckIn { space, .. } => *space,
-        TraceEvent::DevRead { .. } | TraceEvent::DevWrite { .. } | TraceEvent::RootExit { .. } => 0,
+        // Device I/O, checkpoints, and the exit are root-only syscalls.
+        TraceEvent::DevRead { .. }
+        | TraceEvent::DevWrite { .. }
+        | TraceEvent::Checkpoint { .. }
+        | TraceEvent::RootExit { .. } => 0,
     }
 }
 

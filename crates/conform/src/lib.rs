@@ -33,6 +33,7 @@ pub mod scenario;
 pub use bundle::{Artifacts, Scope};
 pub use diff::{Divergence, DivergenceCategory, compare, first_diff, hex_context};
 pub use harness::{
-    ChaosLoad, ConformConfig, ScenarioReport, conform_all, conform_scenario, cross_dispatch_check,
+    ChaosLoad, ConformConfig, RecoveryReport, ScenarioReport, conform_all, conform_scenario,
+    crash_recovery_check, cross_dispatch_check, recover_all, root_syscalls,
 };
 pub use scenario::{Scenario, ScenarioConfig, ScenarioRun, find, registry};

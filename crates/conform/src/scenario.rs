@@ -11,8 +11,8 @@
 //! bundle instead of bypassing the kernel via host stdout.
 
 use det_kernel::{
-    CopySpec, DeviceId, GetSpec, Kernel, KernelConfig, KernelError, Program, PutSpec, Region, Regs,
-    RunOutcome, StopReason, Trace, TraceSink, VmDispatch,
+    CopySpec, DeviceId, FaultPlan, GetSpec, Kernel, KernelConfig, KernelError, Program, PutSpec,
+    Region, Regs, RunOutcome, StopReason, Trace, TraceSink, VmDispatch,
 };
 use det_memory::Perm;
 use det_runtime::proc::{ProgramRegistry, run_process_tree};
@@ -21,12 +21,25 @@ use det_runtime::{run_deterministic, shell};
 use det_workloads::{Mode, blackscholes, dist, fft, lu, matmult, md5, qsort};
 
 /// How the harness wants a scenario executed.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ScenarioConfig {
     /// Execution-vehicle policy for VM spaces.
     pub dispatch: VmDispatch,
     /// Record a syscall trace (ignored for untraceable scenarios).
     pub trace: bool,
+    /// Deterministic faults to inject (empty = run clean).
+    pub faults: FaultPlan,
+}
+
+impl ScenarioConfig {
+    /// A clean traced run under the given dispatch mode.
+    pub fn traced(dispatch: VmDispatch) -> ScenarioConfig {
+        ScenarioConfig {
+            dispatch,
+            trace: true,
+            faults: FaultPlan::default(),
+        }
+    }
 }
 
 /// One execution of a scenario.
@@ -61,7 +74,9 @@ fn run_scenario(
     } else {
         None
     };
-    let mut b = KernelConfig::builder().vm_dispatch(cfg.dispatch);
+    let mut b = KernelConfig::builder()
+        .vm_dispatch(cfg.dispatch)
+        .faults(cfg.faults.clone());
     if let Some(s) = &sink {
         b = b.trace(s.clone());
     }
@@ -118,6 +133,9 @@ fn quickstart_swap(cfg: &ScenarioConfig) -> ScenarioRun {
                 ctx.mem().read_u64(y)?
             );
             ctx.dev_write(DeviceId::ConsoleOut, line.as_bytes())?;
+            // Checkpoint mark: a crash past here recovers from this
+            // rendezvous boundary instead of replaying from scratch.
+            ctx.checkpoint()?;
             for i in 0..2u64 {
                 ctx.put(
                     10 + i,
@@ -396,6 +414,9 @@ fn rendezvous_storm(cfg: &ScenarioConfig) -> ScenarioRun {
                     };
                     assert_eq!(r.stop, StopReason::Ret);
                 }
+                // One checkpoint mark per round: recovery restores the
+                // latest completed round instead of replaying them all.
+                ctx.checkpoint()?;
             }
             for i in 0..N {
                 let r = ctx.put_get(
@@ -423,6 +444,9 @@ fn device_io(cfg: &ScenarioConfig) -> ScenarioRun {
             let line = ctx.dev_read(DeviceId::ConsoleIn)?.unwrap_or_default();
             ctx.dev_write(DeviceId::ConsoleOut, b"echo: ")?;
             ctx.dev_write(DeviceId::ConsoleOut, &line)?;
+            // Checkpoint mark between the echo and the clock/entropy
+            // loop: recovery re-feeds only the suffix's device inputs.
+            ctx.checkpoint()?;
             for _ in 0..3 {
                 let clock = ctx.dev_read(DeviceId::Clock)?.unwrap_or_default();
                 let rand = ctx.dev_read(DeviceId::Random)?.unwrap_or_default();

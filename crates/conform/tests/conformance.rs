@@ -13,6 +13,7 @@ fn artifacts(name: &str, dispatch: VmDispatch) -> Artifacts {
     let run = (sc.run)(&det_conform::ScenarioConfig {
         dispatch,
         trace: sc.traceable,
+        faults: det_kernel::FaultPlan::default(),
     });
     Artifacts::collect(sc.name, dispatch, &run)
 }
@@ -26,6 +27,7 @@ fn replicas_conform_under_chaos() {
     let cfg = ConformConfig {
         replicas: 3,
         chaos: true,
+        ..ConformConfig::default()
     };
     for name in [
         "quickstart_swap",
@@ -165,6 +167,7 @@ fn untraceable_scenario_conforms() {
         &ConformConfig {
             replicas: 2,
             chaos: false,
+            ..ConformConfig::default()
         },
     );
     assert!(r.conforms(), "{}", r.report());

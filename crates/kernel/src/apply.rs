@@ -197,6 +197,20 @@ pub enum TraceEvent {
         /// Bytes written.
         data: Vec<u8>,
     },
+    /// A root checkpoint mark (root-only, like device I/O, so the
+    /// space is implicit): the root asked the kernel to persist a
+    /// restorable image at this rendezvous boundary. The event carries
+    /// the mark's deterministic cost basis — the number of dirty
+    /// page-table leaves in the root's memory — so replay re-derives
+    /// (and cross-checks) the identical virtual-time charge.
+    Checkpoint {
+        /// The root's window since its previous sync point.
+        entry: EntryRec,
+        /// Dirty page-table leaves in the root's memory at the mark
+        /// (the incremental-checkpoint work unit; replay recomputes
+        /// this and diverges on mismatch).
+        leaves: u64,
+    },
     /// The root program returned: the end of the recorded run.
     RootExit {
         /// The root's final window.
@@ -952,6 +966,21 @@ pub(crate) fn apply(ks: &mut KState, ev: &TraceEvent) -> Result<Vec<Effect>> {
                 dev: *dev,
                 bytes: data.len() as u64,
             });
+        }
+        TraceEvent::Checkpoint { entry, leaves } => {
+            // The leaf-proportional charge itself rode in on
+            // `entry.advance_ps` (recorded at the live syscall), so the
+            // window application below reproduces the exact virtual
+            // time. What is re-derived here is the *basis*: the dirty
+            // leaf count must match what the live kernel saw, or the
+            // trace did not come from this state.
+            apply_entry(ks, 0, entry)?;
+            let actual = state_mut(ks, 0)?.mem.dirty_leaf_count() as u64;
+            if actual != *leaves {
+                return divergence("checkpoint dirty-leaf count does not match the trace");
+            }
+            ks.stats.checkpoints += 1;
+            ks.stats.checkpoint_leaves += *leaves;
         }
         TraceEvent::RootExit { entry, regs, exit } => {
             apply_entry(ks, 0, entry)?;

@@ -65,6 +65,13 @@ pub struct CostModel {
     /// operation). Charged *in addition to* `vm_insn_ps` for the
     /// instruction that missed, mirroring a hardware TLB miss.
     pub vm_tlb_fill_ps: u64,
+    /// Per-dirty-leaf cost of a checkpoint mark: persisting one
+    /// page-table leaf's worth of dirty-delta state. The `Checkpoint`
+    /// syscall charges this per leaf holding dirty pages, so an
+    /// incremental checkpoint costs O(dirty) in virtual time exactly
+    /// as its encoding is O(dirty) in bytes — and nothing extra when
+    /// the space is clean.
+    pub checkpoint_leaf_ps: u64,
 }
 
 impl CostModel {
@@ -95,6 +102,7 @@ impl CostModel {
             byte_copy_ps: 300,
             vm_insn_ps: 1_000,
             vm_tlb_fill_ps: 20_000,
+            checkpoint_leaf_ps: 300_000,
         }
     }
 
@@ -115,6 +123,7 @@ impl CostModel {
             byte_copy_ps: 0,
             vm_insn_ps: 1_000,
             vm_tlb_fill_ps: 0,
+            checkpoint_leaf_ps: 0,
         }
     }
 
@@ -136,6 +145,12 @@ impl CostModel {
     pub fn copy_cost_ps(&self, stats: &det_memory::CloneStats) -> u64 {
         self.clone_cost_ps(stats.leaves_shared)
             .saturating_add(self.map_cost_ps(stats.boundary_pages))
+    }
+
+    /// Cost of a checkpoint mark persisting `leaves` dirty page-table
+    /// leaves (see [`CostModel::checkpoint_leaf_ps`]).
+    pub fn checkpoint_cost_ps(&self, leaves: u64) -> u64 {
+        self.checkpoint_leaf_ps.saturating_mul(leaves)
     }
 
     /// Cost of a merge with the given statistics. Pages skipped via
@@ -187,6 +202,7 @@ mod tests {
             byte_copy_ps: 3,
             vm_insn_ps: 1,
             vm_tlb_fill_ps: 7,
+            checkpoint_leaf_ps: 11,
         };
         let stats = MergeStats {
             pages_scanned: 4,
@@ -236,6 +252,14 @@ mod tests {
             boundary_pages: 16,
         };
         assert_eq!(m.copy_cost_ps(&stats), m.map_cost_ps(16));
+    }
+
+    #[test]
+    fn checkpoint_cost_scales_with_dirty_leaves() {
+        let m = CostModel::calibrated();
+        assert_eq!(m.checkpoint_cost_ps(0), 0);
+        assert_eq!(m.checkpoint_cost_ps(3), 3 * m.checkpoint_leaf_ps);
+        assert_eq!(CostModel::zero().checkpoint_cost_ps(1_000), 0);
     }
 
     #[test]

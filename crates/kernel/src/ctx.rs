@@ -28,6 +28,7 @@ use crate::apply::{
 use crate::cost::{ns_to_ps, ps_to_ns};
 use crate::device::DeviceId;
 use crate::error::{KernelError, Result, TrapKind};
+use crate::fault::{FaultAction, FaultSite};
 use crate::ids::{ChildNum, SpaceId, node_field};
 use crate::kernel::{ChildRef, RunState, Shared, Slot, SlotCell, SpaceState, TraceCtx};
 use crate::state::{child_path, observe_stop};
@@ -46,6 +47,13 @@ pub struct SpaceCtx {
     /// traced syscall and after every park-resume.
     trace: Option<TraceCtx>,
     destroyed: bool,
+    /// Syscalls entered by this space (counted at the fault gate, i.e.
+    /// including faulted entries) — a deterministic per-space ordinal
+    /// used as a fault-injection coordinate.
+    syscalls: u64,
+    /// Lineage path, fetched lazily from the slot and cached (the path
+    /// never changes after creation).
+    path: Option<String>,
 }
 
 impl SpaceCtx {
@@ -63,7 +71,59 @@ impl SpaceCtx {
             st: Some(st),
             trace,
             destroyed: false,
+            syscalls: 0,
+            path: None,
         }
+    }
+
+    /// Deterministic fault gate, probed at every syscall prologue
+    /// *before* any charge, routing, or trace record — a faulted entry
+    /// leaves no trace-visible effect, so faulted runs replay.
+    ///
+    /// `sites` lists the injection sites the syscall exposes, probed in
+    /// order; the [`FaultSite::TraceSink`] site is probed only when the
+    /// kernel records a trace.
+    fn fault_gate(&mut self, sites: &[FaultSite]) -> Result<()> {
+        let nth = self.syscalls;
+        self.syscalls += 1;
+        if self.shared.faults.is_empty() {
+            return Ok(());
+        }
+        let vclock_ps = self.st.as_deref().map_or(0, |s| s.vclock_ps);
+        if self.path.is_none() {
+            self.path = Some(self.cell.m.lock().path.clone());
+        }
+        let path = self.path.as_deref().expect("cached above");
+        let recording = self.trace.is_some();
+        for &site in sites {
+            if site == FaultSite::TraceSink && !recording {
+                continue;
+            }
+            match self.shared.faults.probe(site, path, nth, vclock_ps) {
+                None => {}
+                Some(FaultAction::KillKernel) => {
+                    // Publish shutdown so every space observes the
+                    // crash at its next kernel entry; the triggering
+                    // space unwinds with the typed kill error (for the
+                    // root, that ends the run — the trace recorded so
+                    // far is the crash log).
+                    self.shared
+                        .shutdown
+                        .store(true, std::sync::atomic::Ordering::SeqCst);
+                    return Err(KernelError::Killed);
+                }
+                Some(FaultAction::PanicVehicle) => {
+                    // Deterministic panic: the vehicle's existing
+                    // catch_unwind converts it into a terminal
+                    // `Trap(Panic)` check-in.
+                    panic!("injected vehicle panic");
+                }
+                Some(FaultAction::FailOp) => {
+                    return Err(KernelError::FaultInjected(site.label()));
+                }
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn into_state(self) -> Option<Box<SpaceState>> {
@@ -541,6 +601,7 @@ impl SpaceCtx {
     /// Blocks while the child is running — spaces synchronize only at
     /// well-defined rendezvous points.
     pub fn put(&mut self, child: ChildNum, spec: PutSpec) -> Result<PutResult> {
+        self.fault_gate(&[FaultSite::Syscall, FaultSite::Alloc, FaultSite::TraceSink])?;
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.route(child)?;
         let entry = self.trace_entry();
@@ -607,6 +668,7 @@ impl SpaceCtx {
     /// folded into this space; concurrent changes to the same byte
     /// raise [`KernelError::Conflict`] and leave this space untouched.
     pub fn get(&mut self, child: ChildNum, spec: GetSpec) -> Result<GetResult> {
+        self.fault_gate(&[FaultSite::Syscall, FaultSite::TraceSink])?;
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.route(child)?;
         let entry = self.trace_entry();
@@ -650,6 +712,7 @@ impl SpaceCtx {
                 "put_get requires the Start option",
             ));
         }
+        self.fault_gate(&[FaultSite::Syscall, FaultSite::Alloc, FaultSite::TraceSink])?;
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.route(child)?;
         let entry = self.trace_entry();
@@ -728,6 +791,7 @@ impl SpaceCtx {
         if self.id == SpaceId::ROOT {
             return Err(KernelError::InvalidSpec("root space cannot ret"));
         }
+        self.fault_gate(&[FaultSite::Syscall, FaultSite::TraceSink])?;
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.st_mut().regs.gpr[1] = code;
         let home = self.st().home_node;
@@ -748,6 +812,7 @@ impl SpaceCtx {
         if self.id != SpaceId::ROOT {
             return Err(KernelError::NotRoot);
         }
+        self.fault_gate(&[FaultSite::Syscall, FaultSite::Device, FaultSite::TraceSink])?;
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.shared.hot.device_reads.fetch_add(1, Relaxed);
         let res = self.shared.devices.lock().read(dev);
@@ -767,6 +832,7 @@ impl SpaceCtx {
         if self.id != SpaceId::ROOT {
             return Err(KernelError::NotRoot);
         }
+        self.fault_gate(&[FaultSite::Syscall, FaultSite::Device, FaultSite::TraceSink])?;
         self.charge_ps(self.shared.costs.syscall_ps)?;
         self.shared
             .hot
@@ -782,6 +848,41 @@ impl SpaceCtx {
             self.trace_resync();
         }
         Ok(())
+    }
+
+    /// The `Checkpoint` mark (root only): declares a durable snapshot
+    /// point and charges its deterministic cost — syscall entry plus a
+    /// per-dirty-leaf increment (the kernel-side work a real
+    /// incremental checkpoint would do is proportional to the dirty
+    /// page-table leaves, exactly the unit `delta_since` walks).
+    ///
+    /// The mark carries no payload: the checkpoint *bundle* is captured
+    /// from the recorded trace (see [`crate::Checkpoint`]), which keeps
+    /// the bundle byte-stable across dispatch modes. Returns the
+    /// dirty-leaf count the charge was based on.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        if self.id != SpaceId::ROOT {
+            return Err(KernelError::NotRoot);
+        }
+        self.fault_gate(&[FaultSite::Syscall, FaultSite::TraceSink])?;
+        let leaves = self.st().mem.dirty_leaf_count() as u64;
+        // One fused charge, applied *before* the entry record is cut,
+        // so the leaf-proportional cost rides in `entry.advance_ps` and
+        // replay reproduces the identical clock without re-deriving it.
+        let ps = self
+            .shared
+            .costs
+            .syscall_ps
+            .saturating_add(self.shared.costs.checkpoint_cost_ps(leaves));
+        self.charge_ps(ps)?;
+        self.shared.hot.checkpoints.fetch_add(1, Relaxed);
+        self.shared.hot.checkpoint_leaves.fetch_add(leaves, Relaxed);
+        if let Some(entry) = self.trace_entry() {
+            self.shared
+                .trace_push(Some(TraceEvent::Checkpoint { entry, leaves }));
+            self.trace_resync();
+        }
+        Ok(leaves)
     }
 }
 

@@ -81,6 +81,32 @@ pub enum KernelError {
     /// Replay mode: the execution requested a different input sequence
     /// than the log contains.
     ReplayDivergence(&'static str),
+    /// The kernel was killed by an injected fault (see
+    /// [`FaultPlan`](crate::FaultPlan)); in-flight syscalls unwind with
+    /// this error and the recorded trace prefix is the crash log.
+    Killed,
+    /// An injected fault failed this operation (device write, trace
+    /// append, allocation, …) without killing the kernel; the payload
+    /// names the injection site.
+    FaultInjected(&'static str),
+    /// A checkpoint failed its integrity digest — the bytes were
+    /// corrupted since capture and must not be restored.
+    CheckpointCorrupt {
+        /// Digest recorded in the checkpoint header.
+        expected: u64,
+        /// Digest recomputed over the payload.
+        actual: u64,
+    },
+    /// A checkpoint was written by an incompatible format version.
+    CheckpointVersion {
+        /// Version recorded in the checkpoint header.
+        found: u32,
+        /// Version this kernel writes and restores.
+        supported: u32,
+    },
+    /// A checkpoint could not be decoded or restored (truncated or
+    /// structurally invalid payload).
+    CheckpointMalformed(&'static str),
 }
 
 impl From<MemError> for KernelError {
@@ -104,6 +130,11 @@ impl KernelError {
             KernelError::NodeUnreachable(_) => TrapKind::Fault("unreachable node"),
             KernelError::InvalidSpec(s) => TrapKind::Fault(s),
             KernelError::ReplayDivergence(s) => TrapKind::Fault(s),
+            KernelError::Killed => TrapKind::Fault("kernel killed by injected fault"),
+            KernelError::FaultInjected(site) => TrapKind::Fault(site),
+            KernelError::CheckpointCorrupt { .. } => TrapKind::Fault("checkpoint corrupt"),
+            KernelError::CheckpointVersion { .. } => TrapKind::Fault("checkpoint version"),
+            KernelError::CheckpointMalformed(s) => TrapKind::Fault(s),
         }
     }
 }
@@ -127,6 +158,17 @@ impl std::fmt::Display for KernelError {
             KernelError::NodeUnreachable(n) => write!(f, "node {n} unreachable"),
             KernelError::InvalidSpec(s) => write!(f, "invalid request: {s}"),
             KernelError::ReplayDivergence(s) => write!(f, "replay divergence: {s}"),
+            KernelError::Killed => write!(f, "kernel killed by injected fault"),
+            KernelError::FaultInjected(site) => write!(f, "injected fault: {site}"),
+            KernelError::CheckpointCorrupt { expected, actual } => write!(
+                f,
+                "checkpoint integrity digest mismatch: header {expected:016x}, payload {actual:016x}"
+            ),
+            KernelError::CheckpointVersion { found, supported } => write!(
+                f,
+                "checkpoint format v{found} not restorable by this kernel (supports v{supported})"
+            ),
+            KernelError::CheckpointMalformed(s) => write!(f, "malformed checkpoint: {s}"),
         }
     }
 }

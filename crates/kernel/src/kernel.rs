@@ -39,6 +39,7 @@ use crate::cost::{CostModel, ps_to_ns};
 use crate::ctx::SpaceCtx;
 use crate::device::{DeviceHub, DeviceId, IoLog, IoMode};
 use crate::error::{KernelError, Result, TrapKind};
+use crate::fault::{ArmedFaults, FaultPlan};
 use crate::ids::SpaceId;
 use crate::program::{NativeEntry, NativeResult, Program};
 use crate::state::{ROOT_PATH, StopCounter, check_in_charge, final_reason, stop_counter};
@@ -115,6 +116,10 @@ pub struct KernelConfig {
     /// this sink; the resulting [`crate::Trace`] replays without any
     /// execution vehicles. Incompatible with cluster hooks.
     pub trace: Option<TraceSink>,
+    /// Deterministic fault-injection plan (empty by default). Faults
+    /// fire at deterministic coordinates and surface as typed errors —
+    /// see [`FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 impl KernelConfig {
@@ -171,6 +176,12 @@ impl KernelConfigBuilder {
     /// Attaches a trace sink recording every kernel transition.
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.config.trace = Some(sink);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
         self
     }
 
@@ -390,6 +401,8 @@ pub(crate) struct HotStats {
     pub condvar_wakeups: AtomicU64,
     pub spurious_wakeups: AtomicU64,
     pub vm_inline_runs: AtomicU64,
+    pub checkpoints: AtomicU64,
+    pub checkpoint_leaves: AtomicU64,
 }
 
 impl HotStats {
@@ -417,6 +430,8 @@ impl HotStats {
         stats.vm_icache_fills += self.vm_icache_fills.load(Relaxed);
         stats.condvar_wakeups += self.condvar_wakeups.load(Relaxed);
         stats.vm_inline_runs += self.vm_inline_runs.load(Relaxed);
+        stats.checkpoints += self.checkpoints.load(Relaxed);
+        stats.checkpoint_leaves += self.checkpoint_leaves.load(Relaxed);
     }
 
     /// The host-scheduling-dependent counters, segregated from the
@@ -451,6 +466,9 @@ pub(crate) struct Shared {
     /// (`charge`, the VM chunk loop) so compute-looping programs
     /// observe destruction.
     pub shutdown: AtomicBool,
+    /// Armed fault-injection plan (usually empty; probed once per
+    /// syscall prologue, before any charge or trace record).
+    pub faults: ArmedFaults,
 }
 
 impl Shared {
@@ -709,9 +727,32 @@ impl Shared {
                     .spawn(move || match program {
                         Program::Native(entry) => native_thread(shared, cell2, child, entry, st),
                         Program::Vm => vm_thread(shared, cell2, child, st),
-                    })
-                    .expect("spawn space thread");
-                g.thread = Some(handle);
+                    });
+                match handle {
+                    Ok(h) => g.thread = Some(h),
+                    Err(_) => {
+                        // The host refused a vehicle (thread exhaustion
+                        // or an injected allocation fault at the OS
+                        // layer). The state moved into the dropped
+                        // closure, so this is the lost-state shape:
+                        // check the slot in as a terminal trap so the
+                        // caller's next wait observes a deterministic
+                        // stop instead of a slot stuck in `Running`.
+                        let reason = final_reason(
+                            false,
+                            StopReason::Trap(TrapKind::Fault("vehicle spawn failed")),
+                        );
+                        let ev = self
+                            .trace
+                            .as_ref()
+                            .map(|_| lost_state_check_in(child, reason));
+                        self.check_in_locked(g, Box::new(SpaceState::new(0)), reason);
+                        g.terminal = true;
+                        self.trace_push(ev);
+                        // No notify: the caller holds this slot's lock
+                        // and is the unique observer of the stop.
+                    }
+                }
             }
             StartAction::ResumeInline => {
                 g.run = RunState::Runnable;
@@ -867,6 +908,7 @@ impl Kernel {
                 merge_accum: Mutex::new(MergeAccum::default()),
                 trace: config.trace,
                 shutdown: AtomicBool::new(false),
+                faults: ArmedFaults::new(config.faults),
             }),
         }
     }
@@ -1159,7 +1201,25 @@ fn vm_execute_inner(
 }
 
 /// Dedicated-thread vehicle for a VM space (`VmDispatch::Threaded`).
-fn vm_thread(shared: Arc<Shared>, cell: Arc<SlotCell>, id: SpaceId, mut st: Box<SpaceState>) {
+fn vm_thread(shared: Arc<Shared>, cell: Arc<SlotCell>, id: SpaceId, st: Box<SpaceState>) {
+    // Contain interpreter panics exactly like `native_thread` contains
+    // program panics: the state is lost inside the unwound closure, but
+    // the slot must still leave `Running` as a terminal deterministic
+    // trap — a vehicle dying silently would strand its waiting parent,
+    // and an unwound thread would take every descendant down with it.
+    let sh = Arc::clone(&shared);
+    let c = Arc::clone(&cell);
+    if catch_unwind(AssertUnwindSafe(move || vm_drive(shared, cell, id, st))).is_err() {
+        let reason = StopReason::Trap(TrapKind::Panic);
+        let ev = sh
+            .trace
+            .as_ref()
+            .map(|_| lost_state_check_in(id, final_reason(false, reason)));
+        sh.final_check_in(&c, None, reason, ev);
+    }
+}
+
+fn vm_drive(shared: Arc<Shared>, cell: Arc<SlotCell>, id: SpaceId, mut st: Box<SpaceState>) {
     // One CPU for the space's lifetime: caches stay warm across
     // preemptions and rendezvous.
     let mut cpu = Cpu::new();

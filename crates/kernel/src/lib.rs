@@ -74,10 +74,12 @@
 #![warn(missing_docs)]
 
 mod apply;
+mod checkpoint;
 mod cost;
 mod ctx;
 mod device;
 mod error;
+mod fault;
 mod ids;
 mod kernel;
 mod program;
@@ -87,10 +89,15 @@ mod syscall;
 mod trace;
 
 pub use apply::{Effect, EntryRec, PutRec, TraceEvent, VmCounters};
+pub use checkpoint::{
+    CHECKPOINT_FORMAT_VERSION, Checkpoint, Checkpointer, RestoredKernel,
+    latest_restorable_boundary, restore_chain,
+};
 pub use cost::{CostModel, ns_to_ps, ps_to_ns};
 pub use ctx::{SpaceCtx, full_user_region};
 pub use device::{DeviceId, InputEvent, IoLog, IoMode};
 pub use error::{KernelError, Result, TrapKind};
+pub use fault::{Fault, FaultAction, FaultPlan, FaultSite};
 pub use ids::{ChildNum, NODE_SHIFT, SpaceId, child_index, child_on_node, node_field};
 pub use kernel::{
     ClusterHooks, InputHandle, Kernel, KernelConfig, KernelConfigBuilder, RunOutcome, VmDispatch,

@@ -77,6 +77,12 @@ pub struct KernelStats {
     /// Times a leaf VM space was executed inline on the thread waiting
     /// for it (zero-context-switch rendezvous; see DESIGN.md §6).
     pub vm_inline_runs: u64,
+    /// Checkpoint marks taken (the root `Checkpoint` syscall).
+    pub checkpoints: u64,
+    /// Dirty page-table leaves persisted across all checkpoint marks —
+    /// the incremental-checkpoint work metric the per-leaf virtual-time
+    /// charge is proportional to.
+    pub checkpoint_leaves: u64,
 }
 
 /// Counters that depend on *host* scheduling, segregated from

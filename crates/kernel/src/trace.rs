@@ -52,22 +52,41 @@ impl TraceSink {
 
     /// Appends one event (shell-side).
     pub(crate) fn push(&self, ev: TraceEvent) {
-        self.events.lock().unwrap().push(ev);
+        lock_recover(&self.events).push(ev);
     }
 
     /// Stamps the run parameters (shell-side, at kernel build).
     pub(crate) fn set_meta(&self, meta: TraceMeta) {
-        *self.meta.lock().unwrap() = Some(meta);
+        *lock_recover(&self.meta) = Some(meta);
+    }
+
+    /// Number of events recorded so far (a crash log's length).
+    pub fn len(&self) -> usize {
+        lock_recover(&self.events).len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Takes the recorded trace out of the sink, leaving it empty.
     ///
     /// Returns `None` if the sink was never attached to a kernel.
     pub fn collect(&self) -> Option<Trace> {
-        let meta = self.meta.lock().unwrap().take()?;
-        let events = std::mem::take(&mut *self.events.lock().unwrap());
+        let meta = lock_recover(&self.meta).take()?;
+        let events = std::mem::take(&mut *lock_recover(&self.events));
         Some(Trace { meta, events })
     }
+}
+
+/// Locks a sink mutex, recovering from poisoning: a vehicle that
+/// panicked mid-run (including a deliberately injected panic) must not
+/// cascade into every later recorder — the sink holds plain event data
+/// that is never left half-written by a panic, so the poison flag
+/// carries no information here.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The run parameters a replay must reproduce exactly.
@@ -195,37 +214,67 @@ impl Trace {
         for ev in &self.events {
             apply(&mut ks, ev)?;
         }
-        let exit = match ks.root_exit {
-            Some(exit) => exit,
-            None => return Err(KernelError::ReplayDivergence("trace has no RootExit")),
-        };
-        let vclock_ns = match ks.slots.get(&0).and_then(|s| s.state.as_ref()) {
-            Some(st) => ps_to_ns(st.vclock_ps),
-            None => return Err(KernelError::ReplayDivergence("root state missing at exit")),
-        };
-        let mut spaces = Vec::new();
-        let mut space_paths = Vec::new();
-        for (&id, slot) in &ks.slots {
-            space_paths.push((id, slot.path.clone()));
-            // A non-root slot still `Running` was checked out to an
-            // abandoned vehicle at shutdown; its memory was not
-            // observable live either.
-            if id != 0 && matches!(slot.run, RunState::Running) {
-                continue;
-            }
-            if let Some(st) = slot.state.as_ref() {
-                spaces.push(SpaceArtifact::of(id, slot.path.clone(), st));
-            }
-        }
-        Ok(ReplayOutcome {
-            exit,
-            vclock_ns,
-            stats: ks.stats,
-            outputs: ks.outputs,
-            spaces,
-            space_paths,
-        })
+        outcome_of(ks, true)
     }
+
+    /// Replays a possibly-truncated trace — the crash log of a run
+    /// killed mid-flight (e.g. by an injected
+    /// [`KernelError::Killed`] fault).
+    ///
+    /// Identical to [`Trace::replay`], except a missing `RootExit`
+    /// event is tolerated: the outcome then reports a
+    /// `Fault("run truncated before root exit")` trap in place of an
+    /// exit status. Structural divergence still fails — a crash
+    /// truncates a trace, it never corrupts it.
+    pub fn replay_prefix(&self) -> Result<ReplayOutcome> {
+        let mut ks = KState::new(self.meta.costs, self.meta.policy, self.meta.vm_dispatch);
+        for ev in &self.events {
+            apply(&mut ks, ev)?;
+        }
+        outcome_of(ks, false)
+    }
+}
+
+/// Extracts the reproduced outcome from a stepped kernel state.
+///
+/// With `require_exit`, a state whose trace never recorded a `RootExit`
+/// is structural divergence; without it (crash logs, checkpoint
+/// resumes over partial suffixes) the missing exit is reported as a
+/// deterministic truncation trap.
+pub(crate) fn outcome_of(ks: KState, require_exit: bool) -> Result<ReplayOutcome> {
+    let exit = match ks.root_exit {
+        Some(exit) => exit,
+        None if require_exit => {
+            return Err(KernelError::ReplayDivergence("trace has no RootExit"));
+        }
+        None => Err(TrapKind::Fault("run truncated before root exit")),
+    };
+    let vclock_ns = match ks.slots.get(&0).and_then(|s| s.state.as_ref()) {
+        Some(st) => ps_to_ns(st.vclock_ps),
+        None => return Err(KernelError::ReplayDivergence("root state missing at exit")),
+    };
+    let mut spaces = Vec::new();
+    let mut space_paths = Vec::new();
+    for (&id, slot) in &ks.slots {
+        space_paths.push((id, slot.path.clone()));
+        // A non-root slot still `Running` was checked out to an
+        // abandoned vehicle at shutdown; its memory was not
+        // observable live either.
+        if id != 0 && matches!(slot.run, RunState::Running) {
+            continue;
+        }
+        if let Some(st) = slot.state.as_ref() {
+            spaces.push(SpaceArtifact::of(id, slot.path.clone(), st));
+        }
+    }
+    Ok(ReplayOutcome {
+        exit,
+        vclock_ns,
+        stats: ks.stats,
+        outputs: ks.outputs,
+        spaces,
+        space_paths,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +285,7 @@ impl Trace {
 // encoding is written out here as plain functions over `Value`.
 // ---------------------------------------------------------------------------
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
         fields
             .into_iter()
@@ -274,21 +323,21 @@ fn unhex(v: &Value) -> std::result::Result<Vec<u8>, DeError> {
         .collect()
 }
 
-fn tag(v: &Value) -> std::result::Result<&str, DeError> {
+pub(crate) fn tag(v: &Value) -> std::result::Result<&str, DeError> {
     match v.get("k") {
         Some(Value::Str(s)) => Ok(s),
         _ => Err(DeError::msg("missing `k` tag")),
     }
 }
 
-fn v_opt<T>(o: &Option<T>, enc: impl Fn(&T) -> Value) -> Value {
+pub(crate) fn v_opt<T>(o: &Option<T>, enc: impl Fn(&T) -> Value) -> Value {
     match o {
         Some(t) => enc(t),
         None => Value::Null,
     }
 }
 
-fn p_opt<T>(
+pub(crate) fn p_opt<T>(
     v: &Value,
     dec: impl Fn(&Value) -> std::result::Result<T, DeError>,
 ) -> std::result::Result<Option<T>, DeError> {
@@ -298,7 +347,7 @@ fn p_opt<T>(
     }
 }
 
-fn req<'a>(v: &'a Value, name: &str) -> std::result::Result<&'a Value, DeError> {
+pub(crate) fn req<'a>(v: &'a Value, name: &str) -> std::result::Result<&'a Value, DeError> {
     v.get(name)
         .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))
 }
@@ -335,14 +384,14 @@ fn p_perm(v: &Value) -> std::result::Result<Perm, DeError> {
     })
 }
 
-fn v_regs(r: &Regs) -> Value {
+pub(crate) fn v_regs(r: &Regs) -> Value {
     obj(vec![
         ("pc", Value::UInt(r.pc)),
         ("gpr", r.gpr.to_vec().to_value()),
     ])
 }
 
-fn p_regs(v: &Value) -> std::result::Result<Regs, DeError> {
+pub(crate) fn p_regs(v: &Value) -> std::result::Result<Regs, DeError> {
     let gpr: Vec<u64> = field(v, "gpr")?;
     let gpr: [u64; Regs::NUM_GPR] = gpr
         .try_into()
@@ -353,7 +402,7 @@ fn p_regs(v: &Value) -> std::result::Result<Regs, DeError> {
     })
 }
 
-fn v_policy(p: ConflictPolicy) -> Value {
+pub(crate) fn v_policy(p: ConflictPolicy) -> Value {
     Value::Str(
         match p {
             ConflictPolicy::Strict => "strict",
@@ -364,7 +413,7 @@ fn v_policy(p: ConflictPolicy) -> Value {
     )
 }
 
-fn p_policy(v: &Value) -> std::result::Result<ConflictPolicy, DeError> {
+pub(crate) fn p_policy(v: &Value) -> std::result::Result<ConflictPolicy, DeError> {
     match v {
         Value::Str(s) => match s.as_str() {
             "strict" => Ok(ConflictPolicy::Strict),
@@ -376,7 +425,7 @@ fn p_policy(v: &Value) -> std::result::Result<ConflictPolicy, DeError> {
     }
 }
 
-fn v_dispatch(d: VmDispatch) -> Value {
+pub(crate) fn v_dispatch(d: VmDispatch) -> Value {
     Value::Str(
         match d {
             VmDispatch::Inline => "inline",
@@ -386,7 +435,7 @@ fn v_dispatch(d: VmDispatch) -> Value {
     )
 }
 
-fn p_dispatch(v: &Value) -> std::result::Result<VmDispatch, DeError> {
+pub(crate) fn p_dispatch(v: &Value) -> std::result::Result<VmDispatch, DeError> {
     match v {
         Value::Str(s) => match s.as_str() {
             "inline" => Ok(VmDispatch::Inline),
@@ -397,7 +446,7 @@ fn p_dispatch(v: &Value) -> std::result::Result<VmDispatch, DeError> {
     }
 }
 
-fn v_program_kind(p: ProgramKind) -> Value {
+pub(crate) fn v_program_kind(p: ProgramKind) -> Value {
     Value::Str(
         match p {
             ProgramKind::Native => "native",
@@ -407,7 +456,7 @@ fn v_program_kind(p: ProgramKind) -> Value {
     )
 }
 
-fn p_program_kind(v: &Value) -> std::result::Result<ProgramKind, DeError> {
+pub(crate) fn p_program_kind(v: &Value) -> std::result::Result<ProgramKind, DeError> {
     match v {
         Value::Str(s) => match s.as_str() {
             "native" => Ok(ProgramKind::Native),
@@ -461,7 +510,7 @@ fn p_mem_error(v: &Value) -> std::result::Result<MemError, DeError> {
     })
 }
 
-fn v_trap(t: &TrapKind) -> Value {
+pub(crate) fn v_trap(t: &TrapKind) -> Value {
     match t {
         TrapKind::Mem(e) => obj(vec![
             ("k", Value::Str("mem".into())),
@@ -488,7 +537,7 @@ fn v_trap(t: &TrapKind) -> Value {
     }
 }
 
-fn p_trap(v: &Value) -> std::result::Result<TrapKind, DeError> {
+pub(crate) fn p_trap(v: &Value) -> std::result::Result<TrapKind, DeError> {
     Ok(match tag(v)? {
         "mem" => TrapKind::Mem(p_mem_error(req(v, "err")?)?),
         "div0" => TrapKind::DivideByZero,
@@ -504,7 +553,7 @@ fn p_trap(v: &Value) -> std::result::Result<TrapKind, DeError> {
     })
 }
 
-fn v_stop(s: StopReason) -> Value {
+pub(crate) fn v_stop(s: StopReason) -> Value {
     match s {
         StopReason::Unstarted => obj(vec![("k", Value::Str("unstarted".into()))]),
         StopReason::Ret => obj(vec![("k", Value::Str("ret".into()))]),
@@ -514,7 +563,7 @@ fn v_stop(s: StopReason) -> Value {
     }
 }
 
-fn p_stop(v: &Value) -> std::result::Result<StopReason, DeError> {
+pub(crate) fn p_stop(v: &Value) -> std::result::Result<StopReason, DeError> {
     Ok(match tag(v)? {
         "unstarted" => StopReason::Unstarted,
         "ret" => StopReason::Ret,
@@ -525,7 +574,7 @@ fn p_stop(v: &Value) -> std::result::Result<StopReason, DeError> {
     })
 }
 
-fn v_delta(d: &SpaceDelta) -> Value {
+pub(crate) fn v_delta(d: &SpaceDelta) -> Value {
     let pages = d
         .pages
         .iter()
@@ -552,7 +601,7 @@ fn v_delta(d: &SpaceDelta) -> Value {
     ])
 }
 
-fn p_delta(v: &Value) -> std::result::Result<SpaceDelta, DeError> {
+pub(crate) fn p_delta(v: &Value) -> std::result::Result<SpaceDelta, DeError> {
     let pages = match req(v, "pages")? {
         Value::Array(items) => items
             .iter()
@@ -764,18 +813,34 @@ fn v_event(ev: &TraceEvent) -> Value {
             ("dev", dev.to_value()),
             ("data", hex(data)),
         ]),
+        TraceEvent::Checkpoint { entry, leaves } => obj(vec![
+            ("k", Value::Str("checkpoint".into())),
+            ("entry", v_entry(entry)),
+            ("leaves", Value::UInt(*leaves)),
+        ]),
         TraceEvent::RootExit { entry, regs, exit } => obj(vec![
             ("k", Value::Str("root_exit".into())),
             ("entry", v_entry(entry)),
             ("regs", v_regs(regs)),
-            (
-                "exit",
-                match exit {
-                    Ok(code) => obj(vec![("ok", Value::Int(*code as i64))]),
-                    Err(t) => obj(vec![("trap", v_trap(t))]),
-                },
-            ),
+            ("exit", v_exit(exit)),
         ]),
+    }
+}
+
+pub(crate) fn v_exit(exit: &std::result::Result<i32, TrapKind>) -> Value {
+    match exit {
+        Ok(code) => obj(vec![("ok", Value::Int(*code as i64))]),
+        Err(t) => obj(vec![("trap", v_trap(t))]),
+    }
+}
+
+pub(crate) fn p_exit(
+    v: &Value,
+) -> std::result::Result<std::result::Result<i32, TrapKind>, DeError> {
+    match (v.get("ok"), v.get("trap")) {
+        (Some(code), None) => Ok(Ok(i32::from_value(code)?)),
+        (None, Some(t)) => Ok(Err(p_trap(t)?)),
+        _ => Err(DeError::msg("bad exit encoding")),
     }
 }
 
@@ -820,14 +885,14 @@ fn p_event(v: &Value) -> std::result::Result<TraceEvent, DeError> {
             dev: DeviceId::from_value(req(v, "dev")?)?,
             data: unhex(req(v, "data")?)?,
         },
+        "checkpoint" => TraceEvent::Checkpoint {
+            entry: p_entry(req(v, "entry")?)?,
+            leaves: field(v, "leaves")?,
+        },
         "root_exit" => TraceEvent::RootExit {
             entry: p_entry(req(v, "entry")?)?,
             regs: p_regs(req(v, "regs")?)?,
-            exit: match (req(v, "exit")?.get("ok"), req(v, "exit")?.get("trap")) {
-                (Some(code), None) => Ok(i32::from_value(code)?),
-                (None, Some(t)) => Err(p_trap(t)?),
-                _ => return Err(DeError::msg("bad exit encoding")),
-            },
+            exit: p_exit(req(v, "exit")?)?,
         },
         _ => return Err(DeError::msg("unknown trace event")),
     })
@@ -982,6 +1047,14 @@ mod tests {
                     entry: EntryRec::default(),
                     dev: DeviceId::ConsoleOut,
                     data: b"hi".to_vec(),
+                },
+                TraceEvent::Checkpoint {
+                    entry: EntryRec {
+                        advance_ps: 77,
+                        limit_ps: None,
+                        delta: SpaceDelta::default(),
+                    },
+                    leaves: 3,
                 },
                 TraceEvent::RootExit {
                     entry: EntryRec::default(),

@@ -850,6 +850,26 @@ impl AddressSpace {
     /// `base` must not have had `snapshot()` taken on either side since
     /// the clone (a snapshot clears dirty marks, which a delta cannot
     /// express).
+    /// Clears every dirty mark without touching content, permissions,
+    /// structure, or the generation counter.
+    ///
+    /// This exists for checkpoint *restore*: a full checkpoint encodes
+    /// content as a delta from the empty space, and
+    /// [`apply_delta`](AddressSpace::apply_delta) marks every written
+    /// page dirty — the restorer clears those marks and then re-applies
+    /// the true dirty set, reproducing the original's write-set exactly
+    /// even when a pre-checkpoint `snapshot()` had cleaned part of it.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// The difference between this space and `base`, an earlier clone
+    /// of it: every page written since (plus permission changes and
+    /// unmappings), suitable for
+    /// [`apply_delta`](AddressSpace::apply_delta). Against a fresh
+    /// empty space this enumerates the full mapped image. Cost is
+    /// O(dirty leaves) against a true earlier clone, O(touched leaves)
+    /// against empty.
     pub fn delta_since(&self, base: &AddressSpace) -> crate::SpaceDelta {
         use crate::delta::{PageDelta, PageDeltaOp, SpaceDelta};
         let zero = zero_frame();
@@ -1519,6 +1539,33 @@ impl AddressSpace {
     /// [`snapshot`](AddressSpace::snapshot)).
     pub fn dirty_page_count(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// The complete sorted dirty write-set, across the whole address
+    /// space (the checkpoint encoder persists it so a restored replica
+    /// merges with identical stats — see
+    /// [`delta_since`](AddressSpace::delta_since)).
+    pub fn dirty_vpns(&self) -> Vec<u64> {
+        self.dirty.vpns_in(0, u64::MAX)
+    }
+
+    /// Number of distinct page-table leaves containing at least one
+    /// dirty page — the unit of incremental-checkpoint work.
+    /// [`delta_since`](AddressSpace::delta_since) visits exactly the
+    /// leaves that changed since the base, so the kernel charges
+    /// checkpoint virtual time per dirty leaf, mirroring how
+    /// `space_clone_ps` is charged per leaf on snapshot.
+    pub fn dirty_leaf_count(&self) -> usize {
+        let mut leaves = 0usize;
+        let mut cur: Option<u64> = None;
+        for vpn in self.dirty.vpns_in(0, u64::MAX) {
+            let leaf = vpn >> LEAF_BITS;
+            if cur != Some(leaf) {
+                leaves += 1;
+                cur = Some(leaf);
+            }
+        }
+        leaves
     }
 }
 

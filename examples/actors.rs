@@ -19,6 +19,7 @@ fn main() {
     let run = (sc.run)(&ScenarioConfig {
         dispatch: VmDispatch::default(),
         trace: false,
+        faults: determinator::kernel::FaultPlan::default(),
     });
     let out = run.outcome;
     let digest = out.exit.expect("simulation trapped");

@@ -20,6 +20,7 @@ fn main() {
         (sc.run)(&ScenarioConfig {
             dispatch: VmDispatch::default(),
             trace: false,
+            faults: determinator::kernel::FaultPlan::default(),
         })
         .outcome
     };

@@ -65,6 +65,14 @@ impl Serialize for Value {
     }
 }
 
+// ... and deserializes as itself, so callers can parse JSON text into
+// a raw tree and walk it by hand (e.g. checkpoint payloads).
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Conversion from the data model.
 pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;

@@ -134,13 +134,15 @@ pub mod vm {
 /// The Determinator kernel: `det-kernel`.
 pub mod kernel {
     pub use det_kernel::{
-        ChildNum, ClusterHooks, CopySpec, CostModel, DeviceId, Effect, EntryRec, GetResult,
+        CHECKPOINT_FORMAT_VERSION, Checkpoint, Checkpointer, ChildNum, ClusterHooks, CopySpec,
+        CostModel, DeviceId, Effect, EntryRec, Fault, FaultAction, FaultPlan, FaultSite, GetResult,
         GetSpec, HostStats, InputEvent, InputHandle, IoLog, IoMode, Kernel, KernelConfig,
         KernelConfigBuilder, KernelError, KernelStats, MergeStatsSerde, NODE_SHIFT, NativeEntry,
-        NativeResult, Program, ProgramKind, PutRec, PutResult, PutSpec, ReplayOutcome, Result,
-        RunOutcome, SpaceArtifact, SpaceCtx, SpaceId, StartSpec, StopReason, Trace, TraceEvent,
-        TraceMeta, TraceSink, TrapKind, VmCounters, VmDispatch, child_index, child_on_node,
-        full_user_region, node_field, ns_to_ps, ps_to_ns,
+        NativeResult, Program, ProgramKind, PutRec, PutResult, PutSpec, ReplayOutcome,
+        RestoredKernel, Result, RunOutcome, SpaceArtifact, SpaceCtx, SpaceId, StartSpec,
+        StopReason, Trace, TraceEvent, TraceMeta, TraceSink, TrapKind, VmCounters, VmDispatch,
+        child_index, child_on_node, full_user_region, latest_restorable_boundary, node_field,
+        ns_to_ps, ps_to_ns, restore_chain,
     };
     // Substrate types the kernel API surfaces directly.
     pub use det_memory::{

@@ -14,6 +14,7 @@ fn artifacts(name: &str, dispatch: VmDispatch) -> Artifacts {
     let run = (sc.run)(&determinator::conform::ScenarioConfig {
         dispatch,
         trace: sc.traceable,
+        faults: determinator::kernel::FaultPlan::default(),
     });
     Artifacts::collect(sc.name, dispatch, &run)
 }
@@ -52,6 +53,7 @@ fn replica_conformance_under_chaos() {
     let cfg = ConformConfig {
         replicas: 3,
         chaos: true,
+        ..ConformConfig::default()
     };
     for name in ["actors_grid", "vm_sandbox", "parallel_make", "wl_qsort"] {
         let sc = find(name).expect("registered");
