@@ -8,7 +8,7 @@
 
 use det_bench::{
     Scale, clone_table, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation,
-    rendezvous_table, table3, vm_mips,
+    rendezvous_table, scaling, table3, vm_mips,
 };
 
 fn main() {
@@ -66,6 +66,9 @@ fn main() {
     }
     if want("rendezvous") {
         print!("{}", rendezvous_table(scale).to_markdown());
+    }
+    if want("scaling") {
+        print!("{}", scaling(scale).to_markdown());
     }
     if want("table3") {
         let root = std::env::var("CARGO_MANIFEST_DIR")

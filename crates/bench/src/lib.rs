@@ -804,6 +804,60 @@ pub fn rendezvous_table(scale: Scale) -> Table {
     }
 }
 
+/// Shard scaling of the real-thread cluster runtime (§6.3): the same
+/// logical workload — an 8-node md5-scan fan-out — on 1/2/4/8 host
+/// shards. Wall-clock time must fall with the shard count while every
+/// deterministic quantity (checksum, virtual clock, the whole
+/// conformance bundle) stays bit-identical; the function asserts the
+/// invariance and reports the measured speedups. Wall-clock numbers
+/// are host-dependent; everything else in the table is not.
+pub fn scaling(scale: Scale) -> Table {
+    use det_workloads::sharded::{ShardedConfig, md5_scan};
+    let size = match scale {
+        Scale::Quick => 400_000,
+        Scale::Full => 1_600_000,
+    };
+    let cfg = |shards| ShardedConfig {
+        size,
+        ..ShardedConfig::quick(8, shards)
+    };
+    let mut rows = Vec::new();
+    let mut base: Option<(f64, Vec<u8>, u64)> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let t0 = std::time::Instant::now();
+        let r = md5_scan(cfg(shards));
+        let wall = t0.elapsed().as_secs_f64();
+        let bundle = r.outcome.bundle_bytes();
+        let (wall1, bundle1, vclock1) =
+            base.get_or_insert_with(|| (wall, bundle.clone(), r.outcome.vclock_ns));
+        assert_eq!(&bundle, bundle1, "bundle diverged at {shards} shards");
+        assert_eq!(
+            r.outcome.vclock_ns, *vclock1,
+            "vclock moved at {shards} shards"
+        );
+        rows.push(vec![
+            shards.to_string(),
+            format!("{:.1}", wall * 1e3),
+            format!("{:.2}", *wall1 / wall),
+            format!("{:.3}", r.outcome.vclock_ns as f64 / 1e6),
+            "identical".into(),
+        ]);
+    }
+    Table {
+        title: "Shard scaling — md5-scan fan-out, 8 logical nodes on 1/2/4/8 host shards \
+                (DESIGN.md §10; PAPER.md §6.3). Wall-clock falls; the bundle does not move"
+            .into(),
+        headers: vec![
+            "shards".into(),
+            "wall ms".into(),
+            "speedup".into(),
+            "vclock ms".into(),
+            "bundle".into(),
+        ],
+        rows,
+    }
+}
+
 /// Table 3: implementation size of this repository, in semicolon
 /// lines per component (the paper's metric).
 pub fn table3(repo_root: &std::path::Path) -> Table {

@@ -22,11 +22,29 @@
 //! [`SimCluster`] implements [`det_kernel::ClusterHooks`]; plug it in
 //! with [`det_kernel::Kernel::with_cluster`], then address children on
 //! other nodes with [`det_kernel::child_on_node`].
+//!
+//! # Real-thread shards
+//!
+//! [`ClusterSpec`] promotes the simulation to N kernel *shards* on
+//! real OS threads: every logical node is homed on shard
+//! `node % shards`, each migrated job runs in its own `det-kernel`
+//! instance on its node's shard, and a migrated space materializes
+//! O(touched) by pulling *leaves* of the structurally shared page
+//! table over the (still simulated-latency) link. All deterministic
+//! quantities — virtual clocks, digests, kernel stats, traffic
+//! counters — are functions of the workload and the logical node
+//! count only, so they are bit-identical on 1 shard or 16 (see
+//! DESIGN.md §10 and `tests/determinism.rs`).
 
+mod controller;
 mod net;
+mod protocol;
 mod residency;
+mod shard;
 
+pub use controller::{ClusterOutcome, ClusterSpec, JobArtifact, JobOutcome, JobSpec, Remote};
 pub use net::NetworkModel;
+pub use protocol::JobFn;
 pub use residency::ResidencyStats;
 
 use std::sync::Arc;

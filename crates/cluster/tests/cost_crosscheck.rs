@@ -1,0 +1,206 @@
+//! Cross-check of the two cluster runtimes' cost accounting.
+//!
+//! The same logical schedule — fork a worker onto node 1 over a
+//! 16-page region, worker reads every page and writes nothing, join —
+//! is run through [`SimCluster`] (residency bookkeeping on one kernel)
+//! and through the real-thread shard runtime ([`ClusterSpec`]). Both
+//! sides' traffic counters are derived from first principles and
+//! pinned **exactly**, so any drift in either model's accounting (or
+//! in the wire encoding the shard runtime prices) fails loudly.
+//!
+//! The two models agree on the schedule-level quantities:
+//!
+//! * **migrations** — 2 each: sim pays depart (`Put` to node 1) and
+//!   return-home (root halt); the shard runtime pays the fork summary
+//!   and the homecoming delta.
+//! * **page pulls** — 16 each (the shard runtime counts
+//!   page-*equivalents*: one leaf pull carrying 16 pages).
+//!
+//! They deliberately differ in message/byte granularity: sim moves
+//! pages one 4 KiB round trip at a time (the paper's "simplistic page
+//! copying protocol"), while the shard runtime batches a whole
+//! page-table leaf per round trip and ships a byte-exact delta
+//! encoding. Both flavors are asserted exactly below.
+
+use det_cluster::{ClusterSpec, JobSpec, NetworkModel, SimCluster};
+use det_kernel::{
+    CopySpec, GetSpec, Kernel, KernelConfig, Program, PutSpec, Region, child_on_node, wire,
+};
+use det_memory::{AddressSpace, Perm, SpaceDelta};
+
+const BASE: u64 = 0x10000;
+const PAGES: u64 = 16;
+const REGION: Region = Region {
+    start: BASE,
+    end: BASE + PAGES * 0x1000,
+};
+const HEADER: u64 = 64;
+
+/// Root-side setup both runtimes share: map the region and write the
+/// first word of every page.
+fn fill(mem: &mut AddressSpace) {
+    mem.map_zero(REGION, Perm::RW).unwrap();
+    for p in 0..PAGES {
+        mem.write_u64(BASE + p * 0x1000, p + 1).unwrap();
+    }
+}
+
+#[test]
+fn sim_and_shard_runtimes_price_the_same_schedule_consistently() {
+    // --- The schedule on SimCluster. ---
+    let sim = SimCluster::new(2, NetworkModel::ethernet_1g());
+    let out = Kernel::with_cluster(KernelConfig::default(), sim.clone()).run(|ctx| {
+        fill(ctx.mem_mut());
+        let c = child_on_node(1, 1);
+        ctx.put(
+            c,
+            PutSpec::new()
+                .program(Program::native(|cc| {
+                    let mut acc = 0u64;
+                    for p in 0..PAGES {
+                        acc = acc.wrapping_add(cc.mem().read_u64(BASE + p * 0x1000)?);
+                    }
+                    assert_eq!(acc, PAGES * (PAGES + 1) / 2);
+                    Ok(0)
+                }))
+                .copy(CopySpec::mirror(REGION))
+                .snap()
+                .start(),
+        )?;
+        ctx.get(c, GetSpec::new().merge(REGION))?;
+        // Return-home leg: address node 0 so the root migrates back
+        // (the shard runtime's homecoming happens inside `join`).
+        ctx.put(0, PutSpec::new())?;
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    let s = sim.stats();
+    // Depart at the remote Put + the explicit return home.
+    assert_eq!(s.migrations, 2, "{s:?}");
+    // Every page the worker reads is resident only on node 0.
+    assert_eq!(s.page_pulls, PAGES, "{s:?}");
+    // 1 summary out + 2 per page pull + 1 summary home.
+    assert_eq!(s.messages, 1 + 2 * PAGES + 1, "{s:?}");
+    // Summaries price 64 + 16·pages; each pull moves 4096 + 64.
+    assert_eq!(
+        s.bytes_transferred,
+        2 * (HEADER + 16 * PAGES) + PAGES * (4096 + HEADER),
+        "{s:?}"
+    );
+
+    // --- The same schedule on the real-thread shard runtime. ---
+    let out = ClusterSpec::new(2, 2).run(|ctx, net| {
+        fill(ctx.mem_mut());
+        net.fork(
+            ctx,
+            1,
+            1,
+            JobSpec::native(REGION, |c, _| {
+                let mut acc = 0u64;
+                for p in 0..PAGES {
+                    acc = acc.wrapping_add(c.mem().read_u64(BASE + p * 0x1000)?);
+                }
+                assert_eq!(acc, PAGES * (PAGES + 1) / 2);
+                Ok(0)
+            }),
+        )?;
+        net.join(ctx, 1)?;
+        Ok(0)
+    });
+    assert_eq!(out.exit, Ok(0));
+    let h = out.cluster;
+    // Fork summary + homecoming delta: same migration count as sim.
+    assert_eq!(h.migrations, 2, "{h:?}");
+    // One leaf pull carrying all 16 pages: same page-equivalents.
+    assert_eq!(h.page_pulls, PAGES, "{h:?}");
+    // Leaf batching: 1 summary + 2 for the leaf pull + 2 for the join
+    // round trip (vs sim's per-page 2·16).
+    assert_eq!(h.messages, 5, "{h:?}");
+    // Bytes priced off the canonical wire encoding: reconstruct the
+    // frozen image exactly as `fork` does and measure its leaf image.
+    let mut root = AddressSpace::new();
+    fill(&mut root);
+    let mut img = AddressSpace::new();
+    img.copy_from_counted(&root, REGION, REGION.start).unwrap();
+    let summary = img.leaf_summary();
+    assert_eq!(summary.len(), 1, "16 pages live in one leaf");
+    assert_eq!(summary[0].pages, PAGES as u32);
+    let leaf_json = wire::delta_to_json(&img.leaf_image(summary[0].first_vpn));
+    // The worker writes nothing, so the homecoming delta is empty.
+    let empty_delta_json = wire::delta_to_json(&SpaceDelta::default());
+    let expected = (HEADER + 16 * PAGES)                    // fork summary
+        + HEADER + (HEADER + leaf_json.len() as u64)        // leaf pull round trip
+        + HEADER + (HEADER + empty_delta_json.len() as u64); // join round trip
+    assert_eq!(h.bytes_transferred, expected, "{h:?}");
+    // Nothing was forked onto its own node.
+    assert_eq!(h.cache_hits, 0, "{h:?}");
+}
+
+/// The page-equivalent pull counts of the two runtimes track each
+/// other across region sizes (the shard runtime batches, but the
+/// page-equivalents are identical whenever the worker touches every
+/// mapped page).
+#[test]
+fn pull_page_equivalents_match_across_sizes() {
+    for pages in [1u64, 4, 32] {
+        let region = Region::new(BASE, BASE + pages * 0x1000);
+        let sim = SimCluster::new(2, NetworkModel::ethernet_1g());
+        let out = Kernel::with_cluster(KernelConfig::default(), sim.clone()).run(move |ctx| {
+            ctx.mem_mut().map_zero(region, Perm::RW)?;
+            for p in 0..pages {
+                ctx.mem_mut().write_u64(BASE + p * 0x1000, p + 1)?;
+            }
+            let c = child_on_node(1, 1);
+            ctx.put(
+                c,
+                PutSpec::new()
+                    .program(Program::native(move |cc| {
+                        for p in 0..pages {
+                            cc.mem().read_u64(BASE + p * 0x1000)?;
+                        }
+                        Ok(0)
+                    }))
+                    .copy(CopySpec::mirror(region))
+                    .snap()
+                    .start(),
+            )?;
+            ctx.get(c, GetSpec::new())?;
+            ctx.put(0, PutSpec::new())?; // return-home leg
+            Ok(0)
+        });
+        assert_eq!(out.exit, Ok(0));
+
+        let shard = ClusterSpec::new(2, 2).run(move |ctx, net| {
+            ctx.mem_mut().map_zero(region, Perm::RW)?;
+            for p in 0..pages {
+                ctx.mem_mut().write_u64(BASE + p * 0x1000, p + 1)?;
+            }
+            net.fork(
+                ctx,
+                1,
+                1,
+                JobSpec::native(region, move |c, _| {
+                    for p in 0..pages {
+                        c.mem().read_u64(BASE + p * 0x1000)?;
+                    }
+                    Ok(0)
+                }),
+            )?;
+            net.join(ctx, 1)?;
+            Ok(0)
+        });
+        assert_eq!(shard.exit, Ok(0));
+        assert_eq!(
+            sim.stats().page_pulls,
+            shard.cluster.page_pulls,
+            "pages={pages}: sim {:?} vs shard {:?}",
+            sim.stats(),
+            shard.cluster
+        );
+        assert_eq!(
+            sim.stats().migrations,
+            shard.cluster.migrations,
+            "pages={pages}"
+        );
+    }
+}

@@ -18,7 +18,7 @@ use det_memory::Perm;
 use det_runtime::proc::{ProgramRegistry, run_process_tree};
 use det_runtime::threads::ThreadGroup;
 use det_runtime::{run_deterministic, shell};
-use det_workloads::{Mode, blackscholes, dist, fft, lu, matmult, md5, qsort};
+use det_workloads::{Mode, blackscholes, dist, fft, lu, matmult, md5, qsort, sharded};
 
 /// How the harness wants a scenario executed.
 #[derive(Clone, Debug)]
@@ -544,6 +544,62 @@ fn dist_md5_tree(cfg: &ScenarioConfig) -> ScenarioRun {
     })
 }
 
+// ---------------------------------------------------------------------
+// Real-thread shard-cluster scenarios.
+// ---------------------------------------------------------------------
+
+/// Wraps a `det_workloads::sharded` workload (real OS-thread shard
+/// cluster, `det_cluster::ClusterSpec`) as a scenario. The migration
+/// hooks are host-driven, so no syscall trace can be recorded; the
+/// replica-compared outcome is the root kernel's with the
+/// cluster-wide aggregate statistics swapped in (their vehicle fields
+/// still land in the harness's quarantined `[stats-vehicle]` section)
+/// and the dispatch-invariant `[cluster]`/`[jobs]` bundle sections
+/// appended to the console stream, so every traffic counter and
+/// per-job artifact participates in the byte comparison.
+fn cluster_scenario(
+    cfg: &ScenarioConfig,
+    nodes: u16,
+    size: u64,
+    run: fn(sharded::ShardedConfig) -> sharded::ShardedResult,
+) -> ScenarioRun {
+    let r = run(sharded::ShardedConfig {
+        nodes,
+        shards: 3,
+        size,
+        dispatch: cfg.dispatch,
+        faults: cfg.faults.clone(),
+    });
+    let sections = r.outcome.cluster_sections();
+    let stats = r.outcome.stats.clone();
+    let mut outcome = r.outcome.root;
+    outcome.stats = stats;
+    outcome
+        .outputs
+        .entry(DeviceId::ConsoleOut)
+        .or_default()
+        .extend_from_slice(&sections);
+    ScenarioRun {
+        outcome,
+        trace: None,
+    }
+}
+
+/// Remote fork fan-out: one md5-scanning job per logical node, pulled
+/// onto its home shard by leaf migration, joined and folded at the
+/// root.
+fn cluster_fork_fanout(cfg: &ScenarioConfig) -> ScenarioRun {
+    cluster_scenario(cfg, 4, 800, sharded::md5_scan)
+}
+
+/// Cross-shard migration storm: rounds of fork/join against every
+/// non-root node, each job running a det-vm child inside its own job
+/// kernel — migration traffic dominates and the dispatch vehicle is
+/// exercised on every shard.
+fn cluster_migration_storm(cfg: &ScenarioConfig) -> ScenarioRun {
+    cluster_scenario(cfg, 4, 3, sharded::migration_storm)
+}
+
 /// All registered scenarios, in a fixed order.
 pub fn registry() -> Vec<Scenario> {
     fn s(name: &'static str, traceable: bool, run: fn(&ScenarioConfig) -> ScenarioRun) -> Scenario {
@@ -569,6 +625,8 @@ pub fn registry() -> Vec<Scenario> {
         s("wl_lu", true, wl_lu),
         s("wl_blackscholes", true, wl_blackscholes),
         s("dist_md5_tree", false, dist_md5_tree),
+        s("cluster_fork_fanout", false, cluster_fork_fanout),
+        s("cluster_migration_storm", false, cluster_migration_storm),
     ]
 }
 

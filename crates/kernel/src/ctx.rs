@@ -209,6 +209,75 @@ impl SpaceCtx {
         ps_to_ns(self.st().vclock_ps)
     }
 
+    /// The space's virtual clock, in picoseconds — the exact value the
+    /// rendezvous max-rule propagates. Shard runtimes compare and sync
+    /// clocks at this precision so a remote join is bit-identical to a
+    /// local one.
+    pub fn vclock_ps(&self) -> u64 {
+        self.st().vclock_ps
+    }
+
+    /// Rendezvous-style clock sync: advances this space's virtual
+    /// clock to `max(current, target_ps)` — the `parent = max(parent,
+    /// child)` rule of DESIGN.md §1, applied to a child that ran on
+    /// another kernel shard. Charging through the normal path means a
+    /// work limit can preempt here exactly as it would on a local
+    /// charge.
+    pub fn sync_vclock_ps(&mut self, target_ps: u64) -> Result<()> {
+        let cur = self.st().vclock_ps;
+        if target_ps > cur {
+            self.charge_ps(target_ps - cur)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Records a cross-shard space migration driven by an external
+    /// shard runtime: counts it in [`crate::KernelStats::migrations`]
+    /// and charges `ps` (the link cost of the migration summary
+    /// message) to this space's clock.
+    pub fn note_migration(&mut self, ps: u64) -> Result<()> {
+        self.shared.hot.migrations.fetch_add(1, Relaxed);
+        self.charge_ps(ps)
+    }
+
+    /// Merges a migrated child's returned memory into this space —
+    /// the `Get`+merge rendezvous of §3.2, for a child that ran on a
+    /// remote kernel shard and came home as a dirty delta.
+    ///
+    /// `child` is the child's final memory (its materialized image
+    /// plus the returned delta) and `snap` the image it started from;
+    /// the three-way merge, conflict detection, virtual-time charge,
+    /// and statistics are identical to the local merge path, which is
+    /// what keeps a cluster run's artifact bundle invariant over how
+    /// spaces were placed on shards.
+    pub fn merge_remote(
+        &mut self,
+        child: &AddressSpace,
+        snap: &AddressSpace,
+        region: Region,
+    ) -> Result<det_memory::MergeStats> {
+        let costs = self.shared.costs;
+        let policy = self.shared.policy;
+        let (stats, conflict) = self
+            .st_mut()
+            .mem
+            .try_merge_from(child, snap, region, policy)?;
+        let ps = costs.merge_cost_ps(&stats);
+        // The caller pays for the scan on success and on conflict
+        // alike, mirroring the local merge path.
+        {
+            let st = self.st_mut();
+            st.vclock_ps = st.vclock_ps.saturating_add(ps);
+        }
+        self.shared.record_merge(&stats);
+        if let Some(c) = conflict {
+            self.shared.hot.conflicts.fetch_add(1, Relaxed);
+            return Err(KernelError::Conflict(c));
+        }
+        Ok(stats)
+    }
+
     /// The node this space currently executes on.
     pub fn cur_node(&self) -> u16 {
         self.st().cur_node
@@ -236,7 +305,11 @@ impl SpaceCtx {
         self.charge_ps(ns_to_ps(ns))
     }
 
-    pub(crate) fn charge_ps(&mut self, ps: u64) -> Result<()> {
+    /// Declares `ps` picoseconds of work on the virtual clock — the
+    /// picosecond-precision form of [`charge`](SpaceCtx::charge), used
+    /// by shard runtimes and cost models whose charges are computed in
+    /// the clock's native unit. Same preemption semantics as `charge`.
+    pub fn charge_ps(&mut self, ps: u64) -> Result<()> {
         if self.destroyed {
             return Err(KernelError::Destroyed);
         }

@@ -87,6 +87,7 @@ mod state;
 mod stats;
 mod syscall;
 mod trace;
+pub mod wire;
 
 pub use apply::{Effect, EntryRec, PutRec, TraceEvent, VmCounters};
 pub use checkpoint::{

@@ -87,7 +87,7 @@ pub use merge::{ConflictPolicy, MergeConflict, MergeStats};
 pub use page::{Frame, PAGE_SHIFT, PAGE_SIZE};
 pub use perm::Perm;
 pub use region::Region;
-pub use space::{AddressSpace, CloneStats, PAGES_PER_LEAF, PageInfo, Translation};
+pub use space::{AddressSpace, CloneStats, LeafInfo, PAGES_PER_LEAF, PageInfo, Translation};
 pub use tracker::AccessTracker;
 
 /// Result alias for memory operations.

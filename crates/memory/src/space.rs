@@ -174,6 +174,22 @@ pub struct CloneStats {
     pub boundary_pages: u64,
 }
 
+/// One row of a leaf-granularity address-space summary
+/// ([`AddressSpace::leaf_summary`]): a materialized page-table leaf,
+/// identified by the virtual page number of its first slot, and how
+/// many pages it maps. The summary is the control-plane half of
+/// cluster space migration — a remote node that received it can pull
+/// exactly these leaves ([`AddressSpace::leaf_image`]) and nothing
+/// else.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LeafInfo {
+    /// Virtual page number of the leaf's first slot (a multiple of
+    /// [`PAGES_PER_LEAF`]).
+    pub first_vpn: u64,
+    /// Mapped pages in the leaf (1..=[`PAGES_PER_LEAF`]).
+    pub pages: u32,
+}
+
 /// A generation-validated translation of one virtual page, minted by
 /// [`AddressSpace::translate_read`] / [`AddressSpace::translate_write`]
 /// and redeemed through [`AddressSpace::translated_bytes`] /
@@ -1032,6 +1048,102 @@ impl AddressSpace {
         }
         self.generation += 1;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf-granularity export (cluster migration pulls)
+    // ------------------------------------------------------------------
+
+    /// The leaf-granularity summary of this space: one [`LeafInfo`]
+    /// per materialized page-table leaf holding at least one mapped
+    /// page, ascending by address.
+    ///
+    /// This is the migration control-plane message of PAPER.md §3.3:
+    /// because the structurally shared table only materializes leaves
+    /// that were actually touched, the summary — and therefore the
+    /// whole leaf-pull transfer it indexes — is O(touched), never
+    /// O(address-range).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det_memory::{AddressSpace, PAGES_PER_LEAF, Perm, Region};
+    ///
+    /// let mut s = AddressSpace::new();
+    /// // Two pages in one leaf, far apart from a third.
+    /// s.map_zero(Region::new(0x1000, 0x3000), Perm::RW).unwrap();
+    /// s.map_zero(Region::new(0x4000_0000, 0x4000_1000), Perm::RW).unwrap();
+    /// let sum = s.leaf_summary();
+    /// assert_eq!(sum.len(), 2);
+    /// assert_eq!(sum[0].pages, 2);
+    /// assert_eq!(sum[1].first_vpn, 0x4000_0000 >> 12);
+    /// assert!(sum.iter().map(|l| l.pages as usize).sum::<usize>() <= s.leaf_count() * PAGES_PER_LEAF);
+    /// ```
+    pub fn leaf_summary(&self) -> Vec<LeafInfo> {
+        self.root
+            .iter()
+            .filter(|rs| rs.leaf.mapped > 0)
+            .map(|rs| LeafInfo {
+                first_vpn: rs.base << LEAF_BITS,
+                pages: rs.leaf.mapped,
+            })
+            .collect()
+    }
+
+    /// The full image of one page-table leaf as a [`crate::SpaceDelta`]
+    /// against an *empty* space: a `Write`/`WriteZero` op (with
+    /// permissions) per mapped page of the leaf identified by
+    /// `first_vpn` (which must be leaf-aligned). Applying every leaf
+    /// image of [`leaf_summary`](AddressSpace::leaf_summary) onto a
+    /// fresh space via [`apply_delta`](AddressSpace::apply_delta)
+    /// reproduces this space's bytes, permissions, zero-frame
+    /// identities, and the dirty marks a live
+    /// [`copy_from`](AddressSpace::copy_from) would leave — which is
+    /// what lets a migrated space materialize leaf by leaf, pulling
+    /// only what the home node's table actually holds.
+    ///
+    /// An unknown or unmaterialized leaf yields an empty delta.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use det_memory::{AddressSpace, Perm, Region};
+    ///
+    /// let mut src = AddressSpace::new();
+    /// src.map_zero(Region::new(0x1000, 0x3000), Perm::RW).unwrap();
+    /// src.write(0x1000, b"leaf").unwrap();
+    ///
+    /// let mut dst = AddressSpace::new();
+    /// for leaf in src.leaf_summary() {
+    ///     dst.apply_delta(&src.leaf_image(leaf.first_vpn)).unwrap();
+    /// }
+    /// assert_eq!(dst.content_digest(), src.content_digest());
+    /// ```
+    pub fn leaf_image(&self, first_vpn: u64) -> crate::SpaceDelta {
+        use crate::delta::{PageDelta, PageDeltaOp, SpaceDelta};
+        let zero = zero_frame();
+        let mut pages: Vec<PageDelta> = Vec::new();
+        if first_vpn & LEAF_MASK == 0 {
+            if let Ok(pos) = self.leaf_pos(first_vpn >> LEAF_BITS) {
+                let leaf = &self.root[pos].leaf;
+                for idx in leaf.present_indices() {
+                    let e = leaf.entries[idx].as_ref().expect("present bit set");
+                    pages.push(PageDelta {
+                        vpn: first_vpn + idx as u64,
+                        perm: e.perm,
+                        op: if Arc::ptr_eq(&e.frame, &zero) {
+                            PageDeltaOp::WriteZero
+                        } else {
+                            PageDeltaOp::Write(e.frame.bytes().to_vec())
+                        },
+                    });
+                }
+            }
+        }
+        SpaceDelta {
+            pages,
+            unmapped: Vec::new(),
+        }
     }
 
     // ------------------------------------------------------------------

@@ -22,6 +22,7 @@ pub mod mathx;
 pub mod matmult;
 pub mod md5;
 pub mod qsort;
+pub mod sharded;
 
 use det_kernel::{CostModel, KernelConfig, KernelStats};
 

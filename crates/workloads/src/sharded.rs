@@ -1,0 +1,301 @@
+//! Workloads for the real-thread shard cluster (`det_cluster`'s
+//! [`ClusterSpec`]): the fan-outs behind the §6.3 scaling figures and
+//! the shard-count-invariance conformance scenarios.
+//!
+//! Every workload here addresses **logical nodes**; the shard count is
+//! a free parameter that must change wall-clock time only. Each
+//! workload writes its deterministic result to the console device, so
+//! its bytes land in the conformance bundle's `[outputs]` section.
+
+use det_cluster::{ClusterOutcome, ClusterSpec, JobSpec};
+use det_kernel::{
+    CopySpec, DeviceId, FaultPlan, GetSpec, Program, PutSpec, Region, Regs, SpaceCtx, StopReason,
+    VmDispatch,
+};
+use det_memory::Perm;
+use det_runtime::dsched::{self, DSched};
+
+use crate::md5::{NS_PER_HASH, candidate, md5};
+
+const BASE: u64 = 0x1000_0000;
+
+/// Parameters of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Logical nodes (fixes every deterministic quantity).
+    pub nodes: u16,
+    /// Physical shards (OS threads; wall-clock only).
+    pub shards: usize,
+    /// Workload size knob (keyspace, rounds, …).
+    pub size: u64,
+    /// VM dispatch mode for every kernel in the cluster (must not
+    /// change any deterministic quantity).
+    pub dispatch: VmDispatch,
+    /// Fault-injection plan for the root kernel.
+    pub faults: FaultPlan,
+}
+
+impl ShardedConfig {
+    /// A quick configuration for tests.
+    pub fn quick(nodes: u16, shards: usize) -> ShardedConfig {
+        ShardedConfig {
+            nodes,
+            shards,
+            size: 2_000,
+            dispatch: VmDispatch::default(),
+            faults: FaultPlan::default(),
+        }
+    }
+
+    fn spec(&self) -> ClusterSpec {
+        let mut spec = ClusterSpec::new(self.nodes.max(1), self.shards.max(1));
+        spec.vm_dispatch = self.dispatch;
+        spec.faults = self.faults.clone();
+        spec
+    }
+}
+
+/// Result of a sharded workload run.
+pub struct ShardedResult {
+    /// The full cluster outcome (bundle, stats, artifacts).
+    pub outcome: ClusterOutcome,
+    /// Workload checksum — must be invariant across shard counts,
+    /// dispatch modes, and host load.
+    pub checksum: u64,
+}
+
+fn finish(outcome: ClusterOutcome) -> ShardedResult {
+    // A run cut short by an injected root fault has no checksum; the
+    // sentinel keeps the result deterministic without panicking.
+    let checksum = match outcome.exit {
+        Ok(code) => code as u32 as u64,
+        Err(_) => u64::MAX,
+    };
+    ShardedResult { outcome, checksum }
+}
+
+// ---------------------------------------------------------------------
+// md5-scan: embarrassingly parallel real compute (the scaling figure).
+// ---------------------------------------------------------------------
+
+/// Brute-forces an MD5 preimage with one scanning job per logical
+/// node (node 0's slice runs inside the root space). The real hash
+/// work dominates, so wall-clock time scales with the shard count
+/// while every deterministic quantity stays fixed.
+pub fn md5_scan(cfg: ShardedConfig) -> ShardedResult {
+    let nodes = cfg.spec().nodes as u64;
+    let keyspace = cfg.size;
+    let target = keyspace * 7 / 8;
+    let digest = md5(&candidate(target));
+    let shared = Region::new(BASE, BASE + 0x1000);
+    let scan = move |lo: u64, hi: u64, slot: u64, c: &mut SpaceCtx| {
+        let mut found = u64::MAX;
+        for i in lo..hi {
+            if md5(&candidate(i)) == digest {
+                found = i;
+            }
+        }
+        c.charge((hi - lo) * NS_PER_HASH)?;
+        if found != u64::MAX {
+            c.mem_mut().write_u64(slot, found + 1)?;
+        }
+        Ok(0)
+    };
+    let outcome = cfg.spec().run(move |ctx, net| {
+        ctx.mem_mut().map_zero(shared, Perm::RW)?;
+        let per = keyspace.div_ceil(nodes);
+        for n in 1..net.nodes() {
+            let (lo, hi) = (n as u64 * per, ((n as u64 + 1) * per).min(keyspace));
+            let slot = BASE + n as u64 * 8;
+            net.fork(
+                ctx,
+                n as u64,
+                n,
+                JobSpec::native(shared, move |c, _| scan(lo, hi, slot, c)),
+            )?;
+        }
+        // The root scans its own slice while the jobs run.
+        scan(0, per.min(keyspace), BASE, ctx)?;
+        for n in 1..net.nodes() {
+            net.join(ctx, n as u64)?;
+        }
+        let mut found = u64::MAX;
+        for k in 0..nodes {
+            let v = ctx.mem().read_u64(BASE + k * 8)?;
+            if v != 0 {
+                found = found.min(v - 1);
+            }
+        }
+        ctx.dev_write(DeviceId::ConsoleOut, &found.to_le_bytes())?;
+        Ok(found as i32)
+    });
+    let r = finish(outcome);
+    if r.outcome.exit.is_ok() {
+        assert_eq!(r.checksum, target, "md5-scan missed its preimage");
+    }
+    r
+}
+
+// ---------------------------------------------------------------------
+// migration-storm: many small cross-shard migrations, with a det-vm
+// child inside every job kernel.
+// ---------------------------------------------------------------------
+
+/// Rounds of fork/join against every non-root node, where each job
+/// runs a det-vm child *inside its own job kernel* (so the dispatch
+/// vehicle exercises the whole stack on every shard) and then mixes
+/// the VM's result into its slot. Dominated by migration traffic —
+/// the conformance storm scenario.
+pub fn migration_storm(cfg: ShardedConfig) -> ShardedResult {
+    let nodes = cfg.spec().nodes as u64;
+    let rounds = cfg.size.clamp(1, 64);
+    let shared = Region::new(BASE, BASE + 0x1000);
+    let image = det_vm::assemble(
+        "
+        li  r5, 0x2000
+        ldd r2, [r5+0]
+        muli r2, r2, 3
+        addi r2, r2, 7
+        std r2, [r5+8]
+        ldi r1, 0
+        halt
+        ",
+    )
+    .expect("storm VM program assembles");
+    let outcome = cfg.spec().run(move |ctx, net| {
+        ctx.mem_mut().map_zero(shared, Perm::RW)?;
+        for round in 0..rounds {
+            for n in 1..net.nodes() {
+                let slot = BASE + n as u64 * 8;
+                let bytes = image.bytes.clone();
+                net.fork(
+                    ctx,
+                    n as u64,
+                    n,
+                    JobSpec::native(shared, move |c, _| {
+                        // Seed the VM child from this job's slot, run
+                        // it in a private child space, merge back.
+                        let vm_region = Region::new(0, 0x3000);
+                        c.mem_mut().map_zero(vm_region, Perm::RW)?;
+                        c.mem_mut().write(0, &bytes)?;
+                        let seed = c.mem().read_u64(slot)?;
+                        c.mem_mut().write_u64(0x2000, seed + round)?;
+                        c.put(
+                            0,
+                            PutSpec::new()
+                                .program(Program::Vm)
+                                .copy(CopySpec::mirror(vm_region))
+                                .regs(Regs::at_entry(0))
+                                .snap()
+                                .start(),
+                        )?;
+                        let r = c.get(0, GetSpec::new().merge(vm_region))?;
+                        assert_eq!(r.stop, StopReason::Halted);
+                        let out = c.mem().read_u64(0x2008)?;
+                        c.mem_mut().write_u64(slot, out ^ (seed >> 3))?;
+                        Ok(0)
+                    }),
+                )?;
+            }
+            for n in 1..net.nodes() {
+                net.join(ctx, n as u64)?;
+            }
+        }
+        let mut acc = 0u64;
+        for k in 1..nodes {
+            acc = acc
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(ctx.mem().read_u64(BASE + k * 8)?);
+        }
+        ctx.dev_write(DeviceId::ConsoleOut, &acc.to_le_bytes())?;
+        Ok((acc & 0x7fff_ffff) as i32)
+    });
+    finish(outcome)
+}
+
+// ---------------------------------------------------------------------
+// dsched: deterministically scheduled lock-based threads inside
+// migrated job kernels.
+// ---------------------------------------------------------------------
+
+/// Each job runs a mutex/condvar workload under the deterministic
+/// scheduler *inside its job kernel*: threads contend on a shared
+/// counter, and the final tally lands in the job's slot. Exercises
+/// dsched's quantum accounting on every shard.
+pub fn dsched_counter(cfg: ShardedConfig) -> ShardedResult {
+    let nodes = cfg.spec().nodes as u64;
+    let increments = cfg.size.clamp(1, 200);
+    let shared = Region::new(BASE, BASE + 0x1000);
+    let outcome = cfg.spec().run(move |ctx, net| {
+        ctx.mem_mut().map_zero(shared, Perm::RW)?;
+        for n in 1..net.nodes() {
+            let slot = BASE + n as u64 * 8;
+            net.fork(
+                ctx,
+                n as u64,
+                n,
+                JobSpec::native(shared, move |c, _| {
+                    let work = Region::new(0x4000, 0x5000);
+                    c.mem_mut().map_zero(work, Perm::RW)?;
+                    let mut ds = DSched::new(c, work, 1_000, 100)?;
+                    for t in 0..3u64 {
+                        ds.spawn(t, move |tc| {
+                            for _ in 0..increments {
+                                dsched::mutex_lock(tc, 1)?;
+                                let v = tc.mem().read_u64(0x4000)?;
+                                tc.charge(200)?;
+                                tc.mem_mut().write_u64(0x4000, v + t + 1)?;
+                                dsched::mutex_unlock(tc, 1)?;
+                            }
+                            Ok(0)
+                        })?;
+                    }
+                    ds.run()?;
+                    let total = c.mem().read_u64(0x4000)?;
+                    c.mem_mut().write_u64(slot, total)?;
+                    Ok(0)
+                }),
+            )?;
+        }
+        for n in 1..net.nodes() {
+            net.join(ctx, n as u64)?;
+        }
+        let mut acc = 0u64;
+        for k in 1..nodes {
+            let v = ctx.mem().read_u64(BASE + k * 8)?;
+            // Three threads adding (t+1) each, `increments` times.
+            assert_eq!(v, increments * 6, "dsched tally wrong on node {k}");
+            acc = acc.wrapping_add(v.wrapping_mul(k + 1));
+        }
+        ctx.dev_write(DeviceId::ConsoleOut, &acc.to_le_bytes())?;
+        Ok((acc & 0x7fff_ffff) as i32)
+    });
+    finish(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md5_scan_finds_the_key_on_any_shard_count() {
+        let a = md5_scan(ShardedConfig::quick(4, 1));
+        let b = md5_scan(ShardedConfig::quick(4, 4));
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.outcome.bundle_bytes(), b.outcome.bundle_bytes());
+    }
+
+    #[test]
+    fn storm_and_dsched_are_shard_count_invariant() {
+        let cfg = |shards| ShardedConfig {
+            size: 3,
+            ..ShardedConfig::quick(3, shards)
+        };
+        let s1 = migration_storm(cfg(1));
+        let s3 = migration_storm(cfg(3));
+        assert_eq!(s1.outcome.bundle_bytes(), s3.outcome.bundle_bytes());
+        let d1 = dsched_counter(cfg(1));
+        let d2 = dsched_counter(cfg(2));
+        assert_eq!(d1.outcome.bundle_bytes(), d2.outcome.bundle_bytes());
+    }
+}

@@ -162,14 +162,17 @@ pub mod runtime {
 
 /// Cluster simulation: `det-cluster`.
 pub mod cluster {
-    pub use det_cluster::{ClusterStats, NetworkModel, ResidencyStats, SimCluster};
+    pub use det_cluster::{
+        ClusterOutcome, ClusterSpec, ClusterStats, JobArtifact, JobFn, JobOutcome, JobSpec,
+        NetworkModel, Remote, ResidencyStats, SimCluster,
+    };
 }
 
 /// The paper's benchmarks: `det-workloads`.
 pub mod workloads {
     pub use det_workloads::{
         Mode, RunResult, baseline_costs, blackscholes, dist, fft, lu, mathx, matmult, md5, qsort,
-        secs, speedup,
+        secs, sharded, speedup,
     };
 }
 

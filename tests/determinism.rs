@@ -291,6 +291,74 @@ fn rendezvous_storm_digest_invariant_under_chaos() {
     assert_eq!(quiet, loud, "host load changed an observable outcome");
 }
 
+/// Shard-count invariance (DESIGN.md §10): the real-thread cluster
+/// runtime must produce **byte-identical** conformance bundles —
+/// digest, virtual clock, kernel stats, traffic counters, outputs,
+/// per-job artifacts — whether the logical nodes are packed onto 1
+/// OS-thread shard or spread over 8, and regardless of host load.
+/// Shards may only change wall-clock time.
+#[test]
+fn sharded_workloads_invariant_across_shard_counts_under_chaos() {
+    use determinator::conform::ChaosLoad;
+    use determinator::workloads::sharded::{
+        ShardedConfig, ShardedResult, dsched_counter, md5_scan,
+    };
+    type Workload = fn(ShardedConfig) -> ShardedResult;
+
+    let _chaos = ChaosLoad::start(3);
+    let runs: Vec<(&str, Workload)> =
+        vec![("md5_scan", md5_scan), ("dsched_counter", dsched_counter)];
+    for (name, run) in runs {
+        let cfg = |shards| ShardedConfig {
+            size: 600,
+            ..ShardedConfig::quick(8, shards)
+        };
+        let base = run(cfg(1));
+        let base_bundle = base.outcome.bundle_bytes();
+        for shards in [2usize, 4, 8] {
+            let other = run(cfg(shards));
+            assert_eq!(other.checksum, base.checksum, "{name} shards={shards}");
+            assert_eq!(
+                other.outcome.vclock_ns, base.outcome.vclock_ns,
+                "{name} vclock diverged at shards={shards}"
+            );
+            assert_eq!(
+                other.outcome.stats, base.outcome.stats,
+                "{name} kernel stats diverged at shards={shards}"
+            );
+            assert_eq!(
+                other.outcome.bundle_bytes(),
+                base_bundle,
+                "{name} bundle diverged at shards={shards}"
+            );
+        }
+    }
+}
+
+/// The migration storm (nested det-vm children inside every migrated
+/// job kernel) repeats bit-identically across shard counts and
+/// reruns — dispatch vehicles and shard placement must leave no
+/// deterministic trace.
+#[test]
+fn sharded_migration_storm_repeats_and_shard_invariant() {
+    use determinator::workloads::sharded::{ShardedConfig, migration_storm};
+    let cfg = |shards| ShardedConfig {
+        size: 4,
+        ..ShardedConfig::quick(4, shards)
+    };
+    let a = migration_storm(cfg(1));
+    let b = migration_storm(cfg(1));
+    assert_eq!(a.outcome.bundle_bytes(), b.outcome.bundle_bytes());
+    for shards in [2usize, 4, 8] {
+        let c = migration_storm(cfg(shards));
+        assert_eq!(
+            a.outcome.bundle_bytes(),
+            c.outcome.bundle_bytes(),
+            "storm bundle diverged at shards={shards}"
+        );
+    }
+}
+
 /// Host-schedule independence at the workload level: sleeping threads
 /// at random points must not change anything observable.
 #[test]
