@@ -1,0 +1,602 @@
+//! The interval/stride abstract domain over 64-bit registers.
+//!
+//! A [`Val`] describes a set of concrete register values as a signed
+//! interval with a stride: `{ lo, lo + s, lo + 2s, …, hi }`. The
+//! *signed* view (`i64` bit patterns) is the one loop induction
+//! variables live in — quicksort's `i = lo - 1 = -1` is representable
+//! where an unsigned interval would blow straight to ⊤ — while
+//! addresses re-enter the unsigned world only at the final
+//! page-footprint conversion ([`Val::u64_spans`]).
+//!
+//! Soundness contract: every transfer function returns a superset of
+//! the concrete results under the interpreter's *wrapping* semantics
+//! (crates/vm/src/interp.rs). Bounds are computed in `i128`; anything
+//! that cannot be proven to stay inside `i64` without wrapping
+//! returns [`Val::top`]. Strides are best-effort precision — stride 1
+//! (plain interval) is always a sound fallback.
+
+/// Widening thresholds for upper bounds, ascending. The ladder stops
+/// well short of `i64::MAX` so post-widening increments (`p += 8` on a
+/// widened pointer) still have headroom and keep their stride instead
+/// of collapsing to ⊤; the narrowing sweeps then pull the bound back
+/// down to the loop guard.
+const HI_STEPS: [i64; 9] = [
+    0,
+    1,
+    0xfff,
+    0xffff,
+    (1 << 20) - 1,
+    (1 << 32) - 1,
+    (1 << 48) - 1,
+    1 << 60,
+    i64::MAX,
+];
+
+/// Widening thresholds for lower bounds, descending.
+const LO_STEPS: [i64; 7] = [0, -1, -0x1000, -0x10000, -(1 << 32), -(1 << 60), i64::MIN];
+
+/// An abstract register value: the set
+/// `{ lo + k·stride | 0 ≤ k ≤ (hi - lo)/stride }` of signed 64-bit
+/// bit patterns.
+///
+/// Invariants: `lo ≤ hi`; `stride == 0` iff `lo == hi`; otherwise
+/// `stride ≥ 1` and `(hi - lo) % stride == 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Val {
+    /// Smallest member (signed view).
+    pub lo: i64,
+    /// Largest member (signed view).
+    pub hi: i64,
+    /// Distance between members; 0 for a singleton.
+    pub stride: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Val {
+    /// The singleton `{ v }`.
+    pub fn exact(v: i64) -> Val {
+        Val {
+            lo: v,
+            hi: v,
+            stride: 0,
+        }
+    }
+
+    /// The singleton for a u64 bit pattern.
+    pub fn exact_u64(v: u64) -> Val {
+        Val::exact(v as i64)
+    }
+
+    /// Every 64-bit value: ⊤.
+    pub fn top() -> Val {
+        Val {
+            lo: i64::MIN,
+            hi: i64::MAX,
+            stride: 1,
+        }
+    }
+
+    /// The dense interval `[lo, hi]` (callers must ensure `lo ≤ hi`).
+    pub fn range(lo: i64, hi: i64) -> Val {
+        debug_assert!(lo <= hi);
+        Val {
+            lo,
+            hi,
+            stride: if lo == hi { 0 } else { 1 },
+        }
+    }
+
+    /// `[lo, hi]` with a claimed stride; falls back to stride 1 when
+    /// the claim does not divide the span (always sound).
+    pub fn strided(lo: i64, hi: i64, stride: u64) -> Val {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return Val::exact(lo);
+        }
+        let span = (hi as i128 - lo as i128) as u128;
+        let stride = if stride >= 1 && span.is_multiple_of(stride as u128) {
+            stride
+        } else {
+            1
+        };
+        Val { lo, hi, stride }
+    }
+
+    /// Builds from `i128` bounds, returning ⊤ on `i64` overflow (the
+    /// wrapping-semantics escape hatch every transfer function uses).
+    fn fit(lo: i128, hi: i128, stride: u128) -> Val {
+        if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+            return Val::top();
+        }
+        let stride = u64::try_from(stride).unwrap_or(1);
+        Val::strided(lo as i64, hi as i64, stride)
+    }
+
+    /// Is this the full ⊤ element?
+    pub fn is_top(&self) -> bool {
+        self.lo == i64::MIN && self.hi == i64::MAX
+    }
+
+    /// The single concrete value, if this is a singleton.
+    pub fn as_exact(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Least upper bound: covers every value of both operands. The
+    /// result stride divides both strides *and* the offset between the
+    /// two lower bounds, so `join({5}, {8})` is `[5, 8] /3`.
+    pub fn join(&self, other: &Val) -> Val {
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        if lo == hi {
+            return Val::exact(lo);
+        }
+        let off = (self.lo as i128 - other.lo as i128).unsigned_abs();
+        let off = u64::try_from(off).unwrap_or(1);
+        let s = gcd(gcd(self.stride, other.stride), off);
+        Val::strided(lo, hi, s.max(1))
+    }
+
+    /// Widening: where `next` grew past `self`, jump the moved bound to
+    /// the next threshold instead of creeping. Strides stay (they only
+    /// shrink via gcd, which terminates on its own).
+    pub fn widen(&self, next: &Val) -> Val {
+        let mut lo = next.lo;
+        let mut hi = next.hi;
+        if next.hi > self.hi {
+            hi = HI_STEPS
+                .iter()
+                .copied()
+                .find(|&t| t >= next.hi)
+                .unwrap_or(i64::MAX);
+        }
+        if next.lo < self.lo {
+            lo = LO_STEPS
+                .iter()
+                .copied()
+                .find(|&t| t <= next.lo)
+                .unwrap_or(i64::MIN);
+        }
+        if next.stride > 1 && lo > i64::MIN && hi < i64::MAX {
+            // Snap the thresholds onto next's lattice (outward bounds
+            // only move inward, so next stays covered) to keep the
+            // stride through widening.
+            let s = next.stride as i128;
+            let up = (lo as i128 - next.lo as i128).rem_euclid(s);
+            let lo2 = lo as i128 + if up == 0 { 0 } else { s - up };
+            let hi2 = hi as i128 - (hi as i128 - next.lo as i128).rem_euclid(s);
+            if lo2 <= next.lo as i128 && hi2 >= next.hi as i128 {
+                return Val::strided(lo2 as i64, hi2 as i64, next.stride);
+            }
+        }
+        Val::strided(lo, hi, next.stride)
+    }
+
+    /// Does this abstraction cover the concrete bit pattern?
+    pub fn contains(&self, v: u64) -> bool {
+        let v = v as i64;
+        if v < self.lo || v > self.hi {
+            return false;
+        }
+        if self.stride <= 1 {
+            return true;
+        }
+        ((v as i128 - self.lo as i128) as u128).is_multiple_of(self.stride as u128)
+    }
+
+    /// The concrete u64 spans this value covers, for footprint
+    /// conversion: a signed interval maps to one unsigned span when it
+    /// is sign-uniform, and splits at the sign boundary otherwise.
+    pub fn u64_spans(&self) -> Vec<(u64, u64)> {
+        if self.lo >= 0 || self.hi < 0 {
+            vec![(self.lo as u64, self.hi as u64)]
+        } else {
+            vec![(0, self.hi as u64), (self.lo as u64, u64::MAX)]
+        }
+    }
+
+    // --- Transfer functions (wrapping semantics, ⊤ on overflow) ---
+
+    /// `wrapping_add`.
+    pub fn add(&self, b: &Val) -> Val {
+        Val::fit(
+            self.lo as i128 + b.lo as i128,
+            self.hi as i128 + b.hi as i128,
+            gcd(self.stride, b.stride) as u128,
+        )
+    }
+
+    /// `wrapping_sub`.
+    pub fn sub(&self, b: &Val) -> Val {
+        Val::fit(
+            self.lo as i128 - b.hi as i128,
+            self.hi as i128 - b.lo as i128,
+            gcd(self.stride, b.stride) as u128,
+        )
+    }
+
+    /// `wrapping_mul`.
+    pub fn mul(&self, b: &Val) -> Val {
+        if let Some(k) = self.as_exact() {
+            return b.scale(k);
+        }
+        if let Some(k) = b.as_exact() {
+            return self.scale(k);
+        }
+        let corners = [
+            self.lo as i128 * b.lo as i128,
+            self.lo as i128 * b.hi as i128,
+            self.hi as i128 * b.lo as i128,
+            self.hi as i128 * b.hi as i128,
+        ];
+        Val::fit(
+            corners.iter().copied().min().unwrap(),
+            corners.iter().copied().max().unwrap(),
+            1,
+        )
+    }
+
+    /// Multiplication by a known constant (affine scaling keeps the
+    /// stride exact — the `li`/`ldih` chains depend on this).
+    pub fn scale(&self, k: i64) -> Val {
+        if k == 0 {
+            return Val::exact(0);
+        }
+        let (a, b) = (self.lo as i128 * k as i128, self.hi as i128 * k as i128);
+        let s = self.stride as u128 * k.unsigned_abs() as u128;
+        Val::fit(a.min(b), a.max(b), s)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, b: &Val) -> Val {
+        match (self.as_exact(), b.as_exact()) {
+            (Some(x), Some(y)) => Val::exact(x & y),
+            (_, Some(m)) => self.and_mask(m),
+            (Some(m), _) => b.and_mask(m),
+            _ => {
+                if self.lo >= 0 && b.lo >= 0 {
+                    Val::range(0, self.hi.min(b.hi))
+                } else {
+                    Val::top()
+                }
+            }
+        }
+    }
+
+    /// `x & m` for a known mask `m`. For a low-bits mask `2^k - 1`
+    /// that already covers the operand this is the identity (the
+    /// sandbox index-masking idiom: the mask proves the bound while
+    /// preserving the stride).
+    pub fn and_mask(&self, m: i64) -> Val {
+        if let Some(x) = self.as_exact() {
+            return Val::exact(x & m);
+        }
+        if m >= 0 {
+            if (m as u64 + 1).is_power_of_two() && self.lo >= 0 && self.hi <= m {
+                return *self;
+            }
+            return Val::range(0, m);
+        }
+        // Negative mask = clear low bits: a nonnegative operand stays
+        // in [0, hi] and becomes a multiple of the mask's alignment.
+        if self.lo >= 0 {
+            let align = 1u64 << (m.trailing_zeros().min(62));
+            return Val::strided(0, self.hi, align);
+        }
+        Val::top()
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, b: &Val) -> Val {
+        match (self.as_exact(), b.as_exact()) {
+            (Some(x), Some(y)) => Val::exact(x | y),
+            (Some(0), _) => *b,
+            (_, Some(0)) => *self,
+            _ => {
+                if self.lo >= 0 && b.lo >= 0 {
+                    // x|y ≥ max(x, y) and x|y ≤ x + y for nonnegatives.
+                    Val::fit(self.lo.max(b.lo) as i128, self.hi as i128 + b.hi as i128, 1)
+                } else {
+                    Val::top()
+                }
+            }
+        }
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, b: &Val) -> Val {
+        match (self.as_exact(), b.as_exact()) {
+            (Some(x), Some(y)) => Val::exact(x ^ y),
+            _ => {
+                if self.lo >= 0 && b.lo >= 0 {
+                    let m = (self.hi as u64).max(b.hi as u64);
+                    let bound = ((m + 1).next_power_of_two() as i128) - 1;
+                    Val::fit(0, bound, 1)
+                } else {
+                    Val::top()
+                }
+            }
+        }
+    }
+
+    /// Logical left shift by `imm & 63`.
+    pub fn shl_imm(&self, k: u32) -> Val {
+        if k == 0 {
+            return *self;
+        }
+        if let Some(x) = self.as_exact() {
+            return Val::exact(((x as u64).wrapping_shl(k)) as i64);
+        }
+        if k <= 62 {
+            // scale() reports ⊤ on any i64 overflow, so no bits can
+            // have been shifted out when it succeeds.
+            return self.scale(1i64 << k);
+        }
+        Val::top()
+    }
+
+    /// Logical (unsigned) right shift by `imm & 63`.
+    pub fn shr_imm(&self, k: u32) -> Val {
+        if k == 0 {
+            return *self;
+        }
+        if let Some(x) = self.as_exact() {
+            return Val::exact(((x as u64) >> k) as i64);
+        }
+        if self.lo >= 0 {
+            let s = if k < 63 && self.stride.is_multiple_of(1 << k) {
+                self.stride >> k
+            } else {
+                1
+            };
+            return Val::strided(self.lo >> k, self.hi >> k, s);
+        }
+        // Negative members shift as huge unsigned values; k ≥ 1 keeps
+        // the result below 2^63, so a signed range still covers it.
+        Val::range(0, (u64::MAX >> k) as i64)
+    }
+
+    /// Arithmetic right shift by `imm & 63`.
+    pub fn sar_imm(&self, k: u32) -> Val {
+        if k == 0 {
+            return *self;
+        }
+        Val::range(self.lo >> k, self.hi >> k)
+    }
+
+    /// Register-amount shifts: sound bounds when the amount is exact,
+    /// monotonicity bounds otherwise.
+    pub fn shl(&self, amount: &Val) -> Val {
+        match amount.as_exact() {
+            Some(k) => self.shl_imm((k & 63) as u32),
+            None => Val::top(),
+        }
+    }
+
+    /// Register-amount logical right shift.
+    pub fn shr(&self, amount: &Val) -> Val {
+        match amount.as_exact() {
+            Some(k) => self.shr_imm((k & 63) as u32),
+            None if self.lo >= 0 => Val::range(0, self.hi),
+            None => Val::top(),
+        }
+    }
+
+    /// Register-amount arithmetic right shift.
+    pub fn sar(&self, amount: &Val) -> Val {
+        match amount.as_exact() {
+            Some(k) => self.sar_imm((k & 63) as u32),
+            None if self.lo >= 0 => Val::range(0, self.hi),
+            None if self.hi < 0 => Val::range(self.lo, -1),
+            None => Val::top(),
+        }
+    }
+
+    /// The 0/1 result of `(a < b)` signed, proven where possible.
+    pub fn lt_signed(&self, b: &Val) -> Val {
+        if self.hi < b.lo {
+            Val::exact(1)
+        } else if self.lo >= b.hi {
+            Val::exact(0)
+        } else {
+            Val::range(0, 1)
+        }
+    }
+
+    /// The 0/1 result of `(a < b)` unsigned, proven where sign-uniform.
+    pub fn lt_unsigned(&self, b: &Val) -> Val {
+        match (self.unsigned_view(), b.unsigned_view()) {
+            (Some((alo, ahi)), Some((blo, bhi))) => {
+                if ahi < blo {
+                    Val::exact(1)
+                } else if alo >= bhi {
+                    Val::exact(0)
+                } else {
+                    Val::range(0, 1)
+                }
+            }
+            _ => Val::range(0, 1),
+        }
+    }
+
+    /// The unsigned interval `[lo, hi]` when this set is sign-uniform
+    /// (entirely nonnegative or entirely negative bit patterns).
+    pub fn unsigned_view(&self) -> Option<(u64, u64)> {
+        (self.lo >= 0 || self.hi < 0).then_some((self.lo as u64, self.hi as u64))
+    }
+
+    // --- Branch-edge refinements (meet with a half-space) ---
+    // Each returns None when the edge is infeasible.
+
+    fn clamp(&self, lo: i64, hi: i64) -> Option<Val> {
+        let mut lo = self.lo.max(lo);
+        let mut hi = self.hi.min(hi);
+        if lo > hi {
+            return None;
+        }
+        if self.stride > 1 {
+            // Snap inward to the stride lattice anchored at self.lo.
+            let s = self.stride as i128;
+            let up = (lo as i128 - self.lo as i128).rem_euclid(s);
+            lo = (lo as i128 + if up == 0 { 0 } else { s - up }) as i64;
+            let down = (hi as i128 - self.lo as i128).rem_euclid(s);
+            hi = (hi as i128 - down) as i64;
+            if lo > hi {
+                return None;
+            }
+        }
+        Some(Val::strided(lo, hi, self.stride))
+    }
+
+    /// Refine under `self == b`.
+    pub fn refine_eq(&self, b: &Val) -> Option<Val> {
+        self.clamp(b.lo, b.hi)
+    }
+
+    /// Refine under `self != b` (only trims singleton endpoints).
+    pub fn refine_ne(&self, b: &Val) -> Option<Val> {
+        if let (Some(x), Some(y)) = (self.as_exact(), b.as_exact()) {
+            if x == y {
+                return None;
+            }
+        }
+        if let Some(y) = b.as_exact() {
+            let step = self.stride.max(1) as i64;
+            if self.lo == y && self.hi == y {
+                return None;
+            }
+            if self.lo == y {
+                return self.clamp(self.lo.saturating_add(step), self.hi);
+            }
+            if self.hi == y {
+                return self.clamp(self.lo, self.hi.saturating_sub(step));
+            }
+        }
+        Some(*self)
+    }
+
+    /// Refine under `self < b` (signed).
+    pub fn refine_lt_signed(&self, b: &Val) -> Option<Val> {
+        if b.hi == i64::MIN {
+            return None;
+        }
+        self.clamp(i64::MIN, b.hi - 1)
+    }
+
+    /// Refine under `self >= b` (signed).
+    pub fn refine_ge_signed(&self, b: &Val) -> Option<Val> {
+        self.clamp(b.lo, i64::MAX)
+    }
+
+    /// Refine under `self < b` (unsigned). When `b`'s largest possible
+    /// value `B` is a nonnegative pattern, `x <u B` pins `x` into
+    /// `[0, B-1]` even from ⊤ — the guard idiom the corpus kernels use.
+    pub fn refine_lt_unsigned(&self, b: &Val) -> Option<Val> {
+        match b.unsigned_view() {
+            Some((_, 0)) => None,
+            Some((_, bhi)) if bhi <= i64::MAX as u64 => self.clamp(0, (bhi - 1) as i64),
+            _ => {
+                // The bound may be a huge (negative-pattern) value; the
+                // only still-sound fact is x != u64::MAX when b ⊆ it.
+                Some(*self)
+            }
+        }
+    }
+
+    /// Refine under `self >= b` (unsigned).
+    pub fn refine_ge_unsigned(&self, b: &Val) -> Option<Val> {
+        match (self.unsigned_view(), b.unsigned_view()) {
+            (Some(_), Some((blo, _))) if blo <= i64::MAX as u64 && self.lo >= 0 => {
+                self.clamp(blo as i64, i64::MAX)
+            }
+            _ => Some(*self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_tracks_stride() {
+        let j = Val::exact(5).join(&Val::exact(8));
+        assert_eq!(j, Val::strided(5, 8, 3));
+        assert!(j.contains(5) && j.contains(8) && !j.contains(6));
+    }
+
+    #[test]
+    fn add_overflow_goes_top() {
+        let near = Val::range(i64::MAX - 2, i64::MAX);
+        assert!(near.add(&Val::exact(8)).is_top());
+    }
+
+    #[test]
+    fn affine_li_chain_stays_exact() {
+        // ldi 5; ldih 0xabc  ==  5*4096 + 0xabc.
+        let v = Val::exact(5).scale(4096).add(&Val::exact(0xabc));
+        assert_eq!(v.as_exact(), Some(5 * 4096 + 0xabc));
+    }
+
+    #[test]
+    fn mask_identity_preserves_stride() {
+        let v = Val::strided(0, 1008, 16);
+        assert_eq!(v.and_mask(1023), v);
+        assert_eq!(Val::top().and_mask(127), Val::range(0, 127));
+    }
+
+    #[test]
+    fn unsigned_refine_pins_top() {
+        let p = Val::top().refine_lt_unsigned(&Val::exact(0x8400)).unwrap();
+        assert_eq!(p, Val::range(0, 0x83ff));
+    }
+
+    #[test]
+    fn widen_hits_threshold_then_narrowing_recovers() {
+        let head = Val::exact(0x8000);
+        let grown = Val::strided(0x8000, 0x8010, 8);
+        let w = head.widen(&grown);
+        // The 0xffff threshold is snapped down onto the stride-8
+        // lattice so post-widening states keep their alignment.
+        assert_eq!(w.hi, 0xfff8);
+        assert_eq!(w.stride, 8);
+    }
+
+    #[test]
+    fn spans_split_at_sign_boundary() {
+        let v = Val::range(-4, 7);
+        assert_eq!(v.u64_spans(), vec![(0, 7), ((-4i64) as u64, u64::MAX)]);
+    }
+
+    #[test]
+    fn soundness_spot_checks_cover_wrapping() {
+        // Exhaustive small-set checks: abstract op result covers every
+        // concrete pair's wrapping result.
+        let a = Val::strided(-6, 6, 3);
+        let b = Val::range(2, 5);
+        for x in (-6i64..=6).step_by(3) {
+            for y in 2..=5i64 {
+                let cases = [
+                    (a.add(&b), x.wrapping_add(y)),
+                    (a.sub(&b), x.wrapping_sub(y)),
+                    (a.mul(&b), x.wrapping_mul(y)),
+                    (a.and(&b), x & y),
+                    (a.or(&b), x | y),
+                    (a.xor(&b), x ^ y),
+                ];
+                for (i, (av, cv)) in cases.iter().enumerate() {
+                    assert!(av.contains(*cv as u64), "op {i} at ({x}, {y}): {av:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Differential soundness + precision gate over the registered VM
+//! corpus, plus verdict semantics on hand-built sibling sets.
+//!
+//! This is the test-suite twin of the `analyze` CI binary: every
+//! corpus program's observed page accesses must fall inside its
+//! predicted footprint (soundness — zero false negatives), and for
+//! the loop-structured kernels the prediction must also be *tight*
+//! (precision — the abstract domain carries its weight).
+
+use det_analyze::footprint::{
+    AnalyzeConfig, PageSet, Segment, Verdict, analyze, classify, classify_with_base,
+};
+use det_analyze::gate::check_program;
+use det_vm::assemble;
+use det_vm::corpus::PROGRAMS;
+
+fn ranges(fp: &PageSet) -> &[(u64, u64)] {
+    match fp {
+        PageSet::Ranges(r) => r,
+        PageSet::Unbounded => panic!("unexpected unbounded footprint"),
+    }
+}
+
+#[test]
+fn every_corpus_program_is_sound() {
+    let cfg = AnalyzeConfig::default();
+    for p in PROGRAMS {
+        let g = check_program(p.src, p.budget, &cfg);
+        assert!(
+            g.sound,
+            "{}: observed write pages {:?} / read pages {:?} escape predicted {} / {}",
+            p.name,
+            g.observed_written,
+            g.observed_read,
+            g.analysis.footprint.writes,
+            g.analysis.footprint.reads,
+        );
+    }
+}
+
+/// The loop kernels march pointers over fixed windows; after widening
+/// and narrowing the analysis should recover those windows exactly at
+/// page granularity, not just soundly.
+#[test]
+fn corpus_precision_is_page_exact() {
+    let cfg = AnalyzeConfig::default();
+    let expect_writes: &[(&str, &[(u64, u64)])] = &[
+        ("alu_loop", &[]),
+        ("fib_preempt", &[]),
+        ("tlb_stride", &[]),
+        ("fft", &[(8, 8)]),
+        ("md5", &[(8, 8)]),
+        ("matmult", &[(8, 9)]),
+        ("qsort", &[(8, 9)]),
+        ("qsort_sort", &[(8, 9)]),
+        ("counter_stream", &[(2, 2)]),
+    ];
+    for (name, want) in expect_writes {
+        let p = PROGRAMS
+            .iter()
+            .find(|p| p.name == *name)
+            .expect("registered");
+        let g = check_program(p.src, p.budget, &cfg);
+        assert_eq!(
+            ranges(&g.analysis.footprint.writes),
+            *want,
+            "{name}: write footprint drifted"
+        );
+    }
+}
+
+#[test]
+fn footprints_are_deterministic() {
+    let cfg = AnalyzeConfig::default();
+    for p in PROGRAMS {
+        let image = assemble(p.src).unwrap();
+        let segs = [Segment {
+            base: 0,
+            bytes: &image.bytes,
+        }];
+        let a = analyze(&segs, 0, &cfg);
+        let b = analyze(&segs, 0, &cfg);
+        assert_eq!(a, b, "{}: analysis not deterministic", p.name);
+    }
+}
+
+#[test]
+fn disjoint_kernels_classify_conflict_free() {
+    let cfg = AnalyzeConfig::default();
+    let get = |name: &str| {
+        let p = PROGRAMS.iter().find(|p| p.name == name).unwrap();
+        check_program(p.src, p.budget, &cfg).analysis
+    };
+    // Pure compute (no writes) never conflicts with anything bounded.
+    let alu = get("alu_loop");
+    let fib = get("fib_preempt");
+    let fft = get("fft");
+    assert_eq!(classify(&[&alu, &fib]), Verdict::ConflictFree);
+    assert_eq!(classify(&[&alu, &fft]), Verdict::ConflictFree);
+    // counter_stream writes page 2; fft writes page 8: disjoint.
+    let ctr = get("counter_stream");
+    assert_eq!(classify(&[&ctr, &fft]), Verdict::ConflictFree);
+    // fft and matmult both write page 8: overlap cannot be ruled out.
+    let mm = get("matmult");
+    assert_eq!(classify(&[&fft, &mm]), Verdict::PossibleConflict);
+}
+
+#[test]
+fn must_writes_upgrade_to_definite_conflict() {
+    let cfg = AnalyzeConfig::default();
+    let prog = |v: u64| {
+        let src = format!("li r1, {v}\nli r2, 0x8000\nstd r1, [r2+0]\nhalt\n");
+        let image = assemble(&src).unwrap();
+        let segs = [Segment {
+            base: 0,
+            bytes: &image.bytes,
+        }];
+        analyze(&segs, 0, &cfg)
+    };
+    let a = prog(5);
+    let b = prog(9);
+    // Both must-write eight bytes at 0x8000 with values differing from
+    // a zeroed snapshot: a definite strict conflict.
+    assert_eq!(classify(&[&a, &b]), Verdict::PossibleConflict);
+    assert_eq!(
+        classify_with_base(&[&a, &b], &|_| 0),
+        Verdict::DefiniteConflict
+    );
+    // Same byte, but one sibling writes the snapshot's own value: the
+    // merge sees only one changed byte — not definite.
+    let zero = prog(0);
+    assert_eq!(
+        classify_with_base(&[&a, &zero], &|_| 0),
+        Verdict::PossibleConflict
+    );
+}
+
+#[test]
+fn unknown_indirect_jump_degrades_to_unbounded() {
+    let cfg = AnalyzeConfig::default();
+    let src = "li r2, 0x8000\nldd r1, [r2+0]\njalr r1, r1, 0\nhalt\n";
+    let image = assemble(src).unwrap();
+    let segs = [Segment {
+        base: 0,
+        bytes: &image.bytes,
+    }];
+    let a = analyze(&segs, 0, &cfg);
+    assert!(a.footprint.writes.is_unbounded());
+    assert!(a.footprint.reads.is_unbounded());
+    assert!(
+        a.footprint.touch_regions().is_none(),
+        "no prefetch hint when unbounded"
+    );
+}
+
+#[test]
+fn touch_regions_cover_reads_and_writes() {
+    let cfg = AnalyzeConfig::default();
+    let p = PROGRAMS.iter().find(|p| p.name == "fft").unwrap();
+    let g = check_program(p.src, p.budget, &cfg);
+    let regions = g.analysis.footprint.touch_regions().expect("bounded");
+    for &vpn in g.observed_read.iter().chain(&g.observed_written) {
+        let addr = vpn << 12;
+        assert!(
+            regions.iter().any(|r| r.start <= addr && addr < r.end),
+            "page {vpn:#x} not covered by hint regions {regions:?}"
+        );
+    }
+}

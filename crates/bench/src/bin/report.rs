@@ -7,8 +7,8 @@
 //! ```
 
 use det_bench::{
-    Scale, clone_table, fig4, fig7, fig8, fig9, fig10, fig11, fig12, quantum_ablation,
-    rendezvous_table, scaling, table3, vm_mips,
+    Scale, analyze_cost, analyze_prefetch, clone_table, fig4, fig7, fig8, fig9, fig10, fig11,
+    fig12, quantum_ablation, rendezvous_table, scaling, table3, vm_mips,
 };
 
 fn main() {
@@ -69,6 +69,10 @@ fn main() {
     }
     if want("scaling") {
         print!("{}", scaling(scale).to_markdown());
+    }
+    if want("analyze") {
+        print!("{}", analyze_cost(scale).to_markdown());
+        print!("{}", analyze_prefetch(scale).to_markdown());
     }
     if want("table3") {
         let root = std::env::var("CARGO_MANIFEST_DIR")

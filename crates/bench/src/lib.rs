@@ -858,6 +858,97 @@ pub fn scaling(scale: Scale) -> Table {
     }
 }
 
+/// The static analyzer's cost table (`report -- analyze`): host time
+/// of one [`det_analyze::analyze`] pass per corpus kernel, amortized
+/// per kilo-instruction of the soundness gate's execution budget,
+/// next to the predicted write footprint. Host nanoseconds are
+/// indicative; `steps` is the deterministic work measure the kernel
+/// charges via `CostModel::analyze_step_ps`.
+pub fn analyze_cost(scale: Scale) -> Table {
+    use std::time::Instant;
+    let iters = match scale {
+        Scale::Quick => 20u32,
+        Scale::Full => 200,
+    };
+    let cfg = det_analyze::AnalyzeConfig::default();
+    let mut rows = Vec::new();
+    for p in det_vm::corpus::PROGRAMS {
+        let image = det_vm::assemble(p.src).expect("corpus program assembles");
+        let segs = [det_analyze::Segment {
+            base: 0,
+            bytes: &image.bytes,
+        }];
+        let mut analysis = det_analyze::analyze(&segs, 0, &cfg);
+        let start = Instant::now();
+        for _ in 0..iters {
+            analysis = det_analyze::analyze(&segs, 0, &cfg);
+        }
+        let ns = (start.elapsed().as_nanos() / u128::from(iters)) as u64;
+        rows.push(vec![
+            p.name.to_string(),
+            analysis.footprint.steps.to_string(),
+            format!("{:.1}", ns as f64 / 1e3),
+            format!("{:.1}", ns as f64 * 1e3 / p.budget as f64),
+            format!("{}", analysis.footprint.writes),
+        ]);
+    }
+    Table {
+        title: "Static footprint analysis — cost per corpus kernel and predicted write set".into(),
+        headers: vec![
+            "kernel".into(),
+            "abs steps".into(),
+            "analysis µs".into(),
+            "ns / exec kinsn".into(),
+            "pred write pages".into(),
+        ],
+        rows,
+    }
+}
+
+/// Footprint-hinted vs unhinted leaf-pull migration
+/// (`report -- analyze`): the `vm_prefetch` sharded workload run both
+/// ways. The hint must leave the checksum untouched while cutting
+/// page pulls and bytes on the wire; virtual time differs only by the
+/// root's charged analysis work.
+pub fn analyze_prefetch(scale: Scale) -> Table {
+    use det_workloads::sharded::{ShardedConfig, vm_prefetch};
+    let size = match scale {
+        Scale::Quick => 1_600,
+        Scale::Full => 2_048,
+    };
+    let mut rows = Vec::new();
+    for (label, hint) in [("unhinted", false), ("footprint hint", true)] {
+        let r = vm_prefetch(
+            ShardedConfig {
+                size,
+                ..ShardedConfig::quick(4, 3)
+            },
+            hint,
+        );
+        let c = &r.outcome.cluster;
+        rows.push(vec![
+            label.to_string(),
+            c.page_pulls.to_string(),
+            c.bytes_transferred.to_string(),
+            c.messages.to_string(),
+            format!("{:.3}", r.outcome.vclock_ns as f64 / 1e6),
+            format!("{:#x}", r.checksum),
+        ]);
+    }
+    Table {
+        title: "Leaf-pull migration with and without the analyzer's prefetch hint".into(),
+        headers: vec![
+            "mode".into(),
+            "page pulls".into(),
+            "bytes on wire".into(),
+            "messages".into(),
+            "vclock ms".into(),
+            "checksum".into(),
+        ],
+        rows,
+    }
+}
+
 /// Table 3: implementation size of this repository, in semicolon
 /// lines per component (the paper's metric).
 pub fn table3(repo_root: &std::path::Path) -> Table {

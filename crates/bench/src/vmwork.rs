@@ -25,151 +25,32 @@ pub struct VmKernel {
     pub src: &'static str,
 }
 
-/// The synthetic ALU loop `vm_interpreter_mips` has always measured:
-/// pure fetch/decode/dispatch, no data memory.
-pub const ALU_LOOP: &str = "
-    ldi r1, 0
-loop:
-    addi r1, r1, 1
-    addi r2, r1, 3
-    xor  r3, r2, r1
-    beq r0, r0, loop
-";
-
-/// fft: the butterfly — two f64 loads, add/sub/scale, two stores,
-/// marching a pair of pointers across a 2 KiB array.
-const FFT_SRC: &str = "
-    li   r5, 0x8000        ; a[]
-    li   r6, 0x8400        ; b[]
-    ldi  r1, 3
-    cvtif r10, r1          ; twiddle-ish scale 3.0
-init:
-    addi r1, r1, 1
-    cvtif r2, r1
-    std  r2, [r5+0]
-    std  r2, [r6+0]
-    addi r5, r5, 8
-    addi r6, r6, 8
-    slti r3, r1, 131
-    bne  r3, r0, init
-    li   r5, 0x8000
-    li   r6, 0x8400
-outer:
-    ldi  r7, 128           ; butterflies per pass
-pass:
-    ldd  r2, [r5+0]        ; x = a[i]
-    ldd  r3, [r6+0]        ; y = b[i]
-    fmul r4, r3, r10       ; t = y * w
-    fadd r8, r2, r4        ; a' = x + t
-    fsub r9, r2, r4        ; b' = x - t
-    std  r8, [r5+0]
-    std  r9, [r6+0]
-    addi r5, r5, 8
-    addi r6, r6, 8
-    addi r7, r7, -1
-    bne  r7, r0, pass
-    li   r5, 0x8000
-    li   r6, 0x8400
-    beq  r0, r0, outer
-";
-
-/// matmult: the dot-product inner loop — two f64 loads, fused
-/// multiply-accumulate, one store per row.
-const MATMULT_SRC: &str = "
-    li   r5, 0x8000        ; row of A
-    li   r6, 0x8800        ; column of B
-    ldi  r1, 0
-init:
-    addi r1, r1, 1
-    cvtif r2, r1
-    std  r2, [r5+0]
-    std  r2, [r6+0]
-    addi r5, r5, 8
-    addi r6, r6, 8
-    slti r3, r1, 256
-    bne  r3, r0, init
-outer:
-    li   r5, 0x8000
-    li   r6, 0x8800
-    ldi  r7, 256           ; k loop
-    ldi  r9, 0
-    cvtif r9, r9           ; acc = 0.0
-dot:
-    ldd  r2, [r5+0]        ; A[i][k]
-    ldd  r3, [r6+0]        ; B[k][j]
-    fmul r4, r2, r3
-    fadd r9, r9, r4        ; acc += A*B
-    addi r5, r5, 8
-    addi r6, r6, 8
-    addi r7, r7, -1
-    bne  r7, r0, dot
-    li   r5, 0x9000
-    std  r9, [r5+0]        ; C[i][j] = acc
-    beq  r0, r0, outer
-";
-
-/// md5: the round function's shape — load a word, mix with rotates
-/// (shl/shr/or), adds and xors against round constants, store back.
-const MD5_SRC: &str = "
-    li   r5, 0x8000        ; 64-word block
-    ldi  r1, 0
-init:
-    addi r1, r1, 1
-    muli r2, r1, 0x61d
-    stw  r2, [r5+0]
-    addi r5, r5, 4
-    slti r3, r1, 64
-    bne  r3, r0, init
-    li   r10, 0x67452301   ; state a
-    li   r11, 0xefcdab89   ; state b
-outer:
-    li   r5, 0x8000
-    ldi  r7, 64
-round:
-    ldw  r2, [r5+0]        ; m = block[i]
-    add  r3, r10, r2       ; a + m
-    li   r4, 0x5a827999
-    add  r3, r3, r4        ; + k
-    shli r8, r3, 7         ; rotl 7
-    shri r9, r3, 57
-    or   r3, r8, r9
-    xor  r3, r3, r11       ; mix with b
-    add  r10, r11, r3      ; rotate state
-    or   r11, r3, r0
-    stw  r3, [r5+0]        ; write the lane back
-    addi r5, r5, 4
-    addi r7, r7, -1
-    bne  r7, r0, round
-    beq  r0, r0, outer
-";
+/// The synthetic ALU loop and the TLB-hostile stride loop, re-exported
+/// from the registered corpus so existing bench call sites keep their
+/// names.
+pub use det_vm::corpus::{ALU_LOOP, TLB_MISS_STRIDE};
 
 /// The paper-workload kernels measured by the MIPS table and benches.
+/// Sources live in [`det_vm::corpus`] so the conformance registry and
+/// the static analyzer's soundness gate exercise the same programs.
 pub const KERNELS: &[VmKernel] = &[
     VmKernel {
         name: "fft",
-        src: FFT_SRC,
+        src: det_vm::corpus::FFT_KERNEL,
     },
     VmKernel {
         name: "matmult",
-        src: MATMULT_SRC,
+        src: det_vm::corpus::MATMULT_KERNEL,
     },
     VmKernel {
         name: "md5",
-        src: MD5_SRC,
+        src: det_vm::corpus::MD5_KERNEL,
+    },
+    VmKernel {
+        name: "qsort",
+        src: det_vm::corpus::QSORT_KERNEL,
     },
 ];
-
-/// A TLB-hostile load loop: alternating accesses 64 pages apart map to
-/// the same direct-mapped TLB index with different tags, so every load
-/// misses — the miss-path microbench.
-pub const TLB_MISS_STRIDE: &str = "
-    li   r5, 0x100000
-    li   r6, 0x140000      ; +64 pages: same TLB set, different page
-loop:
-    ldd  r1, [r5+0]
-    ldd  r2, [r6+0]
-    beq  r0, r0, loop
-";
 
 /// Result of one measured kernel run.
 pub struct KernelRun {

@@ -11,7 +11,7 @@
 //! shard count changes wall-clock time and nothing else, which is the
 //! invariant the shard-count conformance suite pins.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -143,7 +143,7 @@ pub(crate) struct Env {
     pub(crate) permits: Vec<Arc<Permit>>,
     /// Per-shard frozen images of in-flight migrations, keyed by job
     /// id — the "home node keeps the pages" half of demand paging.
-    stores: Vec<Mutex<HashMap<u64, AddressSpace>>>,
+    stores: Vec<Mutex<BTreeMap<u64, AddressSpace>>>,
     next_job: AtomicU64,
     pub(crate) outstanding: AtomicU64,
     pub(crate) cluster: Mutex<ClusterStats>,
@@ -164,7 +164,7 @@ impl Env {
             spec,
             links,
             permits: (0..shards).map(|_| Arc::new(Permit::new(1))).collect(),
-            stores: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            stores: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
             next_job: AtomicU64::new(0),
             outstanding: AtomicU64::new(0),
             cluster: Mutex::new(ClusterStats::default()),
@@ -325,7 +325,7 @@ pub struct Remote {
     node: u16,
     path: String,
     forks: AtomicU64,
-    pending: Mutex<HashMap<u64, Pending>>,
+    pending: Mutex<BTreeMap<u64, Pending>>,
 }
 
 struct Pending {
@@ -370,6 +370,19 @@ impl JobSpec {
         self.touch = Some(regions);
         self
     }
+
+    /// Declares the job's access set from a static analysis result
+    /// (DESIGN.md §11): a bounded footprint becomes a prefetch hint —
+    /// exactly the pages the analyzer proved sufficient — while an
+    /// unbounded one leaves the spec unhinted (pull everything the
+    /// region summarizes). Soundness of the analysis is what makes
+    /// this safe: the hint can never exclude a page the job touches.
+    pub fn touch_footprint(self, fp: &det_kernel::Footprint) -> JobSpec {
+        match fp.touch_regions() {
+            Some(regions) => self.touch(regions),
+            None => self,
+        }
+    }
 }
 
 /// Result of joining a migrated job.
@@ -393,7 +406,7 @@ impl Remote {
             node,
             path,
             forks: AtomicU64::new(0),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(BTreeMap::new()),
         }
     }
 

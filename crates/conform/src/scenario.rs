@@ -213,19 +213,8 @@ fn actors_grid(cfg: &ScenarioConfig) -> ScenarioRun {
 /// `examples/vm_sandbox.rs`: an untrusted VM guest preempted at exact
 /// instruction counts.
 fn vm_sandbox(cfg: &ScenarioConfig) -> ScenarioRun {
-    const UNTRUSTED: &str = "
-        ldi r3, 0
-        ldi r4, 1
-        ldi r5, 0
-    loop:
-        add r6, r3, r4
-        mov r3, r4
-        mov r4, r6
-        addi r5, r5, 1
-        beq r0, r0, loop
-    ";
     run_scenario(cfg, true, |kc| {
-        let image = det_vm::assemble(UNTRUSTED).expect("assembles");
+        let image = det_vm::assemble(det_vm::corpus::FIB_PREEMPT).expect("assembles");
         let code = Region::new(0, 0x1000);
         Kernel::new(kc).run(move |ctx| {
             ctx.mem_mut().map_zero(code, Perm::RW)?;
@@ -262,20 +251,7 @@ fn vm_sandbox(cfg: &ScenarioConfig) -> ScenarioRun {
 /// symmetrically).
 fn vm_counter_stream(cfg: &ScenarioConfig) -> ScenarioRun {
     run_scenario(cfg, true, |kc| {
-        let image = det_vm::assemble(
-            "
-            ldi r1, 0
-            li  r5, 0x2000
-        loop:
-            addi r1, r1, 1
-            std r1, [r5+0]
-            sys 0
-            li  r6, 4
-            blt r1, r6, loop
-            halt
-            ",
-        )
-        .expect("assembles");
+        let image = det_vm::assemble(det_vm::corpus::COUNTER_STREAM).expect("assembles");
         Kernel::new(kc).run(move |ctx| {
             ctx.mem_mut().map_zero(Region::new(0, 0x3000), Perm::RW)?;
             ctx.mem_mut().write(0, &image.bytes)?;
@@ -529,6 +505,40 @@ fn wl_blackscholes(cfg: &ScenarioConfig) -> ScenarioRun {
     })
 }
 
+/// The corpus quicksort (`det_vm::corpus::QSORT_SORT`) as a VM child:
+/// LCG-fill, iterative in-place sort with an explicit range stack,
+/// sortedness sweep, halt. The branchy, data-dependent guest the
+/// static analyzer's soundness gate leans on — running it here keeps
+/// the conformance suite and the gate exercising the same image.
+fn wl_vm_qsort(cfg: &ScenarioConfig) -> ScenarioRun {
+    run_scenario(cfg, true, |kc| {
+        let image = det_vm::assemble(det_vm::corpus::QSORT_SORT).expect("assembles");
+        let guest = Region::new(0, 0x10000);
+        Kernel::new(kc).run(move |ctx| {
+            ctx.mem_mut().map_zero(guest, Perm::RW)?;
+            ctx.mem_mut().write(0, &image.bytes)?;
+            ctx.put(
+                0,
+                PutSpec::new()
+                    .program(Program::Vm)
+                    .copy(CopySpec::mirror(guest))
+                    .regs(Regs::at_entry(0))
+                    .snap()
+                    .start(),
+            )?;
+            let r = ctx.get(0, GetSpec::new().merge(guest))?;
+            assert_eq!(r.stop, StopReason::Halted);
+            let sorted = ctx.mem().read_u64(0x8800)?;
+            assert_eq!(sorted, 1, "guest's sortedness sweep failed");
+            let (first, last) = (ctx.mem().read_u64(0x8000)?, ctx.mem().read_u64(0x81f8)?);
+            assert!(first <= last, "array not sorted at the endpoints");
+            let line = format!("qsort: sorted=1 a[0]={first:#x} a[63]={last:#x}\n");
+            ctx.dev_write(DeviceId::ConsoleOut, line.as_bytes())?;
+            Ok((ctx.mem().content_digest().value() & 0x7fff_ffff) as i32)
+        })
+    })
+}
+
 /// md5-tree on a simulated 4-node cluster. Untraceable: cluster
 /// migration hooks are host-driven and incompatible with recording.
 fn dist_md5_tree(cfg: &ScenarioConfig) -> ScenarioRun {
@@ -600,6 +610,16 @@ fn cluster_migration_storm(cfg: &ScenarioConfig) -> ScenarioRun {
     cluster_scenario(cfg, 4, 3, sharded::migration_storm)
 }
 
+/// Footprint-hinted migration: the root statically analyzes each
+/// job's VM kernel (entry registers resolving its slot pointer) and
+/// forks with the proven page set as the leaf-pull prefetch hint. The
+/// replica comparison covers the `[cluster]` traffic counters, so a
+/// hint that drifted across dispatch modes or replicas would surface
+/// as a byte diff.
+fn cluster_vm_prefetch(cfg: &ScenarioConfig) -> ScenarioRun {
+    cluster_scenario(cfg, 4, 1_600, |c| sharded::vm_prefetch(c, true))
+}
+
 /// All registered scenarios, in a fixed order.
 pub fn registry() -> Vec<Scenario> {
     fn s(name: &'static str, traceable: bool, run: fn(&ScenarioConfig) -> ScenarioRun) -> Scenario {
@@ -624,9 +644,11 @@ pub fn registry() -> Vec<Scenario> {
         s("wl_fft", true, wl_fft),
         s("wl_lu", true, wl_lu),
         s("wl_blackscholes", true, wl_blackscholes),
+        s("wl_vm_qsort", true, wl_vm_qsort),
         s("dist_md5_tree", false, dist_md5_tree),
         s("cluster_fork_fanout", false, cluster_fork_fanout),
         s("cluster_migration_storm", false, cluster_migration_storm),
+        s("cluster_vm_prefetch", false, cluster_vm_prefetch),
     ]
 }
 

@@ -999,45 +999,27 @@ mod tests {
     /// The purity gate of the acceptance criteria: the core modules
     /// (`state.rs`, `apply.rs`) must contain no locks, condition
     /// variables, threads, host I/O, host clocks, or unsafe code.
-    /// Comments are stripped so prose cannot trip (or hide) a match.
+    /// The rule itself (token list, comment stripping, test-boundary
+    /// truncation) lives in `det_analyze::lint`, which also runs it
+    /// workspace-wide as the `detlint` binary — this test pins the
+    /// kernel build to the same single source of truth.
     #[test]
     fn core_modules_are_pure() {
         let sources = [
             ("state.rs", include_str!("state.rs")),
             ("apply.rs", include_str!("apply.rs")),
         ];
-        let forbidden = [
-            "Mutex",
-            "Condvar",
-            "RwLock",
-            "std::thread",
-            "thread::",
-            ".spawn(",
-            "AtomicBool",
-            "AtomicU64",
-            "std::io",
-            "std::fs",
-            "std::net",
-            "Instant",
-            "SystemTime",
-            "unsafe ",
-            "parking_lot",
-        ];
         for (name, src) in sources {
-            // Scan only production code: the token list below lives in
-            // this test module, so the scan stops at the test boundary.
-            let src = &src[..src.find("#[cfg(test)]").unwrap_or(src.len())];
-            let code: String = src
-                .lines()
-                .map(|l| l.split("//").next().unwrap_or(""))
-                .collect::<Vec<_>>()
-                .join("\n");
-            for tok in forbidden {
-                assert!(
-                    !code.contains(tok),
-                    "pure core module {name} contains forbidden token {tok:?}"
-                );
-            }
+            let findings = det_analyze::lint::purity_violations(name, src);
+            assert!(
+                findings.is_empty(),
+                "pure core module violations:\n{}",
+                findings
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
         }
     }
 

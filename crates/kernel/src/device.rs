@@ -9,7 +9,6 @@
 //! case (§2.1).
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
@@ -80,7 +79,7 @@ pub(crate) struct DeviceHub {
     mode: IoMode,
     recorded: IoLog,
     replay_next: usize,
-    inputs: HashMap<DeviceId, VecDeque<Vec<u8>>>,
+    inputs: BTreeMap<DeviceId, VecDeque<Vec<u8>>>,
     outputs: BTreeMap<DeviceId, Vec<u8>>,
     clock_now_ns: u64,
     clock_step_ns: u64,
@@ -94,7 +93,7 @@ impl DeviceHub {
             mode,
             recorded: IoLog::default(),
             replay_next: 0,
-            inputs: HashMap::new(),
+            inputs: BTreeMap::new(),
             outputs: BTreeMap::new(),
             clock_now_ns: 0,
             clock_step_ns: 1_000_000,

@@ -1388,3 +1388,33 @@ fn fork_charges_leaves_not_pages() {
     let costs = det_kernel::CostModel::calibrated();
     assert!(costs.clone_cost_ps(4) * 5 < costs.map_cost_ps(2 * 1024));
 }
+
+#[test]
+fn analyze_footprint_predicts_and_charges_deterministically() {
+    let image = det_vm::assemble(det_vm::corpus::FFT_KERNEL).unwrap();
+    let len = image.bytes.len() as u64;
+    let run_once = || {
+        let img = image.bytes.clone();
+        kernel().run(move |ctx| {
+            ctx.mem_mut().map_zero(Region::new(0, 0x10000), Perm::RW)?;
+            ctx.mem_mut().write(0, &img)?;
+            let before_ps = ctx.vclock_ps();
+            let fp = ctx.analyze_footprint(0, len)?;
+            let charged = ctx.vclock_ps() - before_ps;
+            // The fft kernel marches two pointers over one data page:
+            // the analysis recovers exactly page 8.
+            assert_eq!(fp.writes, det_kernel::PageSet::Ranges(vec![(8, 8)]));
+            assert!(!fp.reads.is_unbounded());
+            // The charge is the fused syscall + per-step cost, priced
+            // by the analyzer's own deterministic step count.
+            let costs = det_kernel::CostModel::calibrated();
+            assert_eq!(charged, costs.syscall_ps + costs.analyze_cost_ps(fp.steps));
+            assert!(fp.steps > 0);
+            Ok(fp.steps as i32)
+        })
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.exit, b.exit, "analysis step count must be deterministic");
+    assert_eq!(a.vclock_ns, b.vclock_ns);
+}

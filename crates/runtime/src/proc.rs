@@ -16,7 +16,7 @@
 //! and its parent — inside `wait`/`waitpid` — reconciles, feeds any
 //! new input, and resumes it transparently.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -30,7 +30,7 @@ use crate::fs::{CONSOLE_IN, CONSOLE_OUT, FileSys};
 use crate::layout;
 
 /// Process identifier, local to the issuing process (§2.4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pid(pub u32);
 
 /// Exit status of a collected child.
@@ -66,7 +66,7 @@ pub type ProcProgram = Arc<dyn Fn(&mut Proc<'_>, &[String]) -> Result<i32> + Sen
 /// system directly.)
 #[derive(Clone, Default)]
 pub struct ProgramRegistry {
-    programs: HashMap<String, ProcProgram>,
+    programs: BTreeMap<String, ProcProgram>,
 }
 
 impl ProgramRegistry {
@@ -121,7 +121,7 @@ pub struct Proc<'a> {
     fds: Vec<Option<OpenFile>>,
     registry: Arc<ProgramRegistry>,
     children: Vec<ChildRec>,
-    pids: HashMap<Pid, usize>,
+    pids: BTreeMap<Pid, usize>,
     next_pid: u32,
     free_child_nums: VecDeque<u64>,
     next_child_num: u64,
@@ -138,7 +138,7 @@ impl<'a> Proc<'a> {
             fds: Vec::new(),
             registry,
             children: Vec::new(),
-            pids: HashMap::new(),
+            pids: BTreeMap::new(),
             next_pid: 2,
             free_child_nums: VecDeque::new(),
             next_child_num: 0,

@@ -6,7 +6,7 @@
 //! and the data directives `.word`, `.quad`, `.zero`, `.ascii`.
 //! Comments start with `;` or `#`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::isa::{Insn, Opcode, encode};
 
@@ -16,7 +16,7 @@ pub struct Image {
     /// Raw little-endian bytes, loaded at address 0 by convention.
     pub bytes: Vec<u8>,
     /// Label name → byte offset.
-    pub labels: HashMap<String, u64>,
+    pub labels: BTreeMap<String, u64>,
     /// Entry point: the `_start` label if defined, else 0.
     pub entry: u64,
 }
@@ -48,7 +48,7 @@ impl std::error::Error for AsmError {}
 /// ```
 pub fn assemble(src: &str) -> Result<Image, AsmError> {
     let mut items: Vec<(usize, Item)> = Vec::new();
-    let mut labels: HashMap<String, u64> = HashMap::new();
+    let mut labels: BTreeMap<String, u64> = BTreeMap::new();
     let mut offset: u64 = 0;
 
     // Pass 1: parse, size, and collect labels.
@@ -184,7 +184,7 @@ impl Template {
         self,
         line: usize,
         at: u64,
-        labels: &HashMap<String, u64>,
+        labels: &BTreeMap<String, u64>,
     ) -> Result<Insn, AsmError> {
         let imm = match self.imm {
             ImmSpec::Lit(v) => v,

@@ -43,6 +43,7 @@
 //! ```
 
 mod asm;
+pub mod corpus;
 mod interp;
 mod isa;
 mod regs;

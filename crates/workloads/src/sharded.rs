@@ -273,6 +273,106 @@ pub fn dsched_counter(cfg: ShardedConfig) -> ShardedResult {
     finish(outcome)
 }
 
+// ---------------------------------------------------------------------
+// vm-prefetch: footprint-hinted leaf-pull migration (DESIGN.md §11).
+// ---------------------------------------------------------------------
+
+/// Declared virtual nanoseconds per VM instruction in a prefetch job
+/// (the job drives the interpreter natively and charges by exact
+/// instruction count, like `Program::Vm` children do).
+const NS_PER_VM_INSN: u64 = 2;
+
+/// Leaf granularity of the migration protocol, in bytes.
+const LEAF_BYTES: u64 = (det_memory::PAGES_PER_LEAF as u64) << det_memory::PAGE_SHIFT;
+
+/// One slot leaf per node plus a code leaf, with a VM kernel that
+/// marches a pointer over its own node's slot only. With `hint` set,
+/// the root asks [`SpaceCtx::analyze_footprint_from`] for each job's
+/// sound page footprint — the entry registers resolve the slot
+/// pointer — and attaches it via `JobSpec::touch_footprint`, so
+/// migration pulls just the code leaf and the job's own slot leaf
+/// instead of every leaf the shared region summarizes. The checksum
+/// and console bytes must be identical with the hint on or off: a
+/// sound hint may change traffic, never results.
+pub fn vm_prefetch(cfg: ShardedConfig, hint: bool) -> ShardedResult {
+    let nodes = cfg.spec().nodes as u64;
+    let words = (cfg.size / 16).clamp(8, 128);
+    let end_off = words * 8;
+    let code_base = BASE + nodes * LEAF_BYTES;
+    // The analyzable marching-pointer idiom: the loop branches on the
+    // pointer against a bound derived from the entry register, so the
+    // abstract interpreter proves the exact slot byte range.
+    let image = det_vm::assemble(&format!(
+        "
+        addi r5, r2, 0
+        addi r12, r2, {end_off}
+        ldi r4, 0
+    loop:
+        ldd r3, [r5+0]
+        muli r3, r3, 0x61d
+        add r4, r4, r3
+        std r4, [r5+0]
+        addi r5, r5, 8
+        bltu r5, r12, loop
+        std r4, [r12+0]
+        ldi r1, 0
+        halt
+        "
+    ))
+    .expect("prefetch VM kernel assembles");
+    let image_len = image.bytes.len() as u64;
+    let outcome = cfg.spec().run(move |ctx, net| {
+        ctx.mem_mut()
+            .map_zero(Region::new(code_base, code_base + 0x1000), Perm::RW)?;
+        ctx.mem_mut().write(code_base, &image.bytes)?;
+        for n in 1..net.nodes() {
+            let slot = BASE + n as u64 * LEAF_BYTES;
+            ctx.mem_mut()
+                .map_zero(Region::new(slot, slot + 0x1000), Perm::RW)?;
+            for i in 0..words {
+                ctx.mem_mut()
+                    .write_u64(slot + i * 8, n as u64 * 1_000_003 + i * 7919)?;
+            }
+        }
+        let shared = Region::new(BASE, code_base + 0x1000);
+        for n in 1..net.nodes() {
+            let slot = BASE + n as u64 * LEAF_BYTES;
+            let mut spec = JobSpec::native(shared, move |c, _| {
+                let mut cpu = det_vm::Cpu::at_entry(code_base);
+                cpu.regs.gpr[2] = slot;
+                let exit = cpu.run(c.mem_mut(), Some(200_000));
+                assert_eq!(exit, det_vm::VmExit::Halt, "prefetch VM kernel halts");
+                c.charge(cpu.insn_count * NS_PER_VM_INSN)?;
+                Ok(0)
+            });
+            if hint {
+                let mut regs = Regs::at_entry(code_base);
+                regs.gpr[2] = slot;
+                let fp = ctx.analyze_footprint_from(code_base, image_len, &regs)?;
+                assert!(
+                    fp.touch_regions().is_some(),
+                    "prefetch kernel's footprint must stay bounded"
+                );
+                spec = spec.touch_footprint(&fp);
+            }
+            net.fork(ctx, n as u64, n, spec)?;
+        }
+        for n in 1..net.nodes() {
+            net.join(ctx, n as u64)?;
+        }
+        let mut acc = 0u64;
+        for n in 1..nodes {
+            let slot = BASE + n * LEAF_BYTES;
+            acc = acc
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(ctx.mem().read_u64(slot + end_off)?);
+        }
+        ctx.dev_write(DeviceId::ConsoleOut, &acc.to_le_bytes())?;
+        Ok((acc & 0x7fff_ffff) as i32)
+    });
+    finish(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +397,29 @@ mod tests {
         let d1 = dsched_counter(cfg(1));
         let d2 = dsched_counter(cfg(2));
         assert_eq!(d1.outcome.bundle_bytes(), d2.outcome.bundle_bytes());
+    }
+
+    #[test]
+    fn prefetch_hint_cuts_pulls_without_changing_results() {
+        let on = vm_prefetch(ShardedConfig::quick(4, 2), true);
+        let off = vm_prefetch(ShardedConfig::quick(4, 2), false);
+        assert_eq!(on.checksum, off.checksum, "hint changed the result");
+        assert_eq!(
+            on.outcome.root.outputs, off.outcome.root.outputs,
+            "hint changed the console bytes"
+        );
+        assert!(
+            on.outcome.cluster.page_pulls < off.outcome.cluster.page_pulls,
+            "hint did not reduce migration pulls ({} vs {})",
+            on.outcome.cluster.page_pulls,
+            off.outcome.cluster.page_pulls
+        );
+    }
+
+    #[test]
+    fn prefetch_is_shard_count_invariant() {
+        let a = vm_prefetch(ShardedConfig::quick(3, 1), true);
+        let b = vm_prefetch(ShardedConfig::quick(3, 3), true);
+        assert_eq!(a.outcome.bundle_bytes(), b.outcome.bundle_bytes());
     }
 }

@@ -27,6 +27,7 @@
 //! | [`cluster`] | `det-cluster` | space migration across simulated nodes |
 //! | [`workloads`] | `det-workloads` | the paper's benchmarks + baselines |
 //! | [`conform`] | `det-conform` | N-replica conformance harness with divergence localization |
+//! | [`analyze`] | `det-analyze` | sound VM footprint/conflict analysis + the workspace determinism lint |
 //!
 //! # Quickstart
 //!
@@ -127,7 +128,7 @@ pub mod memory {
 pub mod vm {
     pub use det_vm::{
         AsmError, Cpu, CpuCacheStats, DecodeError, Image, Insn, Opcode, Regs, VmExit, VmTrap,
-        assemble, decode, disassemble, encode,
+        assemble, corpus, decode, disassemble, encode,
     };
 }
 
@@ -173,6 +174,14 @@ pub mod workloads {
     pub use det_workloads::{
         Mode, RunResult, baseline_costs, blackscholes, dist, fft, lu, mathx, matmult, md5, qsort,
         secs, sharded, speedup,
+    };
+}
+
+/// Sound static analysis + determinism lint: `det-analyze`.
+pub mod analyze {
+    pub use det_analyze::{
+        Analysis, AnalyzeConfig, Footprint, MustWrite, PageSet, Segment, Val, Verdict, analyze,
+        analyze_with_regs, classify, classify_with_base, lint,
     };
 }
 
